@@ -1,0 +1,30 @@
+//! # hermes-baselines — comparison control planes
+//!
+//! The state-of-the-art techniques the Hermes paper evaluates against
+//! (§8.3), plus the shared [`plane::ControlPlane`]
+//! abstraction the network simulator drives:
+//!
+//! * [`plane::RawSwitch`] — the unmodified switch (Pica8 / Dell / HP
+//!   behaviour straight from the empirical models);
+//! * [`espres::EspresSwitch`] — ESPRES \[51\]: reorders updates to minimize
+//!   TCAM shifting, never rewrites rules;
+//! * [`tango::TangoSwitch`] — Tango \[43\]: reorders *and* aggregates rules,
+//!   exploiting data-center IP allocation structure;
+//! * [`plane::HermesPlane`] — Hermes itself behind the same interface.
+//!
+//! Neither baseline provides guarantees: both merely slow the growth of
+//! insertion latency as the table fills — which is exactly what the
+//! comparison experiments (Figs. 10 and 11) show.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod espres;
+pub mod plane;
+pub mod shadowswitch;
+pub mod tango;
+
+pub use espres::EspresSwitch;
+pub use plane::{BatchOutcome, ControlPlane, CpQueue, HermesPlane, OpOutcome, RawSwitch};
+pub use shadowswitch::ShadowSwitch;
+pub use tango::TangoSwitch;

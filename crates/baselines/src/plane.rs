@@ -1,0 +1,355 @@
+//! The control-plane abstraction shared by Hermes, the baselines and the
+//! network simulator.
+//!
+//! A [`ControlPlane`] accepts batches of control actions (an SDN app's
+//! `flow-mod`s for one switch) and executes them serially on the switch
+//! ASIC, returning per-action completion offsets. The simulator layers
+//! queueing on top: a batch arriving while the control channel is busy
+//! waits for the previous batch to drain ([`CpQueue`]).
+
+use hermes_core::prelude::*;
+use hermes_rules::prelude::*;
+use hermes_tcam::{SimDuration, SimTime, SwitchModel, TcamDevice};
+
+/// Outcome of one control action inside a batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OpOutcome {
+    /// The logical rule the action addressed.
+    pub id: RuleId,
+    /// Execution time of this action alone.
+    pub exec: SimDuration,
+    /// Completion time relative to batch start (cumulative, since the
+    /// control channel is serial).
+    pub completed_at: SimDuration,
+    /// Whether a guarantee was violated (Hermes only; always `false` for
+    /// baselines, which promise nothing).
+    pub violated: bool,
+}
+
+/// Outcome of a whole batch.
+#[derive(Clone, Debug, Default)]
+pub struct BatchOutcome {
+    /// Per-action outcomes, in execution order (which may differ from
+    /// submission order for reordering baselines).
+    pub ops: Vec<OpOutcome>,
+    /// Total control-plane time consumed by the batch.
+    pub total: SimDuration,
+}
+
+impl BatchOutcome {
+    /// The completion offset of a specific rule's action, if present.
+    pub fn completion_of(&self, id: RuleId) -> Option<SimDuration> {
+        self.ops.iter().find(|o| o.id == id).map(|o| o.completed_at)
+    }
+}
+
+/// A switch control plane: executes control actions with some strategy.
+pub trait ControlPlane {
+    /// Display name (used in experiment output, matching the paper's
+    /// figure legends).
+    fn name(&self) -> String;
+
+    /// Executes a batch of actions, serially, starting at `now`.
+    fn apply_batch(&mut self, actions: &[ControlAction], now: SimTime) -> BatchOutcome;
+
+    /// Convenience: executes a single action.
+    fn apply(&mut self, action: &ControlAction, now: SimTime) -> OpOutcome {
+        let out = self.apply_batch(std::slice::from_ref(action), now);
+        out.ops[0]
+    }
+
+    /// Total TCAM entries currently installed.
+    fn occupancy(&self) -> usize;
+
+    /// Periodic housekeeping (Hermes's Rule Manager tick; no-op for
+    /// baselines).
+    fn tick(&mut self, _now: SimTime) {}
+
+    /// Migration passes performed so far (0 for planes without a Rule
+    /// Manager).
+    fn migrations(&self) -> u64 {
+        0
+    }
+
+    /// Signals the end of a warm-up/preload phase: installed state stays,
+    /// but time-dependent state (admission buckets, busy windows) resets
+    /// to the epoch. No-op for stateless planes.
+    fn end_warmup(&mut self) {}
+}
+
+impl ControlPlane for Box<dyn ControlPlane> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn apply_batch(&mut self, actions: &[ControlAction], now: SimTime) -> BatchOutcome {
+        (**self).apply_batch(actions, now)
+    }
+
+    fn occupancy(&self) -> usize {
+        (**self).occupancy()
+    }
+
+    fn tick(&mut self, now: SimTime) {
+        (**self).tick(now)
+    }
+
+    fn migrations(&self) -> u64 {
+        (**self).migrations()
+    }
+
+    fn end_warmup(&mut self) {
+        (**self).end_warmup()
+    }
+}
+
+/// The unmodified switch: actions execute in submission order against a
+/// monolithic table. This is the paper's "Pica8 P-3290 / Dell 8132F /
+/// HP 5406zl" comparison point.
+#[derive(Debug)]
+pub struct RawSwitch {
+    device: TcamDevice,
+    label: String,
+}
+
+impl RawSwitch {
+    /// A raw switch over the given model.
+    pub fn new(model: SwitchModel) -> Self {
+        let label = model.name.clone();
+        RawSwitch {
+            device: TcamDevice::monolithic(model),
+            label,
+        }
+    }
+
+    /// Borrow the underlying device.
+    pub fn device(&self) -> &TcamDevice {
+        &self.device
+    }
+}
+
+impl ControlPlane for RawSwitch {
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+
+    fn apply_batch(&mut self, actions: &[ControlAction], _now: SimTime) -> BatchOutcome {
+        let mut out = BatchOutcome::default();
+        for action in actions {
+            let exec = match self.device.apply(0, action) {
+                Ok(rep) => rep.latency,
+                // Full table / missing rule: the agent spends a nominal
+                // rejection cost and reports an error to the controller.
+                Err(_) => SimDuration::from_us(50.0),
+            };
+            out.total += exec;
+            out.ops.push(OpOutcome {
+                id: action.rule_id(),
+                exec,
+                completed_at: out.total,
+                violated: false,
+            });
+        }
+        out
+    }
+
+    fn occupancy(&self) -> usize {
+        self.device.total_entries()
+    }
+}
+
+/// Hermes as a [`ControlPlane`], for apples-to-apples comparisons.
+#[derive(Debug)]
+pub struct HermesPlane {
+    switch: HermesSwitch,
+}
+
+impl HermesPlane {
+    /// Wraps a configured Hermes agent.
+    pub fn new(switch: HermesSwitch) -> Self {
+        HermesPlane { switch }
+    }
+
+    /// Builds directly from a model and config.
+    pub fn with_config(
+        model: SwitchModel,
+        config: hermes_core::config::HermesConfig,
+    ) -> Result<Self, HermesError> {
+        Ok(HermesPlane {
+            switch: HermesSwitch::new(model, config)?,
+        })
+    }
+
+    /// Borrow the agent.
+    pub fn switch(&self) -> &HermesSwitch {
+        &self.switch
+    }
+
+    /// Mutably borrow the agent.
+    pub fn switch_mut(&mut self) -> &mut HermesSwitch {
+        &mut self.switch
+    }
+}
+
+impl ControlPlane for HermesPlane {
+    fn name(&self) -> String {
+        "Hermes".into()
+    }
+
+    fn apply_batch(&mut self, actions: &[ControlAction], now: SimTime) -> BatchOutcome {
+        let mut out = BatchOutcome::default();
+        for action in actions {
+            let (exec, violated) = match self.switch.submit(action, now + out.total) {
+                Ok(rep) => (rep.latency, rep.violated()),
+                Err(_) => (SimDuration::from_us(50.0), false),
+            };
+            out.total += exec;
+            out.ops.push(OpOutcome {
+                id: action.rule_id(),
+                exec,
+                completed_at: out.total,
+                violated,
+            });
+        }
+        out
+    }
+
+    fn occupancy(&self) -> usize {
+        self.switch.shadow_len() + self.switch.main_len()
+    }
+
+    fn tick(&mut self, now: SimTime) {
+        self.switch.tick(now);
+    }
+
+    fn migrations(&self) -> u64 {
+        self.switch.migrations()
+    }
+
+    fn end_warmup(&mut self) {
+        self.switch.end_warmup();
+    }
+}
+
+/// Serial control-channel queueing on top of a [`ControlPlane`]: batches
+/// submitted while the channel is busy wait their turn. Rule installation
+/// time (RIT) as reported by the experiments is
+/// `queueing delay + execution offset`.
+#[derive(Debug)]
+pub struct CpQueue<P> {
+    plane: P,
+    busy_until: SimTime,
+}
+
+impl<P: ControlPlane> CpQueue<P> {
+    /// Wraps a control plane with an idle channel.
+    pub fn new(plane: P) -> Self {
+        CpQueue {
+            plane,
+            busy_until: SimTime::ZERO,
+        }
+    }
+
+    /// The wrapped plane.
+    pub fn plane(&self) -> &P {
+        &self.plane
+    }
+
+    /// Mutable access to the wrapped plane.
+    pub fn plane_mut(&mut self) -> &mut P {
+        &mut self.plane
+    }
+
+    /// When the channel next becomes idle.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// Submits a batch at `now`; returns the batch outcome and the absolute
+    /// completion time of each op (start-of-service + offset).
+    pub fn submit(&mut self, actions: &[ControlAction], now: SimTime) -> (SimTime, BatchOutcome) {
+        let start = if now > self.busy_until {
+            now
+        } else {
+            self.busy_until
+        };
+        let outcome = self.plane.apply_batch(actions, start);
+        self.busy_until = start + outcome.total;
+        (start, outcome)
+    }
+
+    /// Absolute RIT of one rule in a batch outcome submitted at `now` with
+    /// the returned `start`.
+    pub fn rit(now: SimTime, start: SimTime, op: &OpOutcome) -> SimDuration {
+        (start + op.completed_at) - now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_core::config::HermesConfig;
+
+    fn rule(id: u64, pfx: &str, prio: u32) -> Rule {
+        let p: Ipv4Prefix = pfx.parse().unwrap();
+        Rule::new(id, p.to_key(), Priority(prio), Action::Forward(1))
+    }
+
+    #[test]
+    fn raw_switch_serial_latency_accumulates() {
+        let mut raw = RawSwitch::new(SwitchModel::pica8_p3290());
+        let actions: Vec<ControlAction> = (0..10)
+            .map(|i| ControlAction::Insert(rule(i, "10.0.0.0/8", 100 + i as u32)))
+            .collect();
+        let out = raw.apply_batch(&actions, SimTime::ZERO);
+        assert_eq!(out.ops.len(), 10);
+        // Offsets strictly increase.
+        for w in out.ops.windows(2) {
+            assert!(w[1].completed_at > w[0].completed_at);
+        }
+        assert_eq!(out.total, out.ops.last().unwrap().completed_at);
+        assert_eq!(raw.occupancy(), 10);
+    }
+
+    #[test]
+    fn raw_switch_reports_errors_cheaply() {
+        let mut raw = RawSwitch::new(SwitchModel::pica8_p3290());
+        let out = raw.apply(&ControlAction::Delete(RuleId(42)), SimTime::ZERO);
+        assert_eq!(out.exec, SimDuration::from_us(50.0));
+        assert_eq!(raw.occupancy(), 0);
+    }
+
+    #[test]
+    fn hermes_plane_reports_violations() {
+        let mut plane =
+            HermesPlane::with_config(SwitchModel::pica8_p3290(), HermesConfig::default()).unwrap();
+        let out = plane.apply(
+            &ControlAction::Insert(rule(1, "10.0.0.0/8", 5)),
+            SimTime::ZERO,
+        );
+        assert!(!out.violated);
+        assert!(out.exec <= SimDuration::from_ms(5.0));
+        assert_eq!(plane.occupancy(), 1);
+    }
+
+    #[test]
+    fn queue_serializes_batches() {
+        let mut q = CpQueue::new(RawSwitch::new(SwitchModel::pica8_p3290()));
+        let b1: Vec<ControlAction> = (0..5)
+            .map(|i| ControlAction::Insert(rule(i, "10.0.0.0/8", 10 + i as u32)))
+            .collect();
+        let (s1, o1) = q.submit(&b1, SimTime::ZERO);
+        assert_eq!(s1, SimTime::ZERO);
+        // Second batch arrives while the first is still executing.
+        let b2 = vec![ControlAction::Insert(rule(99, "11.0.0.0/8", 5))];
+        let arrival = SimTime::from_nanos(1);
+        let (s2, o2) = q.submit(&b2, arrival);
+        assert_eq!(
+            s2,
+            SimTime::ZERO + o1.total,
+            "second batch waits for the channel"
+        );
+        let rit = CpQueue::<RawSwitch>::rit(arrival, s2, &o2.ops[0]);
+        assert!(rit > o2.ops[0].exec, "RIT includes queueing delay");
+    }
+}

@@ -1,0 +1,97 @@
+//! Criterion micro-benchmarks for the TCAM device model: insertion (by
+//! occupancy), deletion, modification and lookup — the operations whose
+//! *simulated* costs drive every experiment, benchmarked here for *real*
+//! wall-clock cost to show the model itself is cheap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hermes_rules::prelude::*;
+use hermes_tcam::{PlacementStrategy, SwitchModel, TcamDevice, TcamTable};
+use std::hint::black_box;
+
+fn rule(id: u64, i: u32, prio: u32) -> Rule {
+    Rule::new(
+        id,
+        Ipv4Prefix::new(i << 8, 24).to_key(),
+        Priority(prio),
+        Action::Forward(1),
+    )
+}
+
+fn filled_table(n: usize) -> TcamTable {
+    let mut t = TcamTable::new(n + 64, PlacementStrategy::PackedLow);
+    for i in 0..n {
+        t.insert(rule(i as u64, i as u32, (i % 1000) as u32 + 1))
+            .expect("fill");
+    }
+    t
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tcam_insert");
+    for occ in [100usize, 1000, 4000] {
+        group.bench_with_input(BenchmarkId::from_parameter(occ), &occ, |b, &occ| {
+            let base = filled_table(occ);
+            let mut i = occ as u64;
+            b.iter_batched(
+                || base.clone(),
+                |mut t| {
+                    i += 1;
+                    t.insert(rule(i, i as u32, 500)).expect("insert");
+                    black_box(t.len())
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tcam_lookup");
+    for occ in [100usize, 1000, 4000] {
+        let t = filled_table(occ);
+        group.bench_with_input(BenchmarkId::from_parameter(occ), &occ, |b, _| {
+            let pkt = ((occ as u32 / 2) << 8) as u128;
+            b.iter(|| black_box(t.peek(black_box(pkt << 96))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_device_pipeline(c: &mut Criterion) {
+    c.bench_function("device_shadow_main_lookup", |b| {
+        let model = SwitchModel::pica8_p3290();
+        let mut dev = TcamDevice::carved(
+            model,
+            &[
+                ("shadow", 64, hermes_tcam::MissBehavior::GotoNextSlice),
+                ("main", 1900, hermes_tcam::MissBehavior::ToController),
+            ],
+        );
+        for i in 0..500u64 {
+            dev.apply(
+                1,
+                &ControlAction::Insert(rule(i, i as u32, (i % 100) as u32 + 1)),
+            )
+            .expect("fill");
+        }
+        let pkt = (250u128 << 8) << 96;
+        b.iter(|| black_box(dev.peek(black_box(pkt))));
+    });
+}
+
+fn bench_perf_model(c: &mut Criterion) {
+    c.bench_function("perf_insert_latency_eval", |b| {
+        let m = SwitchModel::dell_8132f();
+        b.iter(|| black_box(m.insert_latency(black_box(500), black_box(230))));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_insert,
+    bench_lookup,
+    bench_device_pipeline,
+    bench_perf_model
+);
+criterion_main!(benches);

@@ -1,0 +1,171 @@
+//! **§2.3 / §8.4** — Hermes in a traditional BGP router.
+//!
+//! Replays a BGPStream-like update trace (low baseline rate, >1000
+//! updates/s bursts) through the RIB→FIB pipeline and installs the
+//! surviving FIB actions on a raw switch vs Hermes with a 5 ms guarantee.
+//!
+//! Reproduction targets: the algorithms behave as with the SDNApp —
+//! Cubic+Slack best, high slack (>80%) needed for zero violations during
+//! bursts — and "the benefits of employing Hermes are significant and
+//! nontrivial" on installation times.
+
+use hermes_baselines::{ControlPlane, CpQueue, HermesPlane, RawSwitch};
+use hermes_bench::{print_summary, Table};
+use hermes_bgp::prelude::*;
+use hermes_core::config::{HermesConfig, MigrationTrigger};
+use hermes_core::predict::{Corrector, PredictorKind};
+use hermes_netsim::metrics::Samples;
+use hermes_rules::prelude::*;
+use hermes_tcam::{SimDuration, SimTime, SwitchModel};
+use hermes_workloads::bgptrace::BgpTrace;
+
+/// FIB-level control actions with timestamps, after RIB processing.
+fn fib_actions(trace: &BgpTrace) -> Vec<(SimTime, ControlAction)> {
+    let updates = trace.generate();
+    let mut rib = Rib::new();
+    let mut fib = Fib::new();
+    let mut out = Vec::new();
+    for u in &updates {
+        if let Some(delta) = rib.process(u.update) {
+            out.push((u.at, fib.compile(delta)));
+        }
+    }
+    println!(
+        "trace: {} BGP updates -> {} FIB actions ({:.0}% suppressed in RIB); peak rate {:.0} upd/s",
+        updates.len(),
+        out.len(),
+        100.0 * (1.0 - out.len() as f64 / updates.len() as f64),
+        BgpTrace::peak_rate(&updates),
+    );
+    out
+}
+
+struct BgpRun {
+    rit: Samples,
+    violations: u64,
+    inserts: u64,
+}
+
+fn drive<P: ControlPlane>(plane: P, actions: &[(SimTime, ControlAction)]) -> BgpRun {
+    let mut q = CpQueue::new(plane);
+    let tick = SimDuration::from_ms(100.0);
+    let mut next_tick = SimTime::ZERO + tick;
+    let mut run = BgpRun {
+        rit: Samples::new(),
+        violations: 0,
+        inserts: 0,
+    };
+    for (at, action) in actions {
+        while next_tick <= *at {
+            q.plane_mut().tick(next_tick);
+            next_tick += tick;
+        }
+        let (start, outcome) = q.submit(std::slice::from_ref(action), *at);
+        let op = outcome.ops.last().expect("one op");
+        if action.is_insert() {
+            run.rit.push((start + op.completed_at).since(*at).as_ms());
+            run.inserts += 1;
+            if op.violated {
+                run.violations += 1;
+            }
+        }
+    }
+    run
+}
+
+fn main() {
+    let scale = hermes_bench::scale();
+    let trace = BgpTrace {
+        duration_s: 60.0 * scale as f64,
+        prefixes: 800,
+        ..Default::default()
+    };
+    println!("== §8.4: Hermes under BGP (5 ms guarantee) ==\n");
+    let actions = fib_actions(&trace);
+    let model = SwitchModel::pica8_p3290();
+
+    println!("\n-- raw switch vs Hermes --");
+    let mut raw = drive(RawSwitch::new(model.clone()), &actions);
+    print_summary("Raw switch RIT (ms)", &mut raw.rit);
+    // Deployed configuration: admission control on. Burst traffic beyond
+    // the agreed rate is serviced best-effort from the main table; rules
+    // the Gate Keeper admits keep their guarantee even mid-burst.
+    let hermes_cfg = HermesConfig {
+        guarantee: SimDuration::from_ms(5.0),
+        ..Default::default()
+    };
+    let mut hermes = drive(
+        HermesPlane::with_config(model.clone(), hermes_cfg).expect("feasible"),
+        &actions,
+    );
+    print_summary("Hermes RIT (ms)", &mut hermes.rit);
+    println!(
+        "median improvement: {:.0}%   violations: {}/{} ({:.2}%)",
+        (raw.rit.median() - hermes.rit.median()) / raw.rit.median() * 100.0,
+        hermes.violations,
+        hermes.inserts,
+        100.0 * hermes.violations as f64 / hermes.inserts as f64
+    );
+
+    println!("\n-- slack sensitivity (Cubic Spline; admission disabled so every update");
+    println!("   attempts the shadow — upper bound on burst pressure) --");
+    let mut t = Table::new(&[
+        "Slack (%)",
+        "Violations (%)",
+        "Mean RIT (ms)",
+        "p99 RIT (ms)",
+    ]);
+    for slack in [0.0, 0.2, 0.4, 0.6, 0.8, 1.0, 1.5] {
+        let cfg = HermesConfig {
+            guarantee: SimDuration::from_ms(5.0),
+            trigger: MigrationTrigger::Predictive {
+                predictor: PredictorKind::CubicSpline,
+                corrector: Corrector::Slack(slack),
+            },
+            rate_limit: Some(f64::INFINITY),
+            ..Default::default()
+        };
+        let mut r = drive(
+            HermesPlane::with_config(model.clone(), cfg).expect("ok"),
+            &actions,
+        );
+        t.row(&[
+            format!("{:.0}", slack * 100.0),
+            format!(
+                "{:.2}",
+                100.0 * r.violations as f64 / r.inserts.max(1) as f64
+            ),
+            format!("{:.3}", r.rit.mean()),
+            format!("{:.3}", r.rit.percentile(0.99)),
+        ]);
+    }
+    t.print();
+
+    println!("\n-- predictor comparison under BGP --");
+    let mut t = Table::new(&["Predictor", "Violations (%)", "Mean RIT (ms)"]);
+    for kind in PredictorKind::all() {
+        let cfg = HermesConfig {
+            guarantee: SimDuration::from_ms(5.0),
+            trigger: MigrationTrigger::Predictive {
+                predictor: kind,
+                corrector: Corrector::Slack(1.0),
+            },
+            rate_limit: Some(f64::INFINITY),
+            ..Default::default()
+        };
+        let r = drive(
+            HermesPlane::with_config(model.clone(), cfg).expect("ok"),
+            &actions,
+        );
+        t.row(&[
+            format!("{kind:?}"),
+            format!(
+                "{:.2}",
+                100.0 * r.violations as f64 / r.inserts.max(1) as f64
+            ),
+            format!("{:.3}", r.rit.mean()),
+        ]);
+    }
+    t.print();
+    println!("\npaper: \"the algorithms behave similarly with BGP as they did with the SDNApp —\nwith Cubic+Slack providing the best performance and with Hermes requiring high\nslack inflation (over 80%) to ensure that there are no performance violations\"");
+}

@@ -1,0 +1,914 @@
+//! # hermes-bench — the experiment harness
+//!
+//! Shared machinery for the `exp_*` binaries that regenerate every table
+//! and figure of the paper's evaluation (see DESIGN.md §4 for the index
+//! and EXPERIMENTS.md for paper-vs-measured results).
+//!
+//! The binaries print the same rows/series the paper reports; absolute
+//! numbers depend on the empirical switch models, but the comparisons
+//! (who wins, by what factor, where crossovers fall) are the reproduction
+//! targets.
+//!
+//! Scale knobs: every binary accepts a `HERMES_SCALE` environment variable
+//! (default `1`) that multiplies workload sizes, so the full paper-scale
+//! runs are available without recompiling.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use hermes_baselines::{ControlPlane, CpQueue};
+use hermes_netsim::metrics::Samples;
+use hermes_tcam::{SimDuration, SimTime};
+use hermes_workloads::microbench::TimedAction;
+
+/// Result of driving a timed action stream through one control plane.
+#[derive(Debug, Default)]
+pub struct StreamResult {
+    /// Rule installation times (arrival → completion, queueing included), ms.
+    pub rit_ms: Samples,
+    /// Pure per-rule execution latencies (no queueing), ms — the quantity
+    /// the paper's per-rule RIT figures plot.
+    pub exec_ms: Samples,
+    /// Guarantee violations reported by the plane.
+    pub violations: u64,
+    /// Actions driven.
+    pub actions: u64,
+    /// Final table occupancy.
+    pub occupancy: usize,
+    /// Migration passes performed (Hermes planes only).
+    pub migrations: u64,
+}
+
+impl StreamResult {
+    /// Violations as a percentage of actions.
+    pub fn violation_pct(&self) -> f64 {
+        if self.actions == 0 {
+            0.0
+        } else {
+            100.0 * self.violations as f64 / self.actions as f64
+        }
+    }
+}
+
+/// Drives a timed action stream through a control plane with serial
+/// control-channel queueing, ticking the plane's background manager every
+/// `tick`. RIT = completion − arrival (queueing included), exactly the
+/// metric of §8.1.2.
+pub fn drive_stream<P: ControlPlane>(
+    plane: P,
+    actions: &[TimedAction],
+    tick: SimDuration,
+) -> StreamResult {
+    let mut q = CpQueue::new(plane);
+    let mut result = StreamResult::default();
+    let mut next_tick = SimTime::ZERO + tick;
+    for ta in actions {
+        // Catch up on manager ticks before this arrival.
+        while next_tick <= ta.at {
+            q.plane_mut().tick(next_tick);
+            next_tick += tick;
+        }
+        let (start, outcome) = q.submit(std::slice::from_ref(&ta.action), ta.at);
+        let op = outcome.ops.last().expect("one op per action");
+        result
+            .rit_ms
+            .push((start + op.completed_at).since(ta.at).as_ms());
+        result.exec_ms.push(op.exec.as_ms());
+        if op.violated {
+            result.violations += 1;
+        }
+        result.actions += 1;
+    }
+    result.occupancy = q.plane().occupancy();
+    result.migrations = q.plane().migrations();
+    result
+}
+
+/// Generates a traffic-engineering-style workload for the Fig. 10/11
+/// comparisons, as *batches*: each batch is one reconfiguration event (the
+/// set of FlowMods an SDN app pushes at once — the unit Tango and ESPRES
+/// optimize over).
+///
+/// * `dc_structured = true` (the Facebook side): each batch holds sibling
+///   destination prefixes sharing one action and priority — the
+///   data-center IP-allocation structure Tango's aggregation exploits;
+/// * `dc_structured = false` (the Geant side): scattered ISP prefixes with
+///   varied priorities and actions — little to aggregate.
+pub fn te_batches(
+    dc_structured: bool,
+    total_rules: usize,
+    batches_per_s: f64,
+    seed: u64,
+) -> Vec<(SimTime, Vec<hermes_rules::rule::ControlAction>)> {
+    use hermes_rules::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out: Vec<(SimTime, Vec<ControlAction>)> = Vec::new();
+    let mut now_s = 0.0f64;
+    let mut id = 0u64;
+    let mut emitted = 0usize;
+    // Rules still installed from earlier reconfigurations, eligible for
+    // teardown when their flows move again.
+    let mut teardown_pool: Vec<RuleId> = Vec::new();
+    while emitted < total_rules {
+        let u: f64 = rng.gen_range(1e-12..1.0);
+        now_s += -u.ln() / batches_per_s;
+        let size = rng.gen_range(8..=32usize).min(total_rules - emitted);
+        let mut inserts = Vec::with_capacity(size);
+        if dc_structured {
+            // A reconfiguration in a structured data-center network:
+            // roughly half the rules are sibling prefixes sharing an action
+            // and priority (one rack's flows moving together — Tango can
+            // aggregate these); the rest are per-flow exact matches.
+            let block = ((0b10u32 << 30) | (rng.gen_range(0..1u32 << 12) << 11)) & !0x7ff;
+            let action = Action::Forward(rng.gen_range(1..48));
+            let prio = Priority(rng.gen_range(100..200));
+            for b in 0..size {
+                if b % 2 == 0 {
+                    let addr = block | ((b as u32) << 6);
+                    inserts.push(Rule::new(
+                        id,
+                        Ipv4Prefix::new(addr, 26).to_key(),
+                        prio,
+                        action,
+                    ));
+                } else {
+                    let m = FlowMatch::any()
+                        .with_dst(Ipv4Prefix::host(rng.gen()))
+                        .with_src(Ipv4Prefix::host(rng.gen()));
+                    inserts.push(Rule::new(
+                        id,
+                        m.to_key(),
+                        Priority(rng.gen_range(100..200)),
+                        Action::Forward(rng.gen_range(1..48)),
+                    ));
+                }
+                id += 1;
+            }
+        } else {
+            // ISP reconfiguration: scattered prefixes, varied priorities
+            // and actions — little to aggregate.
+            for _ in 0..size {
+                let len = rng.gen_range(16..=24);
+                let addr = rng.gen::<u32>() | (1 << 31);
+                inserts.push(Rule::new(
+                    id,
+                    Ipv4Prefix::new(addr, len).to_key(),
+                    Priority(rng.gen_range(1..1000)),
+                    Action::Forward(rng.gen_range(1..16)),
+                ));
+                id += 1;
+            }
+        }
+        emitted += size;
+        // Each reconfiguration also tears down rules from earlier ones
+        // (flows leaving their old paths): about half as many deletes as
+        // inserts, so the table still grows over the run. Submission order
+        // interleaves deletes among the inserts — the naive order a raw
+        // switch executes; ESPRES/Tango reorder deletes first.
+        let n_del = (size / 2).min(teardown_pool.len());
+        let mut batch: Vec<ControlAction> = Vec::with_capacity(size + n_del);
+        let mut deletes: Vec<ControlAction> = (0..n_del)
+            .map(|_| {
+                let i = rng.gen_range(0..teardown_pool.len());
+                ControlAction::Delete(teardown_pool.swap_remove(i))
+            })
+            .collect();
+        for rule in &inserts {
+            teardown_pool.push(rule.id);
+        }
+        for (i, rule) in inserts.into_iter().enumerate() {
+            batch.push(ControlAction::Insert(rule));
+            if i % 2 == 1 {
+                if let Some(d) = deletes.pop() {
+                    batch.push(d);
+                }
+            }
+        }
+        batch.extend(deletes);
+        out.push((SimTime::from_secs(now_s), batch));
+    }
+    out
+}
+
+/// Drives batched reconfigurations through a control plane with serial
+/// control-channel queueing. The per-rule RIT is
+/// `queueing delay + completion offset within the batch`.
+pub fn drive_batches<P: ControlPlane>(
+    plane: P,
+    batches: &[(SimTime, Vec<hermes_rules::rule::ControlAction>)],
+    tick: SimDuration,
+) -> StreamResult {
+    let mut q = CpQueue::new(plane);
+    let mut result = StreamResult::default();
+    let mut next_tick = SimTime::ZERO + tick;
+    for (at, actions) in batches {
+        while next_tick <= *at {
+            q.plane_mut().tick(next_tick);
+            next_tick += tick;
+        }
+        let (start, outcome) = q.submit(actions, *at);
+        // Only insertions count as RIT samples (§8.1.2 defines RIT over
+        // rule installations; the teardown deletes are cheap bookkeeping).
+        let insert_ids: std::collections::HashSet<_> = actions
+            .iter()
+            .filter(|a| a.is_insert())
+            .map(|a| a.rule_id())
+            .collect();
+        for op in &outcome.ops {
+            if !insert_ids.contains(&op.id) {
+                continue;
+            }
+            result
+                .rit_ms
+                .push((start + op.completed_at).since(*at).as_ms());
+            result.exec_ms.push(op.exec.as_ms());
+            if op.violated {
+                result.violations += 1;
+            }
+            result.actions += 1;
+        }
+    }
+    result.occupancy = q.plane().occupancy();
+    result.migrations = q.plane().migrations();
+    result
+}
+
+/// Reads the `HERMES_SCALE` workload multiplier (default 1).
+pub fn scale() -> usize {
+    std::env::var("HERMES_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&s| s > 0)
+        .unwrap_or(1)
+}
+
+/// Prints a CDF as aligned `value fraction` rows under a header, matching
+/// the series the paper plots.
+pub fn print_cdf(title: &str, samples: &mut Samples, points: usize) {
+    println!("# CDF: {title}  (n={})", samples.len());
+    for (v, f) in samples.cdf(points) {
+        println!("{v:>12.3} {f:>6.3}");
+    }
+}
+
+/// Prints the standard summary row used across experiments.
+pub fn print_summary(label: &str, samples: &mut Samples) {
+    if samples.is_empty() {
+        println!("{label:<28} (no samples)");
+        return;
+    }
+    println!(
+        "{label:<28} n={:<7} median={:>10.3} p95={:>10.3} p99={:>10.3} max={:>10.3} mean={:>10.3}",
+        samples.len(),
+        samples.median(),
+        samples.percentile(0.95),
+        samples.percentile(0.99),
+        samples.max(),
+        samples.mean()
+    );
+}
+
+/// A simple fixed-width table printer for the paper's tables.
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.header.len(), "column count mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Renders to stdout.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let parts: Vec<String> = cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{c:>width$}", width = widths[i]))
+                .collect();
+            println!("| {} |", parts.join(" | "));
+        };
+        line(&self.header);
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        println!("|-{}-|", sep.join("-|-"));
+        for row in &self.rows {
+            line(row);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_baselines::RawSwitch;
+    use hermes_tcam::SwitchModel;
+    use hermes_workloads::microbench::MicroBench;
+
+    #[test]
+    fn drive_stream_records_every_action() {
+        let cfg = MicroBench {
+            count: 100,
+            ..Default::default()
+        };
+        let stream = cfg.generate();
+        let result = drive_stream(
+            RawSwitch::new(SwitchModel::pica8_p3290()),
+            &stream,
+            SimDuration::from_ms(100.0),
+        );
+        assert_eq!(result.actions, 100);
+        assert_eq!(result.rit_ms.len(), 100);
+        assert_eq!(result.violations, 0);
+        assert_eq!(result.occupancy, 100);
+    }
+
+    #[test]
+    fn queueing_shows_up_under_bursts() {
+        // At 100k inserts/s a raw switch cannot keep up: tail RIT must
+        // blow far past the mean per-op latency.
+        let cfg = MicroBench {
+            arrival_rate: 100_000.0,
+            count: 1500,
+            ..Default::default()
+        };
+        let stream = cfg.generate();
+        let mut result = drive_stream(
+            RawSwitch::new(SwitchModel::dell_8132f()),
+            &stream,
+            SimDuration::from_ms(100.0),
+        );
+        let p99 = result.rit_ms.percentile(0.99);
+        let p10 = result.rit_ms.percentile(0.10);
+        assert!(p99 > 10.0 * p10.max(0.1), "p99 {p99} vs p10 {p10}");
+    }
+
+    #[test]
+    fn table_renders() {
+        let mut t = Table::new(&["a", "bb"]);
+        t.row(&["1".into(), "2".into()]);
+        t.print();
+    }
+
+    #[test]
+    fn scale_defaults_to_one() {
+        assert!(scale() >= 1);
+    }
+}
+
+/// Standard Varys run over the Facebook workload on a fat tree.
+///
+/// `k=8` (128 hosts) by default; pass `HERMES_SCALE=4` or more to grow the
+/// job count (the topology stays fixed so runs at different scales remain
+/// comparable). Returns the finished simulator.
+pub fn run_varys_facebook(
+    kind: hermes_netsim::sim::SwitchKind,
+    jobs: usize,
+    seed: u64,
+) -> hermes_netsim::sim::Varys {
+    use hermes_netsim::prelude::*;
+    use hermes_workloads::facebook::FacebookWorkload;
+    let topo = Topology::fat_tree(8, 10e9);
+    let hosts = topo.hosts().len();
+    let config = VarysConfig {
+        switch: kind,
+        congestion_threshold: 0.5,
+        base_rules_per_switch: 400,
+        // The paper's proactive TE reconfigures the whole network every
+        // period; no artificial cap.
+        max_reroutes_per_tick: 10_000,
+        te_interval_s: 0.5,
+        seed,
+        ..Default::default()
+    };
+    let mut sim = Varys::new(topo, config);
+    let workload = FacebookWorkload {
+        jobs,
+        hosts,
+        duration_s: jobs as f64 * 0.15,
+        seed: 99,
+    };
+    sim.register_jobs(&workload.generate());
+    sim.run(workload.duration_s * 20.0 + 600.0);
+    sim
+}
+
+/// Standard Varys run over the Geant workload (gravity traffic matrix,
+/// Poisson flows).
+pub fn run_varys_geant(
+    kind: hermes_netsim::sim::SwitchKind,
+    duration_s: f64,
+    seed: u64,
+) -> hermes_netsim::sim::Varys {
+    use hermes_netsim::prelude::*;
+    use hermes_workloads::gravity::{flows_from_matrix, TrafficMatrix};
+    let topo = Topology::geant();
+    let nodes = topo.hosts().len();
+    let config = VarysConfig {
+        switch: kind,
+        congestion_threshold: 0.5,
+        base_rules_per_switch: 400,
+        max_reroutes_per_tick: 10_000,
+        te_interval_s: 0.5,
+        seed,
+        ..Default::default()
+    };
+    let mut sim = Varys::new(topo, config);
+    // Offered load sized to congest the 10 Gbps backbone's hot links.
+    let tm = TrafficMatrix::gravity(nodes, 4e9, 5);
+    let flows = flows_from_matrix(&tm, duration_s, 200e6, 6);
+    sim.register_flows(&flows, 0);
+    sim.run(duration_s * 20.0 + 600.0);
+    sim
+}
+
+/// Writes a JSON document for downstream plotting when `HERMES_OUT` is set
+/// to a directory: `<HERMES_OUT>/<name>.json`. No-op otherwise. Errors are
+/// reported to stderr but never abort an experiment.
+pub fn export_json<T: serde::Serialize>(name: &str, value: &T) {
+    let Ok(dir) = std::env::var("HERMES_OUT") else {
+        return;
+    };
+    let path = std::path::Path::new(&dir).join(format!("{name}.json"));
+    match serde_json::to_string_pretty_compat(value) {
+        Ok(body) => {
+            if let Err(e) = std::fs::write(&path, body) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialize {name}: {e}"),
+    }
+}
+
+/// Minimal JSON serializer (avoiding a serde_json dependency): enough for
+/// the experiment exports, which are maps/lists of numbers and strings.
+mod serde_json {
+    use serde::ser::{self, Serialize};
+    use std::fmt::Write;
+
+    /// Serializes to a JSON string.
+    pub fn to_string_pretty_compat<T: Serialize>(value: &T) -> Result<String, Error> {
+        let mut ser = Json { out: String::new() };
+        value.serialize(&mut ser)?;
+        Ok(ser.out)
+    }
+
+    /// Serialization error.
+    #[derive(Debug)]
+    pub struct Error(pub String);
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "{}", self.0)
+        }
+    }
+    impl std::error::Error for Error {}
+    impl ser::Error for Error {
+        fn custom<T: std::fmt::Display>(msg: T) -> Self {
+            Error(msg.to_string())
+        }
+    }
+
+    struct Json {
+        out: String,
+    }
+
+    fn escape(s: &str, out: &mut String) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                '\r' => out.push_str("\\r"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(out, "\\u{:04x}", c as u32);
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
+    macro_rules! num {
+        ($fn:ident, $t:ty) => {
+            fn $fn(self, v: $t) -> Result<(), Error> {
+                let _ = write!(self.out, "{}", v);
+                Ok(())
+            }
+        };
+    }
+
+    impl<'a> ser::Serializer for &'a mut Json {
+        type Ok = ();
+        type Error = Error;
+        type SerializeSeq = Seq<'a>;
+        type SerializeTuple = Seq<'a>;
+        type SerializeTupleStruct = Seq<'a>;
+        type SerializeTupleVariant = Seq<'a>;
+        type SerializeMap = Map<'a>;
+        type SerializeStruct = Map<'a>;
+        type SerializeStructVariant = Map<'a>;
+
+        num!(serialize_i8, i8);
+        num!(serialize_i16, i16);
+        num!(serialize_i32, i32);
+        num!(serialize_i64, i64);
+        num!(serialize_u8, u8);
+        num!(serialize_u16, u16);
+        num!(serialize_u32, u32);
+        num!(serialize_u64, u64);
+
+        fn serialize_f32(self, v: f32) -> Result<(), Error> {
+            self.serialize_f64(v as f64)
+        }
+        fn serialize_f64(self, v: f64) -> Result<(), Error> {
+            if v.is_finite() {
+                let _ = write!(self.out, "{v}");
+            } else {
+                self.out.push_str("null");
+            }
+            Ok(())
+        }
+        fn serialize_bool(self, v: bool) -> Result<(), Error> {
+            self.out.push_str(if v { "true" } else { "false" });
+            Ok(())
+        }
+        fn serialize_char(self, v: char) -> Result<(), Error> {
+            escape(&v.to_string(), &mut self.out);
+            Ok(())
+        }
+        fn serialize_str(self, v: &str) -> Result<(), Error> {
+            escape(v, &mut self.out);
+            Ok(())
+        }
+        fn serialize_bytes(self, v: &[u8]) -> Result<(), Error> {
+            use serde::ser::SerializeSeq;
+            let mut seq = self.serialize_seq(Some(v.len()))?;
+            for b in v {
+                seq.serialize_element(b)?;
+            }
+            seq.end()
+        }
+        fn serialize_none(self) -> Result<(), Error> {
+            self.out.push_str("null");
+            Ok(())
+        }
+        fn serialize_some<T: ?Sized + Serialize>(self, value: &T) -> Result<(), Error> {
+            value.serialize(self)
+        }
+        fn serialize_unit(self) -> Result<(), Error> {
+            self.out.push_str("null");
+            Ok(())
+        }
+        fn serialize_unit_struct(self, _name: &'static str) -> Result<(), Error> {
+            self.serialize_unit()
+        }
+        fn serialize_unit_variant(
+            self,
+            _name: &'static str,
+            _idx: u32,
+            variant: &'static str,
+        ) -> Result<(), Error> {
+            self.serialize_str(variant)
+        }
+        fn serialize_newtype_struct<T: ?Sized + Serialize>(
+            self,
+            _name: &'static str,
+            value: &T,
+        ) -> Result<(), Error> {
+            value.serialize(self)
+        }
+        fn serialize_newtype_variant<T: ?Sized + Serialize>(
+            self,
+            _name: &'static str,
+            _idx: u32,
+            variant: &'static str,
+            value: &T,
+        ) -> Result<(), Error> {
+            self.out.push('{');
+            escape(variant, &mut self.out);
+            self.out.push(':');
+            value.serialize(&mut *self)?;
+            self.out.push('}');
+            Ok(())
+        }
+        fn serialize_seq(self, _len: Option<usize>) -> Result<Seq<'a>, Error> {
+            self.out.push('[');
+            Ok(Seq {
+                ser: self,
+                first: true,
+            })
+        }
+        fn serialize_tuple(self, len: usize) -> Result<Seq<'a>, Error> {
+            self.serialize_seq(Some(len))
+        }
+        fn serialize_tuple_struct(self, _n: &'static str, len: usize) -> Result<Seq<'a>, Error> {
+            self.serialize_seq(Some(len))
+        }
+        fn serialize_tuple_variant(
+            self,
+            _n: &'static str,
+            _i: u32,
+            _v: &'static str,
+            len: usize,
+        ) -> Result<Seq<'a>, Error> {
+            self.serialize_seq(Some(len))
+        }
+        fn serialize_map(self, _len: Option<usize>) -> Result<Map<'a>, Error> {
+            self.out.push('{');
+            Ok(Map {
+                ser: self,
+                first: true,
+            })
+        }
+        fn serialize_struct(self, _n: &'static str, len: usize) -> Result<Map<'a>, Error> {
+            self.serialize_map(Some(len))
+        }
+        fn serialize_struct_variant(
+            self,
+            _n: &'static str,
+            _i: u32,
+            _v: &'static str,
+            len: usize,
+        ) -> Result<Map<'a>, Error> {
+            self.serialize_map(Some(len))
+        }
+    }
+
+    /// Sequence serializer.
+    pub struct Seq<'a> {
+        ser: &'a mut Json,
+        first: bool,
+    }
+
+    impl<'a> ser::SerializeSeq for Seq<'a> {
+        type Ok = ();
+        type Error = Error;
+        fn serialize_element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Error> {
+            if !self.first {
+                self.ser.out.push(',');
+            }
+            self.first = false;
+            value.serialize(&mut *self.ser)
+        }
+        fn end(self) -> Result<(), Error> {
+            self.ser.out.push(']');
+            Ok(())
+        }
+    }
+
+    impl<'a> ser::SerializeTuple for Seq<'a> {
+        type Ok = ();
+        type Error = Error;
+        fn serialize_element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Error> {
+            ser::SerializeSeq::serialize_element(self, value)
+        }
+        fn end(self) -> Result<(), Error> {
+            ser::SerializeSeq::end(self)
+        }
+    }
+
+    impl<'a> ser::SerializeTupleStruct for Seq<'a> {
+        type Ok = ();
+        type Error = Error;
+        fn serialize_field<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Error> {
+            ser::SerializeSeq::serialize_element(self, value)
+        }
+        fn end(self) -> Result<(), Error> {
+            ser::SerializeSeq::end(self)
+        }
+    }
+
+    impl<'a> ser::SerializeTupleVariant for Seq<'a> {
+        type Ok = ();
+        type Error = Error;
+        fn serialize_field<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Error> {
+            ser::SerializeSeq::serialize_element(self, value)
+        }
+        fn end(self) -> Result<(), Error> {
+            ser::SerializeSeq::end(self)
+        }
+    }
+
+    /// Map/struct serializer.
+    pub struct Map<'a> {
+        ser: &'a mut Json,
+        first: bool,
+    }
+
+    impl<'a> ser::SerializeMap for Map<'a> {
+        type Ok = ();
+        type Error = Error;
+        fn serialize_key<T: ?Sized + Serialize>(&mut self, key: &T) -> Result<(), Error> {
+            if !self.first {
+                self.ser.out.push(',');
+            }
+            self.first = false;
+            key.serialize(&mut *self.ser)
+        }
+        fn serialize_value<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Error> {
+            self.ser.out.push(':');
+            value.serialize(&mut *self.ser)
+        }
+        fn end(self) -> Result<(), Error> {
+            self.ser.out.push('}');
+            Ok(())
+        }
+    }
+
+    impl<'a> ser::SerializeStruct for Map<'a> {
+        type Ok = ();
+        type Error = Error;
+        fn serialize_field<T: ?Sized + Serialize>(
+            &mut self,
+            key: &'static str,
+            value: &T,
+        ) -> Result<(), Error> {
+            ser::SerializeMap::serialize_key(self, key)?;
+            ser::SerializeMap::serialize_value(self, value)
+        }
+        fn end(self) -> Result<(), Error> {
+            self.ser.out.push('}');
+            Ok(())
+        }
+    }
+
+    impl<'a> ser::SerializeStructVariant for Map<'a> {
+        type Ok = ();
+        type Error = Error;
+        fn serialize_field<T: ?Sized + Serialize>(
+            &mut self,
+            key: &'static str,
+            value: &T,
+        ) -> Result<(), Error> {
+            ser::SerializeStruct::serialize_field(self, key, value)
+        }
+        fn end(self) -> Result<(), Error> {
+            ser::SerializeStruct::end(self)
+        }
+    }
+}
+
+#[cfg(test)]
+mod json_tests {
+    use super::*;
+    use serde::Serialize;
+
+    #[derive(Serialize)]
+    struct Doc {
+        name: String,
+        points: Vec<(f64, f64)>,
+        n: u64,
+        tail: Option<f64>,
+        ok: bool,
+    }
+
+    #[test]
+    fn json_serializer_round_trips_structures() {
+        let doc = Doc {
+            name: "fig8 \"RIT\"\n".into(),
+            points: vec![(1.0, 0.5), (2.5, 1.0)],
+            n: 42,
+            tail: None,
+            ok: true,
+        };
+        let body = serde_json::to_string_pretty_compat(&doc).unwrap();
+        assert_eq!(
+            body,
+            "{\"name\":\"fig8 \\\"RIT\\\"\\n\",\"points\":[[1,0.5],[2.5,1]],\"n\":42,\"tail\":null,\"ok\":true}"
+        );
+    }
+
+    #[test]
+    fn json_handles_non_finite_floats() {
+        let body = serde_json::to_string_pretty_compat(&vec![f64::NAN, 1.0]).unwrap();
+        assert_eq!(body, "[null,1]");
+    }
+
+    #[test]
+    fn json_serializes_samples() {
+        let mut s = Samples::new();
+        s.push(1.0);
+        s.push(2.0);
+        let body = serde_json::to_string_pretty_compat(&s).unwrap();
+        assert!(body.contains("[1,2]"), "{body}");
+    }
+
+    #[test]
+    fn export_json_respects_env() {
+        // Without HERMES_OUT: silent no-op.
+        std::env::remove_var("HERMES_OUT");
+        export_json("should_not_exist", &42u32);
+        // With HERMES_OUT: file appears.
+        let dir = std::env::temp_dir().join("hermes_export_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::env::set_var("HERMES_OUT", &dir);
+        export_json("answer", &vec![1u32, 2, 3]);
+        let body = std::fs::read_to_string(dir.join("answer.json")).unwrap();
+        assert_eq!(body, "[1,2,3]");
+        std::env::remove_var("HERMES_OUT");
+    }
+}
+
+#[cfg(test)]
+mod te_batch_tests {
+    use super::*;
+    use hermes_rules::prelude::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn batches_are_deterministic_and_sized() {
+        let a = te_batches(true, 500, 1.0, 9);
+        let b = te_batches(true, 500, 1.0, 9);
+        assert_eq!(a.len(), b.len());
+        let inserts: usize = a
+            .iter()
+            .map(|(_, acts)| acts.iter().filter(|x| x.is_insert()).count())
+            .sum();
+        assert_eq!(inserts, 500);
+        for ((t1, x), (t2, y)) in a.iter().zip(&b) {
+            assert_eq!(t1, t2);
+            assert_eq!(x, y);
+        }
+        // Timestamps strictly increase batch to batch.
+        assert!(a.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn deletes_reference_earlier_inserts_only() {
+        let batches = te_batches(false, 400, 2.0, 4);
+        let mut seen: HashSet<RuleId> = HashSet::new();
+        let mut deletes = 0usize;
+        for (_, acts) in &batches {
+            // Within a batch, inserts may interleave with deletes of rules
+            // from *earlier* batches.
+            let before: HashSet<RuleId> = seen.clone();
+            for a in acts {
+                match a {
+                    ControlAction::Insert(r) => {
+                        seen.insert(r.id);
+                    }
+                    ControlAction::Delete(id) => {
+                        deletes += 1;
+                        assert!(before.contains(id), "delete of not-yet-installed rule");
+                        seen.remove(id);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        assert!(deletes > 50, "teardown churn expected, got {deletes}");
+    }
+
+    #[test]
+    fn dc_batches_are_aggregatable_isp_are_not() {
+        // A batch "looks aggregatable" when it contains a group of ≥4
+        // inserted rules sharing (priority, action) — the shape Tango's
+        // minimizer can collapse.
+        let agg = |dc: bool| -> f64 {
+            let batches = te_batches(dc, 600, 1.0, 7);
+            let mut aggregatable = 0usize;
+            let mut total = 0usize;
+            for (_, acts) in &batches {
+                let mut groups: std::collections::HashMap<(u32, Action), usize> =
+                    std::collections::HashMap::new();
+                let mut inserts = 0usize;
+                for a in acts {
+                    if let ControlAction::Insert(r) = a {
+                        inserts += 1;
+                        *groups.entry((r.priority.0, r.action)).or_insert(0) += 1;
+                    }
+                }
+                if inserts >= 8 {
+                    total += 1;
+                    if groups.values().any(|&n| n >= 4) {
+                        aggregatable += 1;
+                    }
+                }
+            }
+            aggregatable as f64 / total.max(1) as f64
+        };
+        assert!(agg(true) > 0.8, "DC batches should look aggregatable");
+        assert!(agg(false) < 0.3, "ISP batches should not");
+    }
+}

@@ -1,0 +1,34 @@
+//! # hermes-bgp — BGP RIB→FIB engine
+//!
+//! The traditional-network substrate for the Hermes evaluation (§2.3 and
+//! §8.4): BGP updates are run through a Routing Information Base with a
+//! standard best-path decision process, and only the updates that change
+//! the best path emit FIB deltas — which the [`fib::Fib`] compiler turns
+//! into TCAM control actions (prefix-length priorities encode LPM).
+//!
+//! ```
+//! use hermes_bgp::prelude::*;
+//! use hermes_rules::prelude::*;
+//!
+//! let mut rib = Rib::new();
+//! let mut fib = Fib::new();
+//! let prefix: Ipv4Prefix = "203.0.113.0/24".parse().unwrap();
+//! let update = BgpUpdate::Announce {
+//!     prefix,
+//!     route: BgpRoute { local_pref: 100, as_path_len: 3, med: 0, peer: PeerId(1), next_hop_port: 2 },
+//! };
+//! let action = rib.process(update).map(|d| fib.compile(d));
+//! assert!(matches!(action, Some(ControlAction::Insert(_))));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod fib;
+pub mod rib;
+
+/// Convenient glob-import of the crate's main types.
+pub mod prelude {
+    pub use crate::fib::Fib;
+    pub use crate::rib::{BgpRoute, BgpUpdate, FibDelta, PeerId, Rib};
+}

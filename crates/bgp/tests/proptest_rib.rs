@@ -1,0 +1,130 @@
+//! Property-based tests for the RIB: the incremental decision process must
+//! agree with a from-scratch recomputation after any update sequence, and
+//! the emitted FIB deltas must replay into exactly the best-route table.
+
+use hermes_bgp::prelude::*;
+use hermes_rules::prefix::Ipv4Prefix;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn prefix() -> impl Strategy<Value = Ipv4Prefix> {
+    // A small pool so updates collide on prefixes.
+    (0u32..16, 16u8..=24).prop_map(|(i, len)| Ipv4Prefix::new(0x0a00_0000 | (i << 20), len))
+}
+
+fn route() -> impl Strategy<Value = BgpRoute> {
+    (0u32..4, 50u32..150, 1u32..6, 0u32..5).prop_map(|(peer, lp, aspath, med)| BgpRoute {
+        local_pref: lp,
+        as_path_len: aspath,
+        med,
+        peer: PeerId(peer),
+        next_hop_port: peer + 1,
+    })
+}
+
+fn update() -> impl Strategy<Value = BgpUpdate> {
+    prop_oneof![
+        3 => (prefix(), route()).prop_map(|(prefix, route)| BgpUpdate::Announce { prefix, route }),
+        1 => (prefix(), 0u32..4).prop_map(|(prefix, peer)| BgpUpdate::Withdraw {
+            prefix,
+            peer: PeerId(peer)
+        }),
+    ]
+}
+
+/// From-scratch oracle: track every peer's latest route per prefix and
+/// pick the best by the decision process.
+fn oracle_best(history: &[BgpUpdate]) -> HashMap<Ipv4Prefix, BgpRoute> {
+    let mut per_peer: HashMap<(Ipv4Prefix, PeerId), BgpRoute> = HashMap::new();
+    for u in history {
+        match u {
+            BgpUpdate::Announce { prefix, route } => {
+                per_peer.insert((*prefix, route.peer), *route);
+            }
+            BgpUpdate::Withdraw { prefix, peer } => {
+                per_peer.remove(&(*prefix, *peer));
+            }
+        }
+    }
+    let mut best: HashMap<Ipv4Prefix, BgpRoute> = HashMap::new();
+    for ((prefix, _), route) in per_peer {
+        best.entry(prefix)
+            .and_modify(|b| {
+                if route.better_than(b) {
+                    *b = route;
+                }
+            })
+            .or_insert(route);
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Incremental best-path selection ≡ from-scratch recomputation.
+    #[test]
+    fn incremental_matches_recompute(updates in prop::collection::vec(update(), 1..120)) {
+        let mut rib = Rib::new();
+        for u in &updates {
+            rib.process(*u);
+        }
+        let want = oracle_best(&updates);
+        for (prefix, route) in &want {
+            let got = rib.best(*prefix);
+            prop_assert_eq!(got.map(|r| r.next_hop_port), Some(route.next_hop_port),
+                "prefix {}", prefix);
+        }
+        // And no extra best routes.
+        for u in &updates {
+            let p = u.prefix();
+            prop_assert_eq!(rib.best(p).is_some(), want.contains_key(&p), "prefix {}", p);
+        }
+    }
+
+    /// Replaying the FIB deltas yields exactly the best-route table — no
+    /// action is lost or duplicated.
+    #[test]
+    fn fib_deltas_replay_to_best_routes(updates in prop::collection::vec(update(), 1..120)) {
+        let mut rib = Rib::new();
+        let mut replayed: HashMap<Ipv4Prefix, u32> = HashMap::new();
+        for u in &updates {
+            if let Some(delta) = rib.process(*u) {
+                match delta {
+                    FibDelta::Add { prefix, port } => {
+                        prop_assert!(replayed.insert(prefix, port).is_none(), "double add");
+                    }
+                    FibDelta::Replace { prefix, old_port, new_port } => {
+                        let prev = replayed.insert(prefix, new_port);
+                        prop_assert_eq!(prev, Some(old_port), "replace mismatch");
+                    }
+                    FibDelta::Remove { prefix } => {
+                        prop_assert!(replayed.remove(&prefix).is_some(), "remove of absent");
+                    }
+                }
+            }
+        }
+        let want = oracle_best(&updates);
+        prop_assert_eq!(replayed.len(), want.len());
+        for (prefix, route) in want {
+            prop_assert_eq!(replayed.get(&prefix), Some(&route.next_hop_port));
+        }
+    }
+
+    /// The decision order is a strict total order on distinct routes.
+    #[test]
+    fn decision_is_total_order(a in route(), b in route(), c in route()) {
+        // Antisymmetry.
+        if a.better_than(&b) {
+            prop_assert!(!b.better_than(&a));
+        }
+        // Transitivity.
+        if a.better_than(&b) && b.better_than(&c) {
+            prop_assert!(a.better_than(&c));
+        }
+        // Totality on routes from different peers.
+        if a.peer != b.peer {
+            prop_assert!(a.better_than(&b) || b.better_than(&a));
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Workload prediction (§5.1).
+//!
+//! Hermes migrates rules out of the shadow table *before* it overflows. To
+//! know when, the Rule Manager feeds a time series of observed rule-arrival
+//! rates into a predictor and asks for the next interval's rate. The paper
+//! explores three predictors — EWMA, Cubic Spline and ARMA — plus two
+//! control-theoretic error correctors — Slack (multiplicative inflation)
+//! and Deadzone (additive inflation) — and settles on Cubic Spline + Slack.
+//!
+//! All predictors implement [`Predictor`]; correctors are composed on top
+//! via [`Corrector`]. [`PredictorKind`] provides uniform construction for
+//! the sensitivity sweeps of §8.6.
+
+mod arma;
+mod corrector;
+mod ewma;
+mod spline;
+
+pub use arma::Arma;
+pub use corrector::Corrector;
+pub use ewma::Ewma;
+pub use spline::CubicSpline;
+
+/// A one-step-ahead time-series predictor over rule arrival rates.
+pub trait Predictor: Send {
+    /// Feeds one observation (e.g. rules that arrived in the last interval).
+    fn observe(&mut self, value: f64);
+
+    /// Predicts the next interval's value. Implementations return a
+    /// non-negative value; with no history they return 0.
+    fn predict(&self) -> f64;
+
+    /// Short human-readable name for experiment output.
+    fn name(&self) -> &'static str;
+}
+
+/// Uniform constructor for the predictor portfolio (used by the §8.6
+/// sensitivity experiments).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PredictorKind {
+    /// Exponentially weighted moving average.
+    Ewma,
+    /// Natural cubic-spline extrapolation (the paper's pick).
+    CubicSpline,
+    /// Autoregressive moving average.
+    Arma,
+}
+
+impl PredictorKind {
+    /// Builds a predictor with the defaults used in the evaluation.
+    pub fn build(&self) -> Box<dyn Predictor> {
+        match self {
+            PredictorKind::Ewma => Box::new(Ewma::new(0.3)),
+            PredictorKind::CubicSpline => Box::new(CubicSpline::new(8)),
+            PredictorKind::Arma => Box::new(Arma::new(2, 1, 32)),
+        }
+    }
+
+    /// All predictor kinds, for sweeps.
+    pub fn all() -> [PredictorKind; 3] {
+        [
+            PredictorKind::Ewma,
+            PredictorKind::CubicSpline,
+            PredictorKind::Arma,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_build_and_name() {
+        for kind in PredictorKind::all() {
+            let mut p = kind.build();
+            assert_eq!(p.predict(), 0.0, "{}: no-history prediction", p.name());
+            for v in [10.0, 12.0, 11.0, 13.0] {
+                p.observe(v);
+            }
+            let pred = p.predict();
+            assert!(pred.is_finite() && pred >= 0.0, "{}: {pred}", p.name());
+        }
+    }
+
+    #[test]
+    fn constant_series_predicted_exactly() {
+        for kind in PredictorKind::all() {
+            let mut p = kind.build();
+            for _ in 0..50 {
+                p.observe(42.0);
+            }
+            let pred = p.predict();
+            assert!(
+                (pred - 42.0).abs() < 1.0,
+                "{}: constant series predicted as {pred}",
+                p.name()
+            );
+        }
+    }
+
+    #[test]
+    fn spline_tracks_linear_trend_better_than_ewma() {
+        let mut spline = CubicSpline::new(8);
+        let mut ewma = Ewma::new(0.3);
+        for t in 0..40 {
+            let v = 10.0 + 5.0 * t as f64;
+            spline.observe(v);
+            ewma.observe(v);
+        }
+        let truth = 10.0 + 5.0 * 40.0;
+        let se = (spline.predict() - truth).abs();
+        let ee = (ewma.predict() - truth).abs();
+        assert!(se < ee, "spline err {se} !< ewma err {ee}");
+        assert!(se < 1.0, "spline should nail a linear trend, err {se}");
+    }
+}

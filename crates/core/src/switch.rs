@@ -1,0 +1,1050 @@
+//! `HermesSwitch`: the logical-table facade over a shadow/main TCAM pair.
+//!
+//! This is the paper's architecture (Fig. 3) end to end: control-plane
+//! actions enter through the Gate Keeper, insertions are partitioned
+//! (Algorithm 1) and placed in the small shadow slice, the Rule Manager
+//! migrates rules into the main slice before the shadow overflows, and
+//! packet lookups traverse shadow-then-main so the pair behaves exactly
+//! like one monolithic table.
+//!
+//! ## Correctness invariant
+//!
+//! At *every* TCAM-operation boundary — including mid-migration — a lookup
+//! against the shadow/main pair returns the same action as a monolithic
+//! table holding the logical rules, except for packets covered only by
+//! overlapping same-priority rules with different actions (behaviour
+//! OpenFlow leaves undefined for a single table too). The integration
+//! tests run this oracle in lockstep.
+//!
+//! Two mechanisms maintain the invariant beyond Algorithm 1 itself:
+//!
+//! * **Re-partitioning** (Fig. 6): deleting a main rule that shadow rules
+//!   were cut against re-cuts those rules; symmetrically, inserting a
+//!   higher-priority rule *directly into the main table* (rate-limit
+//!   overflow, fragmentation bypass) re-cuts any overlapping lower-priority
+//!   shadow rules.
+//! * **Make-before-break migration** (§5.2): each migrated rule is written
+//!   to the main table *before* its shadow pieces are removed, and rules
+//!   migrate in ascending priority order, so no intermediate state can
+//!   drop or misroute a packet.
+
+use crate::config::{HermesConfig, MigrationMode, MigrationTrigger};
+use crate::gatekeeper::{GateKeeper, Route};
+use crate::manager::{MigrationReport, RuleManager};
+use crate::partition::partition_new_rule_bounded;
+use hermes_rules::overlap::OverlapIndex;
+use hermes_rules::prelude::*;
+use hermes_tcam::{LookupResult, MissBehavior, SimDuration, SimTime, SwitchModel, TcamDevice};
+use std::collections::{BTreeMap, HashMap};
+
+/// Slice index of the shadow table.
+pub const SHADOW: usize = 0;
+/// Slice index of the main table.
+pub const MAIN: usize = 1;
+
+/// Physical piece ids live above this bit so they can never collide with
+/// controller-assigned logical ids.
+const PHYS_BASE: u64 = 1 << 62;
+
+/// Errors surfaced to the controller.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HermesError {
+    /// A rule with this id is already installed.
+    Duplicate(RuleId),
+    /// No rule with this id is installed.
+    NotFound(RuleId),
+    /// The TCAM is out of space.
+    DeviceFull,
+    /// The requested guarantee is below the switch's fixed per-operation
+    /// cost — no shadow size can honour it.
+    InfeasibleGuarantee,
+    /// Logical rule ids must stay below 2^62 (the physical-id space).
+    IdOutOfRange(RuleId),
+}
+
+impl std::fmt::Display for HermesError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HermesError::Duplicate(id) => write!(f, "rule {id} already installed"),
+            HermesError::NotFound(id) => write!(f, "rule {id} not installed"),
+            HermesError::DeviceFull => write!(f, "TCAM full"),
+            HermesError::InfeasibleGuarantee => write!(f, "guarantee below switch base cost"),
+            HermesError::IdOutOfRange(id) => write!(f, "rule id {id} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for HermesError {}
+
+/// What happened to a submitted control-plane action.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReportDetail {
+    /// An insertion.
+    Insert {
+        /// Where the Gate Keeper routed it.
+        route: Route,
+        /// TCAM entries written (partition pieces, or 1 in the main table).
+        pieces: usize,
+        /// Whether the rule was entitled to the guarantee.
+        guaranteed: bool,
+        /// Whether an entitled rule missed its guarantee.
+        violated: bool,
+    },
+    /// A deletion.
+    Delete {
+        /// TCAM entries removed.
+        pieces_removed: usize,
+        /// Shadow rules re-partitioned because of this deletion (Fig. 6).
+        repartitioned: usize,
+    },
+    /// A modification.
+    Modify {
+        /// Whether it was applied in place (no priority change).
+        in_place: bool,
+    },
+}
+
+/// The controller-visible outcome of one control-plane action.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ActionReport {
+    /// Total simulated latency until the action took effect.
+    pub latency: SimDuration,
+    /// Action-specific detail.
+    pub detail: ReportDetail,
+}
+
+impl ActionReport {
+    /// Convenience: whether this was a guaranteed insert that missed its
+    /// bound.
+    pub fn violated(&self) -> bool {
+        matches!(self.detail, ReportDetail::Insert { violated: true, .. })
+    }
+
+    /// Convenience: the route for insert reports.
+    pub fn route(&self) -> Option<Route> {
+        match self.detail {
+            ReportDetail::Insert { route, .. } => Some(route),
+            _ => None,
+        }
+    }
+}
+
+/// Lifetime counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HermesStats {
+    /// Insert actions accepted.
+    pub inserts: u64,
+    /// Inserts serviced from the shadow table.
+    pub shadow_inserts: u64,
+    /// Inserts serviced from the main table (any reason).
+    pub main_inserts: u64,
+    /// Inserts that installed nothing (Fig. 5(a) redundancy).
+    pub redundant_inserts: u64,
+    /// Guaranteed inserts that missed the bound.
+    pub violations: u64,
+    /// Total shadow entries written (partition pieces).
+    pub pieces_written: u64,
+    /// Inserts whose rule was actually cut (pieces != original).
+    pub rules_cut: u64,
+    /// Delete actions.
+    pub deletes: u64,
+    /// Modify actions.
+    pub modifies: u64,
+    /// Shadow rules re-partitioned due to main-table churn.
+    pub repartitions: u64,
+    /// Migration passes.
+    pub migrations: u64,
+    /// Logical rules migrated shadow→main.
+    pub rules_migrated: u64,
+}
+
+impl HermesStats {
+    /// Running estimate of TCAM entries per logical shadow insert — the
+    /// `r_p` of Equation 2.
+    pub fn expected_partitions(&self) -> f64 {
+        if self.shadow_inserts == 0 {
+            1.0
+        } else {
+            (self.pieces_written as f64 / self.shadow_inserts as f64).max(1.0)
+        }
+    }
+}
+
+/// A logical rule resident in the shadow table.
+#[derive(Clone, Debug)]
+struct ShadowEntry {
+    original: Rule,
+    /// Partition pieces — physical id and key (empty for redundant rules).
+    pieces: Vec<(RuleId, TernaryKey)>,
+    /// Main rules it was cut against.
+    cut_against: Vec<RuleId>,
+}
+
+/// The Hermes agent for one switch.
+#[derive(Debug)]
+pub struct HermesSwitch {
+    device: TcamDevice,
+    config: HermesConfig,
+    gate: GateKeeper,
+    manager: RuleManager,
+    /// Logical rules resident in the main table, with original priorities.
+    main_index: OverlapIndex,
+    /// Logical rules resident in the shadow table.
+    shadow: HashMap<RuleId, ShadowEntry>,
+    /// Shadow insertion order (FIFO semantics + migration order).
+    shadow_order: Vec<RuleId>,
+    /// main rule id → shadow rules cut against it (the reverse of `M`).
+    blockers: HashMap<RuleId, Vec<RuleId>>,
+    /// Priority histogram over all logical rules (for the low-priority
+    /// bypass check).
+    prio_counts: BTreeMap<u32, usize>,
+    next_phys: u64,
+    stats: HermesStats,
+}
+
+impl HermesSwitch {
+    /// Builds a Hermes agent on the given switch model.
+    ///
+    /// The shadow slice is sized as the largest table whose *worst-case*
+    /// insertion latency meets the guarantee (or `config.shadow_size` when
+    /// overridden); the main slice gets the remainder of the TCAM.
+    pub fn new(model: SwitchModel, config: HermesConfig) -> Result<Self, HermesError> {
+        let shadow_size = match config.shadow_size {
+            Some(s) => s.min(model.capacity / 2),
+            None => model
+                .max_table_for_guarantee(config.guarantee)
+                .ok_or(HermesError::InfeasibleGuarantee)?
+                .clamp(1, model.capacity / 2),
+        };
+        if shadow_size == 0 {
+            return Err(HermesError::InfeasibleGuarantee);
+        }
+        let main_size = model.capacity - shadow_size;
+        let device = TcamDevice::carved(
+            model,
+            &[
+                ("shadow", shadow_size, MissBehavior::GotoNextSlice),
+                ("main", main_size, MissBehavior::ToController),
+            ],
+        );
+        // Admission rate from Equation 2, λ = S_ST / (r_p · t_m), reading
+        // t_m as the time to drain the full shadow (S_ST rules at the
+        // per-rule migration cost — the only reading with consistent
+        // units): λ = 1 / (r_p · per_rule_migration_time). Initial
+        // estimates: r_p = 1, migration cost at half main occupancy. The
+        // token bucket's burst is the shadow capacity itself.
+        let per_rule = device.model().mean_update_latency(main_size / 2).as_secs();
+        let derived = if per_rule > 0.0 {
+            1.0 / per_rule
+        } else {
+            f64::INFINITY
+        };
+        let rate = config.rate_limit.unwrap_or(derived);
+        let mut gate = GateKeeper::new(
+            config.predicate.clone(),
+            if rate.is_finite() {
+                Some((rate, shadow_size as f64))
+            } else {
+                None
+            },
+            config.max_partitions,
+        );
+        gate.set_low_priority_bypass(config.low_priority_bypass);
+        let manager = RuleManager::new(config.trigger);
+        Ok(HermesSwitch {
+            device,
+            config,
+            gate,
+            manager,
+            main_index: OverlapIndex::new(),
+            shadow: HashMap::new(),
+            shadow_order: Vec::new(),
+            blockers: HashMap::new(),
+            prio_counts: BTreeMap::new(),
+            next_phys: PHYS_BASE,
+            stats: HermesStats::default(),
+        })
+    }
+
+    /// The agent's configuration.
+    pub fn config(&self) -> &HermesConfig {
+        &self.config
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> HermesStats {
+        self.stats
+    }
+
+    /// Shadow-slice capacity (the TCAM overhead Hermes pays).
+    pub fn shadow_capacity(&self) -> usize {
+        self.device.slice(SHADOW).table.capacity()
+    }
+
+    /// Current shadow occupancy in entries.
+    pub fn shadow_len(&self) -> usize {
+        self.device.slice(SHADOW).table.len()
+    }
+
+    /// Current main-table occupancy in entries.
+    pub fn main_len(&self) -> usize {
+        self.device.slice(MAIN).table.len()
+    }
+
+    /// Number of logical rules installed (shadow + main).
+    pub fn logical_len(&self) -> usize {
+        self.shadow.len() + self.main_index.len()
+    }
+
+    /// TCAM overhead as a fraction of total capacity (`QoSOverheads`, §7).
+    pub fn overhead_fraction(&self) -> f64 {
+        self.shadow_capacity() as f64 / self.device.model().capacity as f64
+    }
+
+    /// The maximum *sustained* guaranteed insertion rate λ (Equation 2,
+    /// `λ = S_ST / (r_p · t_m)` with `t_m` the time to drain the full
+    /// shadow): rules cannot enter the shadow faster than migration can
+    /// move them out, so λ = 1 / (r_p · per-rule migration cost). Bursts
+    /// up to the shadow capacity on top of this are absorbed by the
+    /// token bucket.
+    pub fn max_supported_rate(&self) -> f64 {
+        let per_rule = self
+            .device
+            .model()
+            .mean_update_latency(
+                self.main_len()
+                    .max(self.device.slice(MAIN).table.capacity() / 2),
+            )
+            .as_secs();
+        if per_rule <= 0.0 {
+            return f64::INFINITY;
+        }
+        1.0 / (self.stats.expected_partitions() * per_rule)
+    }
+
+    /// Borrow the underlying device (telemetry/tests).
+    pub fn device(&self) -> &TcamDevice {
+        &self.device
+    }
+
+    /// All logical rules currently installed, in no particular order.
+    pub fn logical_rules(&self) -> Vec<Rule> {
+        let mut out: Vec<Rule> = self.main_index.iter().collect();
+        out.extend(self.shadow.values().map(|e| e.original));
+        out
+    }
+
+    /// Whether a logical rule is installed.
+    pub fn contains(&self, id: RuleId) -> bool {
+        self.shadow.contains_key(&id) || self.main_index.contains(id)
+    }
+
+    /// Looks up a logical rule.
+    pub fn get(&self, id: RuleId) -> Option<Rule> {
+        self.shadow
+            .get(&id)
+            .map(|e| e.original)
+            .or_else(|| self.main_index.get(id))
+    }
+
+    fn alloc_phys(&mut self) -> RuleId {
+        let id = RuleId(self.next_phys);
+        self.next_phys += 1;
+        id
+    }
+
+    fn lowest_live_priority(&self) -> Option<Priority> {
+        self.prio_counts.keys().next().map(|&p| Priority(p))
+    }
+
+    fn prio_add(&mut self, p: Priority) {
+        *self.prio_counts.entry(p.0).or_insert(0) += 1;
+    }
+
+    fn prio_remove(&mut self, p: Priority) {
+        if let Some(c) = self.prio_counts.get_mut(&p.0) {
+            *c -= 1;
+            if *c == 0 {
+                self.prio_counts.remove(&p.0);
+            }
+        }
+    }
+
+    fn register_blockers(&mut self, rule: RuleId, cut_against: &[RuleId]) {
+        for b in cut_against {
+            self.blockers.entry(*b).or_default().push(rule);
+        }
+    }
+
+    fn unregister_blockers(&mut self, rule: RuleId, cut_against: &[RuleId]) {
+        for b in cut_against {
+            if let Some(v) = self.blockers.get_mut(b) {
+                v.retain(|r| *r != rule);
+                if v.is_empty() {
+                    self.blockers.remove(b);
+                }
+            }
+        }
+    }
+
+    /// Submits a control-plane action (the OpenFlow `flow-mod` surface).
+    pub fn submit(
+        &mut self,
+        action: &ControlAction,
+        now: SimTime,
+    ) -> Result<ActionReport, HermesError> {
+        match action {
+            ControlAction::Insert(rule) => self.insert(*rule, now),
+            ControlAction::Delete(id) => self.delete(*id, now),
+            ControlAction::Modify {
+                id,
+                action,
+                priority,
+            } => self.modify(*id, *action, *priority, now),
+        }
+    }
+
+    /// Inserts a rule.
+    pub fn insert(&mut self, rule: Rule, now: SimTime) -> Result<ActionReport, HermesError> {
+        if rule.id.0 >= PHYS_BASE {
+            return Err(HermesError::IdOutOfRange(rule.id));
+        }
+        if self.contains(rule.id) {
+            return Err(HermesError::Duplicate(rule.id));
+        }
+        self.stats.inserts += 1;
+        self.manager.record_arrival();
+        let guaranteed = self.gate.qualifies(&rule);
+
+        if let Some(route) = self.gate.pre_route(&rule, now, self.lowest_live_priority()) {
+            return self.insert_to_main(rule, route, guaranteed);
+        }
+
+        // Algorithm 1 against the main table, with a fragmentation budget:
+        // rules that would explode into partitions go straight to the main
+        // table (§4.2's footnote), detected early to keep insertion cheap.
+        // The budget equals the Gate Keeper's own partition cap — anything
+        // beyond it would be diverted by post_route anyway.
+        let limit = self.config.max_partitions;
+        let outcome = match partition_new_rule_bounded(&rule, &self.main_index, limit) {
+            Ok(o) => o,
+            Err(_) => {
+                return self.insert_to_main(rule, Route::MainTooFragmented, guaranteed);
+            }
+        };
+        let shadow_free = self.device.slice(SHADOW).table.free();
+        let mut route = self.gate.post_route(outcome.pieces.len(), shadow_free);
+
+        // A partitioned rule writes several shadow entries and the
+        // guarantee covers their *sum*: divert to the main table when even
+        // the worst-case cumulative cost cannot fit the bound. (Heavily
+        // partitioned rules are exactly the ones §4.2 argues belong in the
+        // main table.)
+        if route == Route::Shadow && outcome.pieces.len() > 1 {
+            let mut est = SimDuration::ZERO;
+            let occ = self.shadow_len();
+            for j in 0..outcome.pieces.len() {
+                est += self.device.model().worst_insert_latency(occ + j);
+            }
+            if est > self.config.guarantee {
+                route = Route::MainTooFragmented;
+            }
+        }
+
+        let report = match route {
+            Route::Redundant => {
+                // Logically installed; nothing written (Fig. 5(a)). Charged
+                // only agent processing time.
+                self.stats.redundant_inserts += 1;
+                let entry = ShadowEntry {
+                    original: rule,
+                    pieces: Vec::new(),
+                    cut_against: outcome.cut_against.clone(),
+                };
+                self.register_blockers(rule.id, &outcome.cut_against);
+                self.shadow.insert(rule.id, entry);
+                self.shadow_order.push(rule.id);
+                self.prio_add(rule.priority);
+                Ok(ActionReport {
+                    latency: SimDuration::from_us(10.0),
+                    detail: ReportDetail::Insert {
+                        route,
+                        pieces: 0,
+                        guaranteed,
+                        violated: false,
+                    },
+                })
+            }
+            Route::Shadow => {
+                let mut latency = SimDuration::ZERO;
+                let mut piece_ids = Vec::with_capacity(outcome.pieces.len());
+                for key in &outcome.pieces {
+                    let pid = self.alloc_phys();
+                    let phys = Rule {
+                        id: pid,
+                        key: *key,
+                        ..rule
+                    };
+                    let rep = self
+                        .device
+                        .apply(SHADOW, &ControlAction::Insert(phys))
+                        .expect("post_route checked capacity");
+                    latency += rep.latency;
+                    piece_ids.push((pid, *key));
+                }
+                self.stats.shadow_inserts += 1;
+                self.stats.pieces_written += outcome.pieces.len() as u64;
+                if !outcome.is_intact(&rule.key) {
+                    self.stats.rules_cut += 1;
+                }
+                let violated = guaranteed && latency > self.config.guarantee;
+                if violated {
+                    self.stats.violations += 1;
+                }
+                let entry = ShadowEntry {
+                    original: rule,
+                    pieces: piece_ids,
+                    cut_against: outcome.cut_against.clone(),
+                };
+                self.register_blockers(rule.id, &outcome.cut_against);
+                self.shadow.insert(rule.id, entry);
+                self.shadow_order.push(rule.id);
+                self.prio_add(rule.priority);
+                Ok(ActionReport {
+                    latency,
+                    detail: ReportDetail::Insert {
+                        route,
+                        pieces: outcome.pieces.len(),
+                        guaranteed,
+                        violated,
+                    },
+                })
+            }
+            other => self.insert_to_main(rule, other, guaranteed),
+        };
+
+        // Hermes-SIMPLE checks its threshold after every insert; the
+        // predictive manager additionally gets an emergency check so a
+        // burst arriving between ticks cannot silently fill the shadow
+        // (the threshold baseline deliberately has no such safety net —
+        // that naivety is exactly what §8.5 measures).
+        let emergency = matches!(self.config.trigger, MigrationTrigger::Predictive { .. })
+            && self.shadow_len() as f64 >= 0.9 * self.shadow_capacity() as f64;
+        if (self
+            .manager
+            .wants_migration_inline(self.shadow_len(), self.shadow_capacity())
+            || emergency)
+            && !self.manager.is_busy(now)
+        {
+            self.migrate(now);
+        }
+        report
+    }
+
+    /// Installs a rule directly in the main table, then re-cuts any
+    /// lower-priority shadow rules it now overlaps (the symmetric case of
+    /// Fig. 6 — required to keep the shadow-first lookup correct).
+    fn insert_to_main(
+        &mut self,
+        rule: Rule,
+        route: Route,
+        guaranteed: bool,
+    ) -> Result<ActionReport, HermesError> {
+        let rep = self
+            .device
+            .apply(MAIN, &ControlAction::Insert(rule))
+            .map_err(|_| HermesError::DeviceFull)?;
+        self.main_index.insert(rule);
+        self.prio_add(rule.priority);
+        self.stats.main_inserts += 1;
+
+        let latency = rep.latency + self.recut_below(rule);
+
+        // Main-table routes are outside the guarantee contract except for
+        // MainShadowFull: over-rate traffic is explicitly best-effort
+        // ("Hermes uses the main table to service the additional commands
+        // over the approved rate"), and the low-priority / fragmentation
+        // bypasses are Hermes's own optimizations that stay cheap. Only a
+        // shadow-table overflow breaks a promise.
+        let violated = guaranteed && route.breaks_guarantee();
+        if violated {
+            self.stats.violations += 1;
+        }
+        Ok(ActionReport {
+            latency,
+            detail: ReportDetail::Insert {
+                route,
+                pieces: 1,
+                guaranteed,
+                violated,
+            },
+        })
+    }
+
+    /// Narrows every shadow-resident rule of *strictly lower* priority
+    /// whose *installed pieces* overlap a rule that just landed in the
+    /// main table. Without this, the shadow-first lookup would let those
+    /// rules wrongly win inside the new rule's region (the symmetric case
+    /// of the Fig. 4(b) violation).
+    ///
+    /// This is incremental: the pieces already avoid every older
+    /// higher-priority main rule, so only a cut against the *new* rule is
+    /// needed — not a full re-partition.
+    fn recut_below(&mut self, new_main: Rule) -> SimDuration {
+        let affected: Vec<RuleId> = self
+            .shadow
+            .values()
+            .filter(|e| {
+                e.original.priority < new_main.priority
+                    && e.pieces.iter().any(|(_, k)| k.overlaps(&new_main.key))
+            })
+            .map(|e| e.original.id)
+            .collect();
+        let mut latency = SimDuration::ZERO;
+        for id in affected {
+            latency += self.narrow_shadow_rule(id, new_main);
+        }
+        latency
+    }
+
+    /// Cuts the overlapping pieces of one shadow rule against a single new
+    /// main-table key (make-before-break). Falls back to evicting the rule
+    /// to the main table if the shadow cannot hold the replacements.
+    fn narrow_shadow_rule(&mut self, id: RuleId, against: Rule) -> SimDuration {
+        let entry = match self.shadow.get(&id) {
+            Some(e) => e.clone(),
+            None => return SimDuration::ZERO,
+        };
+        let mut kept: Vec<(RuleId, TernaryKey)> = Vec::with_capacity(entry.pieces.len());
+        let mut doomed: Vec<RuleId> = Vec::new();
+        let mut replacements: Vec<TernaryKey> = Vec::new();
+        for (pid, key) in &entry.pieces {
+            if key.overlaps(&against.key) {
+                doomed.push(*pid);
+                replacements.extend(key.difference(&against.key));
+            } else {
+                kept.push((*pid, *key));
+            }
+        }
+        if doomed.is_empty() {
+            // A recursive eviction triggered by an earlier rule in this
+            // recut pass may have already narrowed this rule.
+            return SimDuration::ZERO;
+        }
+        let replacements = hermes_rules::merge::minimize_keys(replacements);
+        if kept.len() + replacements.len() > self.config.max_partitions {
+            return self.evict_shadow_rule_to_main(&entry);
+        }
+        let mut latency = SimDuration::ZERO;
+        let mut new_ids = Vec::with_capacity(replacements.len());
+        for key in &replacements {
+            let pid = self.alloc_phys();
+            let phys = Rule {
+                id: pid,
+                key: *key,
+                ..entry.original
+            };
+            match self.device.apply(SHADOW, &ControlAction::Insert(phys)) {
+                Ok(rep) => {
+                    latency += rep.latency;
+                    new_ids.push((pid, *key));
+                }
+                Err(_) => {
+                    for (pid, _) in &new_ids {
+                        if let Ok(rep) = self.device.apply(SHADOW, &ControlAction::Delete(*pid)) {
+                            latency += rep.latency;
+                        }
+                    }
+                    return latency + self.evict_shadow_rule_to_main(&entry);
+                }
+            }
+        }
+        for pid in &doomed {
+            let rep = self
+                .device
+                .apply(SHADOW, &ControlAction::Delete(*pid))
+                .expect("piece tracked");
+            latency += rep.latency;
+        }
+        kept.extend(new_ids);
+        // The rule now also depends on the new main rule for its shape —
+        // registered by identity (two main rules may share a key).
+        if let Some(e) = self.shadow.get_mut(&id) {
+            e.pieces = kept;
+            if !e.cut_against.contains(&against.id) {
+                e.cut_against.push(against.id);
+            }
+        }
+        self.register_blockers(id, &[against.id]);
+        self.stats.repartitions += 1;
+        latency
+    }
+
+    /// Recomputes the partition of a shadow-resident rule against the
+    /// current main table, replacing its pieces. Returns the TCAM time
+    /// spent.
+    fn repartition_shadow_rule(&mut self, id: RuleId) -> SimDuration {
+        let entry = match self.shadow.get(&id) {
+            Some(e) => e.clone(),
+            None => return SimDuration::ZERO,
+        };
+        let limit = self.config.max_partitions;
+        let outcome = match partition_new_rule_bounded(&entry.original, &self.main_index, limit) {
+            Ok(o) => o,
+            // Fragmentation blow-up on re-partition: move the rule to the
+            // main table instead (correct, unguaranteed), mirroring the
+            // insert-time bypass.
+            Err(_) => return self.evict_shadow_rule_to_main(&entry),
+        };
+        let mut latency = SimDuration::ZERO;
+
+        // Install the new pieces first (make-before-break), then remove the
+        // old ones, so the rule's coverage never drops below its target.
+        let mut new_ids = Vec::with_capacity(outcome.pieces.len());
+        for key in &outcome.pieces {
+            let pid = self.alloc_phys();
+            let phys = Rule {
+                id: pid,
+                key: *key,
+                ..entry.original
+            };
+            match self.device.apply(SHADOW, &ControlAction::Insert(phys)) {
+                Ok(rep) => {
+                    latency += rep.latency;
+                    new_ids.push((pid, *key));
+                }
+                Err(_) => {
+                    // Shadow full mid-repartition: roll back the new pieces
+                    // and fall back to the main table.
+                    for (pid, _) in &new_ids {
+                        let rep = self
+                            .device
+                            .apply(SHADOW, &ControlAction::Delete(*pid))
+                            .expect("just inserted");
+                        latency += rep.latency;
+                    }
+                    return latency + self.evict_shadow_rule_to_main(&entry);
+                }
+            }
+        }
+        for (pid, _) in &entry.pieces {
+            let rep = self
+                .device
+                .apply(SHADOW, &ControlAction::Delete(*pid))
+                .expect("piece tracked");
+            latency += rep.latency;
+        }
+        self.unregister_blockers(id, &entry.cut_against);
+        self.register_blockers(id, &outcome.cut_against);
+        if let Some(e) = self.shadow.get_mut(&id) {
+            e.pieces = new_ids;
+            e.cut_against = outcome.cut_against;
+        }
+        self.stats.repartitions += 1;
+        latency
+    }
+
+    /// Moves a shadow-resident logical rule into the main table: deletes
+    /// its shadow pieces, installs the original in the main slice and
+    /// re-cuts any lower-priority shadow rules it now overlaps. Correct
+    /// (TCAM priority resolution takes over) but unguaranteed.
+    fn evict_shadow_rule_to_main(&mut self, entry: &ShadowEntry) -> SimDuration {
+        let id = entry.original.id;
+        let mut latency = SimDuration::ZERO;
+        for (pid, _) in &entry.pieces {
+            if let Ok(rep) = self.device.apply(SHADOW, &ControlAction::Delete(*pid)) {
+                latency += rep.latency;
+            }
+        }
+        self.unregister_blockers(id, &entry.cut_against);
+        self.shadow.remove(&id);
+        self.shadow_order.retain(|r| *r != id);
+        if let Ok(rep) = self
+            .device
+            .apply(MAIN, &ControlAction::Insert(entry.original))
+        {
+            latency += rep.latency;
+            self.main_index.insert(entry.original);
+            // The rule is now a main rule: lower-priority shadow rules
+            // overlapping it must be re-cut, exactly as on any other
+            // main-table insertion.
+            latency += self.recut_below(entry.original);
+        }
+        self.stats.repartitions += 1;
+        latency
+    }
+
+    /// Deletes a logical rule.
+    pub fn delete(&mut self, id: RuleId, _now: SimTime) -> Result<ActionReport, HermesError> {
+        self.stats.deletes += 1;
+        if let Some(entry) = self.shadow.remove(&id) {
+            let mut latency = SimDuration::ZERO;
+            for (pid, _) in &entry.pieces {
+                let rep = self
+                    .device
+                    .apply(SHADOW, &ControlAction::Delete(*pid))
+                    .expect("piece tracked");
+                latency += rep.latency;
+            }
+            if entry.pieces.is_empty() {
+                latency += SimDuration::from_us(10.0); // agent bookkeeping only
+            }
+            self.unregister_blockers(id, &entry.cut_against);
+            self.shadow_order.retain(|r| *r != id);
+            self.prio_remove(entry.original.priority);
+            return Ok(ActionReport {
+                latency,
+                detail: ReportDetail::Delete {
+                    pieces_removed: entry.pieces.len(),
+                    repartitioned: 0,
+                },
+            });
+        }
+        if let Some(rule) = self.main_index.remove(id) {
+            let rep = self
+                .device
+                .apply(MAIN, &ControlAction::Delete(id))
+                .expect("main rule tracked");
+            self.prio_remove(rule.priority);
+            let mut latency = rep.latency;
+            // Fig. 6: un-partition every shadow rule that was cut against
+            // the deleted rule.
+            let dependents = self.blockers.remove(&id).unwrap_or_default();
+            let repartitioned = dependents.len();
+            for dep in dependents {
+                latency += self.repartition_shadow_rule(dep);
+            }
+            return Ok(ActionReport {
+                latency,
+                detail: ReportDetail::Delete {
+                    pieces_removed: 1,
+                    repartitioned,
+                },
+            });
+        }
+        self.stats.deletes -= 1;
+        Err(HermesError::NotFound(id))
+    }
+
+    /// Modifies a logical rule. Priority changes become delete+insert
+    /// (§4.1); action-only changes are applied in place.
+    pub fn modify(
+        &mut self,
+        id: RuleId,
+        action: Option<Action>,
+        priority: Option<Priority>,
+        now: SimTime,
+    ) -> Result<ActionReport, HermesError> {
+        let current = self.get(id).ok_or(HermesError::NotFound(id))?;
+        if let Some(new_prio) = priority {
+            if new_prio != current.priority {
+                let del = self.delete(id, now)?;
+                let mut rule = current;
+                rule.priority = new_prio;
+                if let Some(a) = action {
+                    rule.action = a;
+                }
+                let ins = self.insert(rule, now)?;
+                // The delete+insert counts as one modify.
+                self.stats.deletes -= 1;
+                self.stats.inserts -= 1;
+                self.stats.modifies += 1;
+                return Ok(ActionReport {
+                    latency: del.latency + ins.latency,
+                    detail: ReportDetail::Modify { in_place: false },
+                });
+            }
+        }
+        let Some(new_action) = action else {
+            // Nothing to change.
+            self.stats.modifies += 1;
+            return Ok(ActionReport {
+                latency: SimDuration::from_us(10.0),
+                detail: ReportDetail::Modify { in_place: true },
+            });
+        };
+        self.stats.modifies += 1;
+        let mut latency = SimDuration::ZERO;
+        if let Some(entry) = self.shadow.get_mut(&id) {
+            entry.original.action = new_action;
+            let pieces = entry.pieces.clone();
+            for (pid, _) in pieces {
+                let rep = self
+                    .device
+                    .apply(
+                        SHADOW,
+                        &ControlAction::Modify {
+                            id: pid,
+                            action: Some(new_action),
+                            priority: None,
+                        },
+                    )
+                    .expect("piece tracked");
+                latency += rep.latency;
+            }
+        } else {
+            let mut rule = self.main_index.get(id).expect("checked contains");
+            rule.action = new_action;
+            self.main_index.insert(rule); // replace
+            let rep = self
+                .device
+                .apply(
+                    MAIN,
+                    &ControlAction::Modify {
+                        id,
+                        action: Some(new_action),
+                        priority: None,
+                    },
+                )
+                .expect("main rule tracked");
+            latency += rep.latency;
+        }
+        Ok(ActionReport {
+            latency,
+            detail: ReportDetail::Modify { in_place: true },
+        })
+    }
+
+    /// Periodic Rule Manager tick: feeds the predictor and migrates when
+    /// the trigger fires. Call every `config.tick` of simulated time.
+    pub fn tick(&mut self, now: SimTime) -> Option<MigrationReport> {
+        let r_p = self.stats.expected_partitions();
+        if self
+            .manager
+            .on_tick(now, self.shadow_len(), self.shadow_capacity(), r_p)
+        {
+            Some(self.migrate(now))
+        } else {
+            None
+        }
+    }
+
+    /// Runs one migration pass (Fig. 7): every logical shadow rule is
+    /// rewritten into its original (un-cut) form in the main table — the
+    /// optimization step, since one original replaces up to `r_p` pieces —
+    /// then its shadow pieces are deleted. Rules move in ascending priority
+    /// order so remaining (higher-priority) shadow rules never need
+    /// re-cutting mid-flight.
+    pub fn migrate(&mut self, now: SimTime) -> MigrationReport {
+        let mut report = MigrationReport::default();
+        if self.shadow_order.is_empty() {
+            return report;
+        }
+        // Ascending priority, FIFO among equals (sort is stable).
+        let mut order = self.shadow_order.clone();
+        order.sort_by_key(|id| self.shadow[id].original.priority);
+
+        for id in order {
+            let entry = match self.shadow.get(&id) {
+                Some(e) => e.clone(),
+                None => continue,
+            };
+            // Step 3: write the original into the main table first…
+            match self
+                .device
+                .apply(MAIN, &ControlAction::Insert(entry.original))
+            {
+                Ok(rep) => {
+                    report.duration += rep.latency;
+                    report.entries_written += 1;
+                }
+                Err(_) => continue, // main full: rule stays in shadow
+            }
+            self.main_index.insert(entry.original);
+            // …then (step 4) remove its shadow pieces.
+            for (pid, _) in &entry.pieces {
+                let rep = self
+                    .device
+                    .apply(SHADOW, &ControlAction::Delete(*pid))
+                    .expect("piece tracked");
+                report.duration += rep.latency;
+                report.pieces_deleted += 1;
+            }
+            report.entries_saved += entry.pieces.len().saturating_sub(1);
+            self.unregister_blockers(id, &entry.cut_against);
+            self.shadow.remove(&id);
+            self.shadow_order.retain(|r| *r != id);
+            report.rules_migrated += 1;
+        }
+        if self.config.mode == MigrationMode::PauseAndSwap {
+            report.pipeline_paused = report.duration;
+        }
+        self.manager.migration_started(now, report.duration);
+        self.stats.migrations += 1;
+        self.stats.rules_migrated += report.rules_migrated as u64;
+        report
+    }
+
+    /// Rewrites a matched partition piece back to its controller-visible
+    /// logical rule (same key semantics, logical id and original match).
+    fn resolve(&self, result: LookupResult) -> LookupResult {
+        if let LookupResult::Matched { slice, rule } = result {
+            if rule.id.0 >= PHYS_BASE {
+                for entry in self.shadow.values() {
+                    if entry.pieces.iter().any(|(pid, _)| *pid == rule.id) {
+                        return LookupResult::Matched {
+                            slice,
+                            rule: Rule {
+                                id: entry.original.id,
+                                ..rule
+                            },
+                        };
+                    }
+                }
+            }
+        }
+        result
+    }
+
+    /// Packet lookup through the shadow→main pipeline. Matched partition
+    /// pieces are reported under their logical rule id.
+    pub fn lookup(&mut self, packet: u128) -> LookupResult {
+        let raw = self.device.lookup(packet);
+        self.resolve(raw)
+    }
+
+    /// Lookup without statistics (oracle comparisons).
+    pub fn peek(&self, packet: u128) -> LookupResult {
+        self.resolve(self.device.peek(packet))
+    }
+
+    /// Re-targets the admission rate after a `ModQoSConfig` (§7).
+    pub fn set_rate_limit(&mut self, rate: Option<f64>) {
+        self.gate
+            .set_rate(rate.map(|r| (r, self.shadow_capacity() as f64)));
+    }
+
+    /// Replaces the QoS predicate (`ModQoSMatch`, §7).
+    pub fn set_predicate(&mut self, predicate: crate::config::RulePredicate) {
+        self.config.predicate = predicate.clone();
+        let rate = self.gate.rate();
+        self.gate = GateKeeper::new(
+            predicate,
+            rate.map(|r| (r, self.shadow_capacity() as f64)),
+            self.config.max_partitions,
+        );
+        self.gate
+            .set_low_priority_bypass(self.config.low_priority_bypass);
+    }
+
+    /// Resets time-dependent state after a warm-up/preload phase: refills
+    /// the admission bucket, clears the migration busy window and pending
+    /// arrival counts. Call when installed state should carry over but the
+    /// clock conceptually restarts at zero (e.g. simulator preloading).
+    pub fn end_warmup(&mut self) {
+        let rate = self.gate.rate();
+        self.gate
+            .set_rate(rate.map(|r| (r, (self.shadow_capacity() as f64 / 2.0).max(1.0))));
+        self.manager.busy_until = SimTime::ZERO;
+    }
+
+    /// The migration trigger currently configured.
+    pub fn trigger(&self) -> MigrationTrigger {
+        self.manager.trigger()
+    }
+
+    /// Number of migration passes so far.
+    pub fn migrations(&self) -> u64 {
+        self.manager.migrations
+    }
+}

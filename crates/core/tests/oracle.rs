@@ -1,0 +1,321 @@
+//! The §4 correctness guarantee, checked mechanically.
+//!
+//! "The two tables maintained by Hermes will behave in an identical manner
+//! as a single monolithic table."
+//!
+//! A reference monolithic TCAM is driven in lockstep with a `HermesSwitch`
+//! through randomized insert/delete/modify/migrate interleavings; after
+//! every control-plane action the two are compared on a packet sample.
+//!
+//! One caveat inherited from OpenFlow itself: the behaviour of overlapping
+//! *same-priority* rules with different actions is undefined even in a
+//! single table, so the generator ties each action to its rule's priority
+//! (equal priority ⇒ equal action), making the oracle deterministic.
+
+use hermes_core::prelude::*;
+use hermes_rules::fields::DST_SHIFT;
+use hermes_rules::prelude::*;
+use hermes_tcam::{LookupResult, PlacementStrategy, SimDuration, SimTime, SwitchModel, TcamTable};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The monolithic reference: one big priority-ordered table.
+struct Oracle {
+    table: TcamTable,
+}
+
+impl Oracle {
+    fn new() -> Self {
+        Oracle {
+            table: TcamTable::new(1 << 16, PlacementStrategy::PackedLow),
+        }
+    }
+
+    fn apply(&mut self, action: &ControlAction) {
+        match action {
+            ControlAction::Insert(r) => {
+                self.table.insert(*r).expect("oracle insert");
+            }
+            ControlAction::Delete(id) => {
+                self.table.delete(*id).expect("oracle delete");
+            }
+            ControlAction::Modify {
+                id,
+                action,
+                priority,
+            } => {
+                if let Some(p) = priority {
+                    let old = *self.table.get(*id).expect("oracle modify target");
+                    self.table.delete(*id).unwrap();
+                    let mut new_rule = old;
+                    new_rule.priority = *p;
+                    if let Some(a) = action {
+                        new_rule.action = *a;
+                    }
+                    self.table.insert(new_rule).unwrap();
+                } else if let Some(a) = action {
+                    self.table.modify_action(*id, *a).unwrap();
+                }
+            }
+        }
+    }
+
+    fn classify(&self, pkt: u128) -> Option<Action> {
+        self.table.peek(pkt).map(|r| r.action)
+    }
+}
+
+fn hermes_action(result: LookupResult) -> Option<Action> {
+    match result {
+        LookupResult::Matched { rule, .. } => Some(rule.action),
+        _ => None,
+    }
+}
+
+fn pkt(addr: u32) -> u128 {
+    (addr as u128) << DST_SHIFT
+}
+
+/// Compares Hermes against the oracle on a packet sample.
+fn assert_equivalent(hermes: &HermesSwitch, oracle: &Oracle, samples: &[u128], ctx: &str) {
+    for &p in samples {
+        let h = hermes_action(hermes.peek(p));
+        let o = oracle.classify(p);
+        assert_eq!(h, o, "{ctx}: divergence on packet {p:#034x}");
+    }
+}
+
+/// Generates a rule whose action is a pure function of its priority so the
+/// oracle is deterministic (see module docs).
+fn gen_rule(rng: &mut StdRng, id: u64) -> Rule {
+    let len = rng.gen_range(8..=28);
+    // Cluster addresses into a /6 so overlaps are common.
+    let addr = 0x0a00_0000u32 | rng.gen_range(0..1u32 << 24);
+    let prio = rng.gen_range(1..40u32);
+    Rule::new(
+        id,
+        Ipv4Prefix::new(addr, len).to_key(),
+        Priority(prio),
+        Action::Forward(prio % 5 + 1),
+    )
+}
+
+fn sample_packets(rng: &mut StdRng, n: usize) -> Vec<u128> {
+    (0..n)
+        .map(|_| pkt(0x0a00_0000u32 | rng.gen_range(0..1u32 << 24)))
+        .collect()
+}
+
+fn run_lockstep(seed: u64, ops: usize, model: SwitchModel, trigger: MigrationTrigger) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let config = HermesConfig {
+        guarantee: SimDuration::from_ms(5.0),
+        trigger,
+        ..Default::default()
+    };
+    let mut hermes = HermesSwitch::new(model, config).unwrap();
+    let mut oracle = Oracle::new();
+    let samples = sample_packets(&mut rng, 300);
+
+    let mut live: Vec<Rule> = Vec::new();
+    let mut next_id = 0u64;
+    let mut now = SimTime::ZERO;
+
+    for step in 0..ops {
+        now = now + SimDuration::from_ms(rng.gen_range(0.1..5.0));
+        let roll: f64 = rng.gen();
+        let action = if live.is_empty() || roll < 0.55 {
+            let r = gen_rule(&mut rng, next_id);
+            next_id += 1;
+            live.push(r);
+            ControlAction::Insert(r)
+        } else if roll < 0.8 {
+            let i = rng.gen_range(0..live.len());
+            let r = live.swap_remove(i);
+            ControlAction::Delete(r.id)
+        } else {
+            let i = rng.gen_range(0..live.len());
+            let r = &mut live[i];
+            if rng.gen_bool(0.5) {
+                // Action change consistent with the priority↔action tie.
+                let a = Action::Forward(r.priority.0 % 5 + 1);
+                r.action = a;
+                ControlAction::Modify {
+                    id: r.id,
+                    action: Some(a),
+                    priority: None,
+                }
+            } else {
+                let p = Priority(rng.gen_range(1..40));
+                r.priority = p;
+                r.action = Action::Forward(p.0 % 5 + 1);
+                ControlAction::Modify {
+                    id: r.id,
+                    action: Some(r.action),
+                    priority: Some(p),
+                }
+            }
+        };
+        hermes.submit(&action, now).expect("hermes op");
+        oracle.apply(&action);
+        assert_equivalent(
+            &hermes,
+            &oracle,
+            &samples,
+            &format!("step {step} after {action:?}"),
+        );
+
+        // Periodic Rule Manager tick.
+        if step % 7 == 0 {
+            hermes.tick(now);
+            assert_equivalent(
+                &hermes,
+                &oracle,
+                &samples,
+                &format!("step {step} after tick"),
+            );
+        }
+        // Occasional forced migration.
+        if step % 97 == 96 {
+            hermes.migrate(now);
+            assert_equivalent(
+                &hermes,
+                &oracle,
+                &samples,
+                &format!("step {step} after migrate"),
+            );
+        }
+    }
+
+    // Final sweep with fresh packets.
+    let fresh = sample_packets(&mut rng, 500);
+    assert_equivalent(&hermes, &oracle, &fresh, "final");
+}
+
+#[test]
+fn lockstep_pica8_predictive() {
+    run_lockstep(
+        1,
+        600,
+        SwitchModel::pica8_p3290(),
+        MigrationTrigger::default(),
+    );
+}
+
+#[test]
+fn lockstep_dell_predictive() {
+    run_lockstep(
+        2,
+        600,
+        SwitchModel::dell_8132f(),
+        MigrationTrigger::default(),
+    );
+}
+
+#[test]
+fn lockstep_hp_threshold() {
+    run_lockstep(
+        3,
+        600,
+        SwitchModel::hp_5406zl(),
+        MigrationTrigger::Threshold { fraction: 0.5 },
+    );
+}
+
+#[test]
+fn lockstep_threshold_zero_constant_migration() {
+    run_lockstep(
+        4,
+        400,
+        SwitchModel::pica8_p3290(),
+        MigrationTrigger::Threshold { fraction: 0.0 },
+    );
+}
+
+/// The Fig. 6 scenario, directed: a redundant rule must resurface when the
+/// main-table rule that subsumed it is deleted.
+#[test]
+fn redundant_rule_resurfaces_after_subsumer_deleted() {
+    // Disable the §4.2 lowest-priority bypass so the narrow rule takes the
+    // shadow path and exercises the redundancy machinery.
+    let config = HermesConfig {
+        low_priority_bypass: false,
+        ..Default::default()
+    };
+    let mut hermes = HermesSwitch::new(SwitchModel::pica8_p3290(), config).unwrap();
+    let now = SimTime::ZERO;
+
+    // Wide high-priority rule, migrated into the main table.
+    let wide: Ipv4Prefix = "10.0.0.0/8".parse().unwrap();
+    let wide_rule = Rule::new(1, wide.to_key(), Priority(10), Action::Forward(1));
+    hermes.insert(wide_rule, now).unwrap();
+    hermes.migrate(now);
+    assert_eq!(hermes.main_len(), 1);
+
+    // Narrow lower-priority rule: wholly subsumed → redundant.
+    let narrow: Ipv4Prefix = "10.1.0.0/16".parse().unwrap();
+    let narrow_rule = Rule::new(2, narrow.to_key(), Priority(5), Action::Forward(2));
+    let rep = hermes.insert(narrow_rule, now).unwrap();
+    assert_eq!(rep.route(), Some(Route::Redundant));
+    assert_eq!(hermes.shadow_len(), 0, "redundant rule installs nothing");
+
+    let probe = pkt(u32::from_be_bytes([10, 1, 2, 3]));
+    assert_eq!(hermes_action(hermes.peek(probe)), Some(Action::Forward(1)));
+
+    // Delete the subsumer: the narrow rule must take over (Fig. 6).
+    hermes.delete(RuleId(1), now).unwrap();
+    assert_eq!(hermes_action(hermes.peek(probe)), Some(Action::Forward(2)));
+    // Outside the narrow prefix nothing matches now.
+    let outside = pkt(u32::from_be_bytes([10, 2, 2, 3]));
+    assert_eq!(hermes_action(hermes.peek(outside)), None);
+}
+
+/// The Fig. 4 walkthrough as an end-to-end test.
+#[test]
+fn figure4_walkthrough() {
+    // Disable the §4.2 bypass: the /24 is the lowest-priority rule and
+    // would otherwise legitimately go straight to the main table.
+    let config = HermesConfig {
+        low_priority_bypass: false,
+        ..Default::default()
+    };
+    let mut hermes = HermesSwitch::new(SwitchModel::pica8_p3290(), config).unwrap();
+    let now = SimTime::ZERO;
+
+    // Higher-priority /26 → port 1, migrated to main.
+    let hi: Ipv4Prefix = "192.168.1.0/26".parse().unwrap();
+    hermes
+        .insert(
+            Rule::new(1, hi.to_key(), Priority(10), Action::Forward(1)),
+            now,
+        )
+        .unwrap();
+    hermes.migrate(now);
+
+    // Lower-priority /24 → port 2 arrives: must be partitioned.
+    let lo: Ipv4Prefix = "192.168.1.0/24".parse().unwrap();
+    let rep = hermes
+        .insert(
+            Rule::new(2, lo.to_key(), Priority(1), Action::Forward(2)),
+            now,
+        )
+        .unwrap();
+    match rep.detail {
+        ReportDetail::Insert { route, pieces, .. } => {
+            assert_eq!(route, Route::Shadow);
+            assert_eq!(pieces, 2, "the /24 splits into .64/26 and .128/25");
+        }
+        other => panic!("unexpected detail {other:?}"),
+    }
+
+    // 192.168.1.5 is inside the /26: port 1 despite the shadow-first lookup.
+    assert_eq!(
+        hermes_action(hermes.peek(pkt(u32::from_be_bytes([192, 168, 1, 5])))),
+        Some(Action::Forward(1))
+    );
+    // 192.168.1.200 is outside the /26: port 2.
+    assert_eq!(
+        hermes_action(hermes.peek(pkt(u32::from_be_bytes([192, 168, 1, 200])))),
+        Some(Action::Forward(2))
+    );
+}

@@ -1,0 +1,204 @@
+//! Property-based tests for the Hermes framework: the §4 correctness
+//! guarantee under arbitrary operation sequences (a proptest twin of the
+//! directed lockstep oracle), partition soundness, and predictor/corrector
+//! laws.
+
+use hermes_core::partition::{partition_new_rule, verify_partition};
+use hermes_core::predict::{Corrector, PredictorKind};
+use hermes_core::prelude::*;
+use hermes_rules::fields::DST_SHIFT;
+use hermes_rules::overlap::OverlapIndex;
+use hermes_rules::prelude::*;
+use hermes_tcam::{LookupResult, PlacementStrategy, SimDuration, SimTime, SwitchModel, TcamTable};
+use proptest::prelude::*;
+
+fn prefix() -> impl Strategy<Value = Ipv4Prefix> {
+    (any::<u32>(), 8u8..=26).prop_map(|(a, len)| Ipv4Prefix::new(0x0a00_0000 | (a >> 8), len))
+}
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert { pfx: Ipv4Prefix, prio: u32 },
+    Delete { idx: usize },
+    ModifyPrio { idx: usize, prio: u32 },
+    Tick,
+    Migrate,
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        5 => (prefix(), 1u32..30).prop_map(|(pfx, prio)| Op::Insert { pfx, prio }),
+        2 => any::<usize>().prop_map(|idx| Op::Delete { idx }),
+        1 => (any::<usize>(), 1u32..30).prop_map(|(idx, prio)| Op::ModifyPrio { idx, prio }),
+        1 => Just(Op::Tick),
+        1 => Just(Op::Migrate),
+    ]
+}
+
+fn action_of(result: LookupResult) -> Option<Action> {
+    result.rule().map(|r| r.action)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The monolithic-equivalence guarantee, property-tested: any sequence
+    /// of inserts/deletes/priority-modifies/ticks/migrations leaves the
+    /// shadow+main pair classifying identically to one big table. (Actions
+    /// are tied to priorities so same-priority overlap — undefined even in
+    /// OpenFlow — cannot confound the oracle.)
+    #[test]
+    fn lockstep_equivalence(ops in prop::collection::vec(op(), 1..80)) {
+        let config = HermesConfig {
+            // Everything through the shadow path where possible.
+            rate_limit: Some(f64::INFINITY),
+            ..Default::default()
+        };
+        let mut hermes = HermesSwitch::new(SwitchModel::pica8_p3290(), config).unwrap();
+        let mut oracle = TcamTable::new(1 << 14, PlacementStrategy::PackedLow);
+        let mut live: Vec<Rule> = Vec::new();
+        let mut next = 0u64;
+        let mut now = SimTime::ZERO;
+
+        for o in ops {
+            now = now + SimDuration::from_ms(3.0);
+            match o {
+                Op::Insert { pfx, prio } => {
+                    let r = Rule::new(next, pfx.to_key(), Priority(prio), Action::Forward(prio % 5));
+                    next += 1;
+                    hermes.insert(r, now).unwrap();
+                    oracle.insert(r).unwrap();
+                    live.push(r);
+                }
+                Op::Delete { idx } => {
+                    if live.is_empty() { continue; }
+                    let r = live.swap_remove(idx % live.len());
+                    hermes.delete(r.id, now).unwrap();
+                    oracle.delete(r.id).unwrap();
+                }
+                Op::ModifyPrio { idx, prio } => {
+                    if live.is_empty() { continue; }
+                    let i = idx % live.len();
+                    let id = live[i].id;
+                    let action = Action::Forward(prio % 5);
+                    hermes
+                        .modify(id, Some(action), Some(Priority(prio)), now)
+                        .unwrap();
+                    let old = *oracle.get(id).unwrap();
+                    oracle.delete(id).unwrap();
+                    oracle
+                        .insert(Rule { priority: Priority(prio), action, ..old })
+                        .unwrap();
+                    live[i].priority = Priority(prio);
+                    live[i].action = action;
+                }
+                Op::Tick => { hermes.tick(now); }
+                Op::Migrate => { hermes.migrate(now); }
+            }
+            // Probe points: inside each live rule + random.
+            for (k, r) in live.iter().enumerate() {
+                if let Some(dst) = hermes_rules::fields::FlowMatch::dst_prefix_of_key(&r.key) {
+                    let pkt = ((dst.addr() | (k as u32 & 0x3f)) as u128) << DST_SHIFT;
+                    prop_assert_eq!(
+                        action_of(hermes.peek(pkt)),
+                        oracle.peek(pkt).map(|m| m.action),
+                        "probe in rule {:?}",
+                        r.id
+                    );
+                }
+            }
+        }
+    }
+
+    /// Algorithm 1 soundness against random main tables (sampled oracle).
+    #[test]
+    fn partition_soundness(
+        main_rules in prop::collection::vec((prefix(), 5u32..40), 0..25),
+        new_pfx in prefix(),
+        new_prio in 1u32..5,
+    ) {
+        let mut main = OverlapIndex::new();
+        for (i, (p, prio)) in main_rules.iter().enumerate() {
+            main.insert(Rule::new(i as u64, p.to_key(), Priority(*prio), Action::Drop));
+        }
+        let new = Rule::new(10_000, new_pfx.to_key(), Priority(new_prio), Action::Forward(1));
+        let outcome = partition_new_rule(&new, &main);
+        let span = 32 - new_pfx.len();
+        let samples: Vec<u128> = (0..512u32)
+            .map(|i| {
+                let host = if span >= 9 { i << (span - 9) } else { i & ((1u32 << span) - 1) };
+                ((new_pfx.addr() | host) as u128) << DST_SHIFT
+            })
+            .collect();
+        prop_assert!(verify_partition(&new, &outcome, &main, &samples));
+    }
+
+    /// Correctors only ever inflate non-negative predictions, and Slack
+    /// scales linearly.
+    #[test]
+    fn corrector_laws(pred in 0.0f64..1e6, slack in 0.0f64..2.0, dz in 0.0f64..1e4) {
+        prop_assert!(Corrector::Slack(slack).apply(pred) >= pred);
+        prop_assert!(Corrector::Deadzone(dz).apply(pred) >= pred);
+        prop_assert_eq!(Corrector::None.apply(pred), pred);
+        let a = Corrector::Slack(slack).apply(pred);
+        prop_assert!((a - pred * (1.0 + slack)).abs() < 1e-6);
+    }
+
+    /// Every predictor returns finite non-negative predictions on
+    /// arbitrary non-negative series.
+    #[test]
+    fn predictors_are_total(series in prop::collection::vec(0.0f64..1e5, 0..64)) {
+        for kind in PredictorKind::all() {
+            let mut p = kind.build();
+            for &v in &series {
+                p.observe(v);
+                let pred = p.predict();
+                prop_assert!(pred.is_finite() && pred >= 0.0, "{:?} produced {}", kind, pred);
+            }
+        }
+    }
+
+    /// Token bucket: cumulative admissions over any request pattern never
+    /// exceed burst + rate·elapsed.
+    #[test]
+    fn token_bucket_never_over_admits(
+        gaps_ms in prop::collection::vec(0.0f64..100.0, 1..100),
+        rate in 1.0f64..1000.0,
+        burst in 1.0f64..100.0,
+    ) {
+        let mut bucket = TokenBucket::new(rate, burst);
+        let mut now = SimTime::ZERO;
+        let mut admitted = 0.0;
+        for gap in gaps_ms {
+            now = now + SimDuration::from_ms(gap);
+            if bucket.try_take(now, 1.0) {
+                admitted += 1.0;
+            }
+            let bound = burst + rate * now.as_secs() + 1e-6;
+            prop_assert!(admitted <= bound, "admitted {} > bound {}", admitted, bound);
+        }
+    }
+
+    /// Sizing: the shadow never exceeds half the TCAM and the configured
+    /// guarantee is honoured by the worst-case single insert.
+    #[test]
+    fn shadow_sizing_laws(g_ms in 0.5f64..50.0) {
+        for model in SwitchModel::paper_models() {
+            let config = HermesConfig::with_guarantee(SimDuration::from_ms(g_ms));
+            match HermesSwitch::new(model.clone(), config) {
+                Ok(sw) => {
+                    prop_assert!(sw.shadow_capacity() <= model.capacity / 2);
+                    prop_assert!(
+                        model.worst_insert_latency(sw.shadow_capacity())
+                            <= SimDuration::from_ms(g_ms)
+                            || sw.shadow_capacity() == 1
+                    );
+                }
+                Err(HermesError::InfeasibleGuarantee) => {
+                    prop_assert!(SimDuration::from_ms(g_ms) < model.base + model.base);
+                }
+                Err(e) => prop_assert!(false, "unexpected error {e:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,273 @@
+//! Directed coverage of HermesSwitch's less-travelled paths: eviction
+//! fallbacks, incremental narrowing, error surfaces, modification
+//! variants, Equation-2 accounting and warm-up resets.
+
+use hermes_core::gatekeeper::Route;
+use hermes_core::prelude::*;
+use hermes_rules::fields::DST_SHIFT;
+use hermes_rules::prelude::*;
+use hermes_tcam::{SimDuration, SimTime, SwitchModel};
+
+fn rule(id: u64, pfx: &str, prio: u32, port: u32) -> Rule {
+    let p: Ipv4Prefix = pfx.parse().unwrap();
+    Rule::new(id, p.to_key(), Priority(prio), Action::Forward(port))
+}
+
+fn pkt(addr: &str) -> u128 {
+    let p: Ipv4Prefix = format!("{addr}/32").parse().unwrap();
+    (p.addr() as u128) << DST_SHIFT
+}
+
+fn switch() -> HermesSwitch {
+    let config = HermesConfig {
+        rate_limit: Some(f64::INFINITY),
+        low_priority_bypass: false,
+        ..Default::default()
+    };
+    HermesSwitch::new(SwitchModel::pica8_p3290(), config).unwrap()
+}
+
+#[test]
+fn error_surfaces() {
+    let mut sw = switch();
+    let now = SimTime::ZERO;
+    // Id out of the logical range.
+    let bad = rule(1 << 62, "10.0.0.0/8", 5, 1);
+    assert_eq!(sw.insert(bad, now), Err(HermesError::IdOutOfRange(bad.id)));
+    // Duplicate id.
+    sw.insert(rule(1, "10.0.0.0/8", 5, 1), now).unwrap();
+    assert_eq!(
+        sw.insert(rule(1, "11.0.0.0/8", 5, 1), now),
+        Err(HermesError::Duplicate(RuleId(1)))
+    );
+    // Unknown deletes and modifies.
+    assert_eq!(
+        sw.delete(RuleId(404), now),
+        Err(HermesError::NotFound(RuleId(404)))
+    );
+    assert_eq!(
+        sw.modify(RuleId(404), Some(Action::Drop), None, now),
+        Err(HermesError::NotFound(RuleId(404)))
+    );
+}
+
+#[test]
+fn modify_with_no_changes_is_cheap_noop() {
+    let mut sw = switch();
+    let now = SimTime::ZERO;
+    sw.insert(rule(1, "10.0.0.0/8", 5, 1), now).unwrap();
+    let rep = sw.modify(RuleId(1), None, None, now).unwrap();
+    assert!(rep.latency < SimDuration::from_ms(0.1));
+    assert_eq!(sw.get(RuleId(1)).unwrap().action, Action::Forward(1));
+}
+
+#[test]
+fn modify_same_priority_is_in_place() {
+    let mut sw = switch();
+    let now = SimTime::ZERO;
+    sw.insert(rule(1, "10.0.0.0/8", 5, 1), now).unwrap();
+    // Passing the *same* priority value must not trigger delete+insert.
+    let rep = sw
+        .modify(RuleId(1), Some(Action::Drop), Some(Priority(5)), now)
+        .unwrap();
+    match rep.detail {
+        ReportDetail::Modify { in_place } => assert!(in_place),
+        other => panic!("unexpected {other:?}"),
+    }
+    assert_eq!(sw.get(RuleId(1)).unwrap().action, Action::Drop);
+}
+
+#[test]
+fn action_modify_rewrites_every_partition_piece() {
+    let mut sw = switch();
+    let now = SimTime::ZERO;
+    // Higher-priority main rule to force a cut.
+    sw.insert(rule(1, "10.0.0.0/26", 50, 1), now).unwrap();
+    sw.migrate(now);
+    let rep = sw.insert(rule(2, "10.0.0.0/24", 5, 2), now).unwrap();
+    assert!(matches!(
+        rep.detail,
+        ReportDetail::Insert {
+            route: Route::Shadow,
+            pieces: 2,
+            ..
+        }
+    ));
+    sw.modify(RuleId(2), Some(Action::Forward(9)), None, now)
+        .unwrap();
+    // Both pieces answer with the new action.
+    assert_eq!(
+        sw.peek(pkt("10.0.0.100")).rule().unwrap().action,
+        Action::Forward(9)
+    );
+    assert_eq!(
+        sw.peek(pkt("10.0.0.200")).rule().unwrap().action,
+        Action::Forward(9)
+    );
+    // The cut-out region still answers with the main rule.
+    assert_eq!(
+        sw.peek(pkt("10.0.0.5")).rule().unwrap().action,
+        Action::Forward(1)
+    );
+}
+
+#[test]
+fn narrowing_on_direct_main_insert() {
+    // A shadow rule must shrink when a higher-priority overlapping rule
+    // lands directly in the main table (over-rate path).
+    let config = HermesConfig {
+        rate_limit: Some(0.000001), // bucket empties immediately
+        low_priority_bypass: false,
+        ..Default::default()
+    };
+    let mut sw = HermesSwitch::new(SwitchModel::pica8_p3290(), config).unwrap();
+    let now = SimTime::ZERO;
+    // First insert goes to shadow.
+    let r1 = sw.insert(rule(1, "10.0.0.0/24", 5, 1), now).unwrap();
+    assert_eq!(r1.route(), Some(Route::Shadow));
+    // Exhaust the admission bucket with disjoint fillers.
+    for i in 0..100u64 {
+        sw.insert(rule(100 + i, &format!("42.{}.0.0/16", i), 10, 3), now)
+            .unwrap();
+    }
+    // Now a higher-priority rule overlapping rule 1 arrives over-rate → main.
+    let r2 = sw.insert(rule(2, "10.0.0.0/26", 50, 2), now).unwrap();
+    assert_eq!(r2.route(), Some(Route::MainOverRate));
+    // The narrow region must now answer with the main rule.
+    assert_eq!(
+        sw.peek(pkt("10.0.0.5")).rule().unwrap().action,
+        Action::Forward(2)
+    );
+    assert_eq!(
+        sw.peek(pkt("10.0.0.200")).rule().unwrap().action,
+        Action::Forward(1)
+    );
+}
+
+#[test]
+fn eviction_when_shadow_cannot_hold_partitions() {
+    // A tiny shadow forces the repartition fallback: the rule moves to the
+    // main table and stays semantically correct.
+    let config = HermesConfig {
+        shadow_size: Some(3),
+        rate_limit: Some(f64::INFINITY),
+        low_priority_bypass: false,
+        max_partitions: 3,
+        ..Default::default()
+    };
+    let mut sw = HermesSwitch::new(SwitchModel::pica8_p3290(), config).unwrap();
+    let now = SimTime::ZERO;
+    // Wide low-priority rule in shadow (fits: 1 piece).
+    sw.insert(rule(1, "10.0.0.0/16", 5, 1), now).unwrap();
+    // Two higher-priority punctures land in main (each over the shadow's
+    // piece budget when cut, or directly): force narrowing until eviction.
+    for (i, pfx) in ["10.0.1.0/24", "10.0.2.0/24", "10.0.3.0/24"]
+        .iter()
+        .enumerate()
+    {
+        let _ = sw.insert(rule(10 + i as u64, pfx, 50, 9), now);
+        sw.migrate(now);
+    }
+    // Semantics regardless of where rule 1 ended up.
+    assert_eq!(
+        sw.peek(pkt("10.0.1.7")).rule().unwrap().action,
+        Action::Forward(9)
+    );
+    assert_eq!(
+        sw.peek(pkt("10.0.9.7")).rule().unwrap().action,
+        Action::Forward(1)
+    );
+    assert!(sw.contains(RuleId(1)));
+}
+
+#[test]
+fn logical_accessors_and_eq2_accounting() {
+    let mut sw = switch();
+    let now = SimTime::ZERO;
+    assert_eq!(sw.logical_len(), 0);
+    sw.insert(rule(1, "10.0.0.0/8", 5, 1), now).unwrap();
+    sw.insert(rule(2, "11.0.0.0/8", 6, 1), now).unwrap();
+    assert_eq!(sw.logical_len(), 2);
+    assert_eq!(sw.logical_rules().len(), 2);
+    assert!(sw.max_supported_rate() > 0.0);
+    assert!(sw.overhead_fraction() > 0.0 && sw.overhead_fraction() <= 0.5);
+    // r_p starts at 1 with uncut rules.
+    assert!((sw.stats().expected_partitions() - 1.0).abs() < 1e-9);
+    sw.migrate(now);
+    assert_eq!(sw.logical_len(), 2);
+    assert_eq!(sw.shadow_len(), 0);
+    assert_eq!(sw.main_len(), 2);
+}
+
+#[test]
+fn end_warmup_refills_admission() {
+    let config = HermesConfig {
+        rate_limit: Some(10.0),
+        ..Default::default()
+    };
+    let mut sw = HermesSwitch::new(SwitchModel::pica8_p3290(), config).unwrap();
+    let now = SimTime::ZERO;
+    // Drain the bucket.
+    let mut over_rate = 0;
+    for i in 0..100u64 {
+        let rep = sw
+            .insert(rule(i, &format!("10.{}.0.0/16", i), 5 + i as u32, 1), now)
+            .unwrap();
+        if rep.route() == Some(Route::MainOverRate) {
+            over_rate += 1;
+        }
+    }
+    assert!(over_rate > 0, "bucket should have drained");
+    sw.end_warmup();
+    let rep = sw.insert(rule(1000, "99.0.0.0/8", 5000, 1), now).unwrap();
+    assert_eq!(
+        rep.route(),
+        Some(Route::Shadow),
+        "bucket refilled after warmup"
+    );
+}
+
+#[test]
+fn set_predicate_changes_routing() {
+    let mut sw = switch();
+    let now = SimTime::ZERO;
+    sw.set_predicate(RulePredicate::DstWithin("10.0.0.0/8".parse().unwrap()));
+    let in_scope = sw.insert(rule(1, "10.1.0.0/16", 5, 1), now).unwrap();
+    let out_scope = sw.insert(rule(2, "42.0.0.0/8", 5, 1), now).unwrap();
+    assert_eq!(in_scope.route(), Some(Route::Shadow));
+    assert_eq!(out_scope.route(), Some(Route::MainUnmatched));
+}
+
+#[test]
+fn priority_change_preserves_logical_identity_and_semantics() {
+    let mut sw = switch();
+    let now = SimTime::ZERO;
+    sw.insert(rule(1, "10.0.0.0/24", 5, 1), now).unwrap();
+    sw.insert(rule(2, "10.0.0.0/26", 9, 2), now).unwrap();
+    // Overlap region answers with rule 2 (higher priority).
+    assert_eq!(sw.peek(pkt("10.0.0.5")).rule().unwrap().id, RuleId(2));
+    // Flip the priorities via modification.
+    sw.modify(RuleId(1), None, Some(Priority(20)), now).unwrap();
+    assert_eq!(sw.peek(pkt("10.0.0.5")).rule().unwrap().id, RuleId(1));
+    assert_eq!(sw.get(RuleId(1)).unwrap().priority, Priority(20));
+    assert_eq!(sw.logical_len(), 2);
+}
+
+#[test]
+fn migration_report_accounts_for_optimization() {
+    let mut sw = switch();
+    let now = SimTime::ZERO;
+    // A main rule that forces cuts.
+    sw.insert(rule(1, "10.0.0.0/25", 50, 1), now).unwrap();
+    sw.migrate(now);
+    // A rule that splits into 1+ pieces.
+    sw.insert(rule(2, "10.0.0.0/24", 5, 2), now).unwrap();
+    let report = sw.migrate(now);
+    assert_eq!(report.rules_migrated, 1);
+    assert_eq!(
+        report.entries_written, 1,
+        "the original replaces its pieces"
+    );
+    assert!(report.pieces_deleted >= 1);
+    assert!(report.duration > SimDuration::ZERO);
+}

@@ -1,0 +1,887 @@
+//! Varys: the flow-level network simulator (§8.1.1).
+//!
+//! A discrete-event simulation over a [`Topology`], with:
+//!
+//! * max-min fair bandwidth sharing between events ([`FlowTable`]);
+//! * a per-switch TCAM control plane — raw switch, Hermes, Tango, ESPRES
+//!   or an ideal zero-latency switch — behind a serial control channel
+//!   ([`CpQueue`]);
+//! * the proactive traffic-engineering SDNApp of §8.1.1: every interval
+//!   it moves the biggest flows off congested links onto alternate
+//!   shortest paths, which requires installing per-flow rules along the
+//!   new path — *the flow only switches after every installation
+//!   completes*, so slow control planes directly inflate FCT and JCT.
+//!
+//! The simulation is deterministic given the seed (BTreeMap state, seeded
+//! RNG, integer-nanosecond clock).
+
+use crate::flow::{ActiveFlow, FlowId, FlowTable, JobId};
+use crate::metrics::RunMetrics;
+use crate::topology::{LinkId, NodeId, Topology};
+use hermes_baselines::{ControlPlane, CpQueue, EspresSwitch, HermesPlane, RawSwitch, TangoSwitch};
+use hermes_core::config::HermesConfig;
+use hermes_rules::prelude::*;
+use hermes_tcam::{SimDuration, SimTime, SwitchModel};
+use hermes_workloads::facebook::JobSpec;
+use hermes_workloads::gravity::TimedFlow;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, HashSet};
+
+/// Which control plane runs on every switch.
+#[derive(Clone, Debug)]
+pub enum SwitchKind {
+    /// Zero-latency control plane (the paper's no-latency comparison
+    /// point).
+    Ideal,
+    /// Unmodified switch with the given empirical model.
+    Raw(SwitchModel),
+    /// Hermes on the given model.
+    Hermes(SwitchModel, HermesConfig),
+    /// Tango baseline on the given model.
+    Tango(SwitchModel),
+    /// ESPRES baseline on the given model.
+    Espres(SwitchModel),
+}
+
+impl SwitchKind {
+    /// Display name for experiment output.
+    pub fn label(&self) -> String {
+        match self {
+            SwitchKind::Ideal => "Ideal".into(),
+            SwitchKind::Raw(m) => m.name.clone(),
+            SwitchKind::Hermes(_, _) => "Hermes".into(),
+            SwitchKind::Tango(m) => format!("Tango ({})", m.name),
+            SwitchKind::Espres(m) => format!("ESPRES ({})", m.name),
+        }
+    }
+
+    fn build(&self) -> Box<dyn ControlPlane> {
+        match self {
+            SwitchKind::Ideal => Box::new(RawSwitch::new(SwitchModel::ideal())),
+            SwitchKind::Raw(m) => Box::new(RawSwitch::new(m.clone())),
+            SwitchKind::Hermes(m, c) => Box::new(
+                HermesPlane::with_config(m.clone(), c.clone()).expect("feasible Hermes config"),
+            ),
+            SwitchKind::Tango(m) => Box::new(TangoSwitch::new(m.clone())),
+            SwitchKind::Espres(m) => Box::new(EspresSwitch::new(m.clone())),
+        }
+    }
+}
+
+/// Simulator configuration.
+#[derive(Clone, Debug)]
+pub struct VarysConfig {
+    /// The control plane on every switch.
+    pub switch: SwitchKind,
+    /// TE app period, seconds.
+    pub te_interval_s: f64,
+    /// Links above this utilization are congested.
+    pub congestion_threshold: f64,
+    /// Reroutes attempted per TE tick.
+    pub max_reroutes_per_tick: usize,
+    /// Rules preloaded per switch before the workload (sets the starting
+    /// TCAM occupancy; Table 1 shows occupancy dominates insert latency).
+    pub base_rules_per_switch: usize,
+    /// Rule-manager tick, seconds (Hermes only).
+    pub manager_tick_s: f64,
+    /// Proactive flow placement: each flow's path rules are installed when
+    /// the flow arrives and the flow starts transmitting once the *last*
+    /// switch finishes installing (the paper's proactive SDNApp model — no
+    /// packet-in round trip, but rule installation gates the start).
+    /// Disabled: flows start instantly on pre-installed routing.
+    pub gate_flow_start: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for VarysConfig {
+    fn default() -> Self {
+        VarysConfig {
+            switch: SwitchKind::Ideal,
+            te_interval_s: 1.0,
+            congestion_threshold: 0.8,
+            max_reroutes_per_tick: 16,
+            base_rules_per_switch: 200,
+            manager_tick_s: 0.1,
+            gate_flow_start: true,
+            seed: 1,
+        }
+    }
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum EventKind {
+    FlowArrive {
+        job: JobId,
+        src: usize,
+        dst: usize,
+        bytes: u64,
+    },
+    FlowStart {
+        flow: FlowId,
+        job: JobId,
+        src: usize,
+        dst: usize,
+        bytes: u64,
+        path: Vec<LinkId>,
+    },
+    FlowComplete {
+        flow: FlowId,
+        version: u64,
+    },
+    TeTick,
+    MgrTick,
+    PathSwitch {
+        flow: FlowId,
+        path: Vec<LinkId>,
+    },
+    End,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Event {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+struct JobState {
+    arrival: SimTime,
+    flows_left: usize,
+    total_bytes: u64,
+}
+
+/// The simulator.
+pub struct Varys {
+    topo: Topology,
+    config: VarysConfig,
+    planes: BTreeMap<NodeId, CpQueue<Box<dyn ControlPlane>>>,
+    flows: FlowTable,
+    queue: BinaryHeap<Reverse<Event>>,
+    seq: u64,
+    now: SimTime,
+    last_advance: SimTime,
+    jobs: BTreeMap<JobId, JobState>,
+    /// Per-flow custom rules currently installed: (switch, rule id).
+    flow_rules: BTreeMap<FlowId, Vec<(NodeId, RuleId)>>,
+    /// Arrival instants of flows still waiting for rule installation.
+    flow_arrivals: BTreeMap<FlowId, SimTime>,
+    rerouting: HashSet<FlowId>,
+    next_flow: FlowId,
+    next_rule: u64,
+    rng: StdRng,
+    /// Collected metrics.
+    pub metrics: RunMetrics,
+    end: SimTime,
+    /// Record per-job JCTs: job id → (jct seconds, total bytes).
+    pub jct_by_job: BTreeMap<JobId, (f64, u64)>,
+}
+
+impl Varys {
+    /// Builds a simulator over the topology.
+    pub fn new(topo: Topology, config: VarysConfig) -> Self {
+        let mut planes = BTreeMap::new();
+        for sw in topo.switches() {
+            planes.insert(sw, CpQueue::new(config.switch.build()));
+        }
+        let rng = StdRng::seed_from_u64(config.seed);
+        let mut sim = Varys {
+            topo,
+            config,
+            planes,
+            flows: FlowTable::new(),
+            queue: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+            last_advance: SimTime::ZERO,
+            jobs: BTreeMap::new(),
+            flow_rules: BTreeMap::new(),
+            flow_arrivals: BTreeMap::new(),
+            rerouting: HashSet::new(),
+            next_flow: 0,
+            next_rule: 0,
+            rng,
+            metrics: RunMetrics::default(),
+            end: SimTime::MAX,
+            jct_by_job: BTreeMap::new(),
+        };
+        sim.preload_base_rules();
+        sim
+    }
+
+    /// Preloads `base_rules_per_switch` disjoint FIB-style rules into every
+    /// switch (not counted in metrics). For Hermes these go through the
+    /// normal path followed by a forced migration, leaving the shadow
+    /// empty.
+    fn preload_base_rules(&mut self) {
+        let n = self.config.base_rules_per_switch;
+        if n == 0 {
+            return;
+        }
+        let switches: Vec<NodeId> = self.planes.keys().copied().collect();
+        for sw in switches {
+            let mut actions = Vec::with_capacity(n);
+            for i in 0..n {
+                let addr = (0b11u32 << 30) | ((i as u32) << 12);
+                // Priorities spread across the whole usable range so later
+                // TE insertions land mid-table (shifting real numbers of
+                // entries on every placement strategy).
+                let rule = Rule::new(
+                    self.next_rule,
+                    Ipv4Prefix::new(addr, 24).to_key(),
+                    Priority(10 + ((i as u32).wrapping_mul(37)) % 1980),
+                    Action::Forward((i % 48) as u32),
+                );
+                self.next_rule += 1;
+                actions.push(ControlAction::Insert(rule));
+            }
+            let q = self.planes.get_mut(&sw).expect("switch plane");
+            q.plane_mut().apply_batch(&actions, SimTime::ZERO);
+            // Drain Hermes's shadow so the workload starts clean, then
+            // reset time-dependent state (admission bucket, busy windows)
+            // — preloading happens conceptually before the simulation.
+            q.plane_mut().tick(SimTime::ZERO);
+            q.plane_mut().end_warmup();
+            // A second drain pass for rules that arrived while the first
+            // migration was notionally busy.
+            q.plane_mut().tick(SimTime::ZERO);
+            q.plane_mut().end_warmup();
+        }
+    }
+
+    fn push(&mut self, at: SimTime, kind: EventKind) {
+        self.seq += 1;
+        self.queue.push(Reverse(Event {
+            at,
+            seq: self.seq,
+            kind,
+        }));
+    }
+
+    /// Registers MapReduce jobs (the Facebook workload).
+    pub fn register_jobs(&mut self, jobs: &[JobSpec]) {
+        for job in jobs {
+            let at = SimTime::from_secs(job.arrival_s);
+            self.jobs.insert(
+                job.id,
+                JobState {
+                    arrival: at,
+                    flows_left: job.flows.len(),
+                    total_bytes: job.total_bytes(),
+                },
+            );
+            for f in &job.flows {
+                self.push(
+                    at,
+                    EventKind::FlowArrive {
+                        job: job.id,
+                        src: f.src,
+                        dst: f.dst,
+                        bytes: f.bytes,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Registers independent flows (ISP workloads); each flow is its own
+    /// job.
+    pub fn register_flows(&mut self, flows: &[TimedFlow], first_job_id: JobId) {
+        for (i, tf) in flows.iter().enumerate() {
+            let job = first_job_id + i;
+            let at = SimTime::from_secs(tf.arrival_s);
+            self.jobs.insert(
+                job,
+                JobState {
+                    arrival: at,
+                    flows_left: 1,
+                    total_bytes: tf.flow.bytes,
+                },
+            );
+            self.push(
+                at,
+                EventKind::FlowArrive {
+                    job,
+                    src: tf.flow.src,
+                    dst: tf.flow.dst,
+                    bytes: tf.flow.bytes,
+                },
+            );
+        }
+    }
+
+    /// Runs until all flows complete or `horizon_s` elapses. Returns the
+    /// final simulated time.
+    pub fn run(&mut self, horizon_s: f64) -> SimTime {
+        self.end = SimTime::from_secs(horizon_s);
+        self.push(
+            SimTime::from_secs(self.config.te_interval_s),
+            EventKind::TeTick,
+        );
+        self.push(
+            SimTime::from_secs(self.config.manager_tick_s),
+            EventKind::MgrTick,
+        );
+        self.push(self.end, EventKind::End);
+
+        while let Some(Reverse(ev)) = self.queue.pop() {
+            if ev.at > self.end {
+                break;
+            }
+            self.advance_to(ev.at);
+            match ev.kind {
+                EventKind::FlowArrive {
+                    job,
+                    src,
+                    dst,
+                    bytes,
+                } => self.on_flow_arrive(job, src, dst, bytes),
+                EventKind::FlowStart {
+                    flow,
+                    job,
+                    src,
+                    dst,
+                    bytes,
+                    path,
+                } => self.on_flow_start(flow, job, src, dst, bytes, path),
+                EventKind::FlowComplete { flow, version } => self.on_flow_complete(flow, version),
+                EventKind::TeTick => self.on_te_tick(),
+                EventKind::MgrTick => self.on_mgr_tick(),
+                EventKind::PathSwitch { flow, path } => self.on_path_switch(flow, path),
+                EventKind::End => break,
+            }
+            // Stop early once all work is done and only periodic ticks
+            // remain.
+            if self.flows.is_empty() && self.jobs.is_empty() {
+                break;
+            }
+        }
+        self.now
+    }
+
+    fn advance_to(&mut self, t: SimTime) {
+        let dt = t.since(self.last_advance).as_secs();
+        self.flows.advance(dt);
+        self.last_advance = t;
+        self.now = t;
+    }
+
+    fn reallocate_and_reschedule(&mut self) {
+        let changed = self.flows.allocate_max_min(&self.topo);
+        for id in changed {
+            let (version, eta) = {
+                let f = self.flows.get(id).expect("changed flow exists");
+                let eta = if f.rate_bps > 0.0 {
+                    // +2 ns guard: `from_secs` rounds to integer nanoseconds
+                    // and rounding *down* would leave a few bytes unfinished
+                    // at the event — with no further rate change ever
+                    // rescheduling it (observed at 40 Gbps where 1 ns ≈ 5
+                    // bytes). Overshooting by 2 ns is harmless: `advance`
+                    // clamps remaining at zero.
+                    Some(
+                        self.now
+                            + SimDuration::from_secs(f.remaining_bytes * 8.0 / f.rate_bps)
+                            + SimDuration::from_nanos(2),
+                    )
+                } else {
+                    None
+                };
+                (f.version, eta)
+            };
+            if let Some(at) = eta {
+                self.push(at, EventKind::FlowComplete { flow: id, version });
+            }
+        }
+    }
+
+    fn on_flow_arrive(&mut self, job: JobId, src: usize, dst: usize, bytes: u64) {
+        let id = self.next_flow;
+        self.next_flow += 1;
+        let path = self
+            .topo
+            .random_shortest_path(src, dst, None, &mut self.rng)
+            .unwrap_or_default();
+        if self.config.gate_flow_start {
+            // Proactive placement: install the flow's rules along the path;
+            // the flow starts once the slowest switch finishes.
+            let ready = self.install_path_rules(id, src, dst, &path);
+            self.flow_arrivals.insert(id, self.now);
+            self.push(
+                ready,
+                EventKind::FlowStart {
+                    flow: id,
+                    job,
+                    src,
+                    dst,
+                    bytes,
+                    path,
+                },
+            );
+        } else {
+            self.start_flow(id, job, src, dst, bytes, path);
+        }
+    }
+
+    fn on_flow_start(
+        &mut self,
+        flow: FlowId,
+        job: JobId,
+        src: usize,
+        dst: usize,
+        bytes: u64,
+        path: Vec<LinkId>,
+    ) {
+        self.start_flow(flow, job, src, dst, bytes, path);
+    }
+
+    fn start_flow(
+        &mut self,
+        id: FlowId,
+        job: JobId,
+        src: usize,
+        dst: usize,
+        bytes: u64,
+        path: Vec<LinkId>,
+    ) {
+        self.flows.insert(ActiveFlow {
+            id,
+            job,
+            src,
+            dst,
+            remaining_bytes: bytes as f64,
+            rate_bps: 0.0,
+            path,
+            // FCT measured from job-visible arrival: the installation wait
+            // is part of the completion time (this is where control-plane
+            // latency lands on applications).
+            started: self.flow_arrivals.remove(&id).unwrap_or(self.now),
+            version: 0,
+        });
+        self.reallocate_and_reschedule();
+    }
+
+    /// Installs one per-flow rule on every switch along `path`, recording
+    /// RIT samples, and returns the instant the last switch finishes.
+    fn install_path_rules(
+        &mut self,
+        fid: FlowId,
+        src: usize,
+        dst: usize,
+        path: &[LinkId],
+    ) -> SimTime {
+        let switches = self.topo.switches_on_path(src, path);
+        let mut ready = self.now;
+        let mut rules = Vec::with_capacity(switches.len());
+        let priority = Priority(200 + (rand::Rng::gen_range(&mut self.rng, 0..1600u32)));
+        for sw in switches {
+            let rule = Rule::new(
+                self.next_rule,
+                FlowMatch::any()
+                    .with_dst(Ipv4Prefix::host(dst as u32))
+                    .with_src(Ipv4Prefix::host(src as u32))
+                    .to_key(),
+                priority,
+                Action::Forward((sw % 48) as u32),
+            );
+            self.next_rule += 1;
+            let q = self.planes.get_mut(&sw).expect("switch plane");
+            let (start, outcome) = q.submit(&[ControlAction::Insert(rule)], self.now);
+            let op = outcome.ops.last().expect("one op");
+            let done = start + op.completed_at;
+            if done > ready {
+                ready = done;
+            }
+            self.metrics.rit_ms.push(done.since(self.now).as_ms());
+            self.metrics.installs += 1;
+            if op.violated {
+                self.metrics.violations += 1;
+            }
+            rules.push((sw, rule.id));
+        }
+        if let Some(old) = self.flow_rules.insert(fid, rules) {
+            for (sw, rid) in old {
+                let q = self.planes.get_mut(&sw).expect("switch plane");
+                q.submit(&[ControlAction::Delete(rid)], ready);
+            }
+        }
+        ready
+    }
+
+    fn on_flow_complete(&mut self, id: FlowId, version: u64) {
+        let valid = self
+            .flows
+            .get(id)
+            .map(|f| f.version == version && f.remaining_bytes <= 1.0)
+            .unwrap_or(false);
+        if !valid {
+            return; // stale event
+        }
+        let flow = self.flows.remove(id).expect("validated above");
+        let fct = self.now.since(flow.started).as_secs();
+        self.metrics.fct_s.push(fct);
+        // Fig. 9(b) plots the FCT of flows belonging to *short jobs*
+        // (total job size under 1 GB).
+        if let Some(js) = self.jobs.get(&flow.job) {
+            if js.total_bytes < 1_000_000_000 {
+                self.metrics.fct_short_s.push(fct);
+            }
+        }
+        self.rerouting.remove(&id);
+        // Tear down any custom rules (deletions are cheap; not part of the
+        // flow's critical path).
+        if let Some(rules) = self.flow_rules.remove(&id) {
+            for (sw, rid) in rules {
+                let q = self.planes.get_mut(&sw).expect("switch plane");
+                q.submit(&[ControlAction::Delete(rid)], self.now);
+            }
+        }
+        // Job accounting.
+        if let Some(js) = self.jobs.get_mut(&flow.job) {
+            js.flows_left -= 1;
+            if js.flows_left == 0 {
+                let jct = self.now.since(js.arrival).as_secs();
+                self.metrics.jct_s.push(jct);
+                if js.total_bytes < 1_000_000_000 {
+                    self.metrics.jct_short_s.push(jct);
+                } else {
+                    self.metrics.jct_long_s.push(jct);
+                }
+                self.jct_by_job.insert(flow.job, (jct, js.total_bytes));
+                self.jobs.remove(&flow.job);
+            }
+        }
+        self.reallocate_and_reschedule();
+    }
+
+    /// The proactive TE SDNApp: move the biggest flows off congested links.
+    fn on_te_tick(&mut self) {
+        let util = self.flows.link_utilization(&self.topo);
+        // Congested links, most loaded first.
+        let mut congested: Vec<(f64, LinkId)> = util
+            .iter()
+            .enumerate()
+            .filter(|&(_, &u)| u > self.config.congestion_threshold)
+            .map(|(l, &u)| (u, l))
+            .collect();
+        congested.sort_by(|a, b| b.0.total_cmp(&a.0));
+
+        let mut rerouted = 0usize;
+        for (_, link) in congested {
+            if rerouted >= self.config.max_reroutes_per_tick {
+                break;
+            }
+            // The biggest not-already-rerouting flow on the link.
+            let candidate = self
+                .flows
+                .iter()
+                .filter(|f| f.path.contains(&link) && !self.rerouting.contains(&f.id))
+                .max_by(|a, b| a.rate_bps.total_cmp(&b.rate_bps))
+                .map(|f| (f.id, f.src, f.dst, f.path.clone()));
+            let Some((fid, src, dst, old_path)) = candidate else {
+                continue;
+            };
+            // Sample a handful of alternate shortest paths and take the
+            // least-loaded one — the TE app must actually improve placement
+            // for control-plane speed to matter.
+            let path_load = |p: &[LinkId]| p.iter().map(|&l| util[l]).fold(0.0f64, f64::max);
+            let old_load = path_load(&old_path);
+            let mut best: Option<(f64, Vec<LinkId>)> = None;
+            for _ in 0..4 {
+                let Some(cand) =
+                    self.topo
+                        .random_shortest_path(src, dst, Some(link), &mut self.rng)
+                else {
+                    continue;
+                };
+                if cand == old_path || cand.contains(&link) {
+                    continue;
+                }
+                let load = path_load(&cand);
+                if best.as_ref().map(|(b, _)| load < *b).unwrap_or(true) {
+                    best = Some((load, cand));
+                }
+            }
+            let Some((new_load, new_path)) = best else {
+                continue;
+            };
+            if new_load + 0.1 >= old_load {
+                continue; // not meaningfully better
+            }
+            self.reroute(fid, src, dst, new_path);
+            rerouted += 1;
+        }
+        let next = self.now + SimDuration::from_secs(self.config.te_interval_s);
+        self.push(next, EventKind::TeTick);
+    }
+
+    /// Issues the rule installations for a new path and schedules the
+    /// switch-over for when the *last* switch finishes installing.
+    fn reroute(&mut self, fid: FlowId, src: usize, dst: usize, new_path: Vec<LinkId>) {
+        let switches = self.topo.switches_on_path(src, &new_path);
+        let mut ready = self.now;
+        let mut new_rules = Vec::with_capacity(switches.len());
+        // Per-flow priority within the TE band: lands mid-table among the
+        // base rules (flow classes differ in practice).
+        let priority = Priority(200 + (rand::Rng::gen_range(&mut self.rng, 0..1600u32)));
+        for sw in switches {
+            let rule = Rule::new(
+                self.next_rule,
+                FlowMatch::any()
+                    .with_dst(Ipv4Prefix::host(dst as u32))
+                    .with_src(Ipv4Prefix::host(src as u32))
+                    .to_key(),
+                priority,
+                Action::Forward((sw % 48) as u32),
+            );
+            self.next_rule += 1;
+            let q = self.planes.get_mut(&sw).expect("switch plane");
+            let (start, outcome) = q.submit(&[ControlAction::Insert(rule)], self.now);
+            let op = outcome.ops.last().expect("one op");
+            let done = start + op.completed_at;
+            if done > ready {
+                ready = done;
+            }
+            self.metrics.rit_ms.push(done.since(self.now).as_ms());
+            self.metrics.installs += 1;
+            if op.violated {
+                self.metrics.violations += 1;
+            }
+            new_rules.push((sw, rule.id));
+        }
+        // Replace any previously installed custom rules on switch-over;
+        // remember the new ones now so completion can clean them up.
+        self.rerouting.insert(fid);
+        let old = self.flow_rules.insert(fid, new_rules);
+        if let Some(old_rules) = old {
+            for (sw, rid) in old_rules {
+                let q = self.planes.get_mut(&sw).expect("switch plane");
+                q.submit(&[ControlAction::Delete(rid)], ready);
+            }
+        }
+        self.push(
+            ready,
+            EventKind::PathSwitch {
+                flow: fid,
+                path: new_path,
+            },
+        );
+    }
+
+    fn on_path_switch(&mut self, fid: FlowId, path: Vec<LinkId>) {
+        self.rerouting.remove(&fid);
+        let Some(f) = self.flows.get_mut(fid) else {
+            return;
+        };
+        f.path = path;
+        // Do NOT bump the version here: if the reallocation below leaves
+        // this flow's rate unchanged, its already-scheduled completion
+        // event is still exactly right (bumping would orphan the flow).
+        // Any rate that does change is re-versioned and rescheduled by
+        // `reallocate_and_reschedule`.
+        self.reallocate_and_reschedule();
+    }
+
+    fn on_mgr_tick(&mut self) {
+        for q in self.planes.values_mut() {
+            q.plane_mut().tick(self.now);
+        }
+        let next = self.now + SimDuration::from_secs(self.config.manager_tick_s);
+        self.push(next, EventKind::MgrTick);
+    }
+
+    /// The topology under simulation.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Total occupancy across all switch control planes.
+    pub fn total_occupancy(&self) -> usize {
+        self.planes.values().map(|q| q.plane().occupancy()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_workloads::facebook::{FacebookWorkload, FlowSpec};
+
+    fn tiny_jobs(n: usize) -> Vec<JobSpec> {
+        // n jobs of one 100 MB flow each, arriving 50 ms apart.
+        (0..n)
+            .map(|i| JobSpec {
+                id: i,
+                arrival_s: i as f64 * 0.05,
+                flows: vec![FlowSpec {
+                    src: i % 4,
+                    dst: (i + 7) % 16,
+                    bytes: 100_000_000,
+                }],
+            })
+            .collect()
+    }
+
+    #[test]
+    fn flows_complete_and_fct_recorded() {
+        let topo = Topology::fat_tree(4, 10e9);
+        let mut sim = Varys::new(topo, VarysConfig::default());
+        sim.register_jobs(&tiny_jobs(10));
+        sim.run(60.0);
+        assert_eq!(sim.metrics.fct_s.len(), 10);
+        assert_eq!(sim.metrics.jct_s.len(), 10);
+        // 100 MB at 10 Gbps is 80 ms minimum.
+        let mut fct = sim.metrics.fct_s.clone();
+        assert!(fct.percentile(0.0) >= 0.08);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let topo = Topology::fat_tree(4, 10e9);
+            let mut sim = Varys::new(
+                topo,
+                VarysConfig {
+                    seed: 9,
+                    ..Default::default()
+                },
+            );
+            let jobs = FacebookWorkload {
+                jobs: 30,
+                hosts: 16,
+                duration_s: 2.0,
+                seed: 5,
+            }
+            .generate();
+            sim.register_jobs(&jobs);
+            sim.run(120.0);
+            (
+                sim.metrics.fct_s.values().to_vec(),
+                sim.metrics.jct_s.values().to_vec(),
+                sim.metrics.installs,
+            )
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn congestion_triggers_te_and_rule_installs() {
+        // Many large flows to the same destination host: its access link
+        // saturates; the TE app must attempt reroutes (even though the
+        // access link itself has no alternative, intermediate links do).
+        let topo = Topology::fat_tree(4, 10e9);
+        let model = SwitchModel::pica8_p3290();
+        let cfg = VarysConfig {
+            switch: SwitchKind::Raw(model),
+            congestion_threshold: 0.5,
+            base_rules_per_switch: 50,
+            ..Default::default()
+        };
+        let mut sim = Varys::new(topo, cfg);
+        // One full-rate flow per host pair: every inter-pod link each flow
+        // crosses runs at 100% utilization, and the congested edge→agg and
+        // agg→core links all have ECMP alternatives the TE app can use.
+        let jobs: Vec<JobSpec> = (0..4)
+            .map(|i| JobSpec {
+                id: i,
+                arrival_s: 0.0,
+                flows: vec![FlowSpec {
+                    src: i,
+                    dst: 12 + i,
+                    bytes: 2_000_000_000,
+                }],
+            })
+            .collect();
+        sim.register_jobs(&jobs);
+        sim.run(120.0);
+        assert_eq!(sim.metrics.fct_s.len(), 4, "all flows complete");
+        assert!(sim.metrics.installs > 0, "TE app should install rules");
+        assert!(!sim.metrics.rit_ms.is_empty());
+    }
+
+    #[test]
+    fn hermes_switches_work_in_sim() {
+        let topo = Topology::fat_tree(4, 10e9);
+        let cfg = VarysConfig {
+            switch: SwitchKind::Hermes(SwitchModel::pica8_p3290(), HermesConfig::default()),
+            congestion_threshold: 0.5,
+            base_rules_per_switch: 100,
+            ..Default::default()
+        };
+        let mut sim = Varys::new(topo, cfg);
+        let jobs: Vec<JobSpec> = (0..12)
+            .map(|i| JobSpec {
+                id: i,
+                arrival_s: 0.0,
+                flows: vec![FlowSpec {
+                    src: i,
+                    dst: 15,
+                    bytes: 1_000_000_000,
+                }],
+            })
+            .collect();
+        sim.register_jobs(&jobs);
+        sim.run(120.0);
+        assert_eq!(sim.metrics.fct_s.len(), 12);
+    }
+
+    #[test]
+    fn ideal_is_no_slower_than_raw() {
+        let jobs: Vec<JobSpec> = (0..16)
+            .map(|i| JobSpec {
+                id: i,
+                arrival_s: (i % 4) as f64 * 0.01,
+                flows: vec![FlowSpec {
+                    src: i % 8,
+                    dst: 15,
+                    bytes: 1_500_000_000,
+                }],
+            })
+            .collect();
+        let run = |kind: SwitchKind| {
+            let topo = Topology::fat_tree(4, 10e9);
+            let cfg = VarysConfig {
+                switch: kind,
+                congestion_threshold: 0.5,
+                base_rules_per_switch: 400,
+                ..Default::default()
+            };
+            let mut sim = Varys::new(topo, cfg);
+            sim.register_jobs(&jobs);
+            sim.run(240.0);
+            sim.metrics.jct_s.mean()
+        };
+        let ideal = run(SwitchKind::Ideal);
+        let raw = run(SwitchKind::Raw(SwitchModel::pica8_p3290()));
+        assert!(
+            raw >= ideal * 0.99,
+            "raw ({raw}) should not beat ideal ({ideal})"
+        );
+    }
+
+    #[test]
+    fn isp_flows_via_register_flows() {
+        use hermes_workloads::gravity::{flows_from_matrix, TrafficMatrix};
+        let topo = Topology::abilene();
+        let tm = TrafficMatrix::gravity(11, 2e9, 3);
+        let flows = flows_from_matrix(&tm, 2.0, 50e6, 4);
+        let mut sim = Varys::new(topo, VarysConfig::default());
+        sim.register_flows(&flows, 0);
+        sim.run(120.0);
+        assert_eq!(sim.metrics.fct_s.len(), flows.len());
+    }
+}

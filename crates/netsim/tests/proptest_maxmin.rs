@@ -1,0 +1,130 @@
+//! Property-based tests for the max-min fair allocator: feasibility, work
+//! conservation, and max-min optimality (no flow can be raised without
+//! lowering a flow that is no better off).
+
+use hermes_netsim::flow::{ActiveFlow, FlowTable};
+use hermes_netsim::prelude::*;
+use hermes_tcam::SimTime;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn build(topo: &Topology, pairs: &[(usize, usize)], seed: u64) -> FlowTable {
+    let hosts = topo.hosts();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ft = FlowTable::new();
+    for (i, (s, d)) in pairs.iter().enumerate() {
+        let src = hosts[s % hosts.len()];
+        let mut dst = hosts[d % hosts.len()];
+        if dst == src {
+            dst = hosts[(s + 1) % hosts.len()];
+        }
+        let path = topo
+            .random_shortest_path(src, dst, None, &mut rng)
+            .unwrap_or_default();
+        ft.insert(ActiveFlow {
+            id: i,
+            job: i,
+            src,
+            dst,
+            remaining_bytes: 1e12,
+            rate_bps: 0.0,
+            path,
+            started: SimTime::ZERO,
+            version: 0,
+        });
+    }
+    ft
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Feasibility + work conservation + max-min optimality on a fat tree.
+    #[test]
+    fn max_min_is_fair_and_feasible(
+        pairs in prop::collection::vec((any::<usize>(), any::<usize>()), 1..40),
+        seed in any::<u64>(),
+    ) {
+        let topo = Topology::fat_tree(4, 10e9);
+        let mut ft = build(&topo, &pairs, seed);
+        ft.allocate_max_min(&topo);
+
+        // Feasibility: no link over capacity.
+        let mut load = vec![0.0f64; topo.links.len()];
+        for f in ft.iter() {
+            prop_assert!(f.rate_bps > 0.0, "flow {} starved", f.id);
+            for &l in &f.path {
+                load[l] += f.rate_bps;
+            }
+        }
+        for (l, link) in topo.links.iter().enumerate() {
+            prop_assert!(load[l] <= link.capacity_bps * (1.0 + 1e-9), "link {l} overloaded");
+        }
+
+        // Every flow is bottlenecked: some link on its path is saturated
+        // where the flow's rate is maximal among the link's flows — the
+        // max-min optimality certificate.
+        for f in ft.iter() {
+            if f.path.is_empty() {
+                continue;
+            }
+            let mut certified = false;
+            for &l in &f.path {
+                let saturated = load[l] >= topo.links[l].capacity_bps * (1.0 - 1e-6);
+                if !saturated {
+                    continue;
+                }
+                let max_on_link = ft
+                    .iter()
+                    .filter(|g| g.path.contains(&l))
+                    .map(|g| g.rate_bps)
+                    .fold(0.0f64, f64::max);
+                if f.rate_bps >= max_on_link * (1.0 - 1e-6) {
+                    certified = true;
+                    break;
+                }
+            }
+            prop_assert!(certified, "flow {} has no bottleneck certificate", f.id);
+        }
+    }
+
+    /// Determinism: the same flow set allocates identically every time.
+    #[test]
+    fn allocation_is_deterministic(
+        pairs in prop::collection::vec((any::<usize>(), any::<usize>()), 1..20),
+        seed in any::<u64>(),
+    ) {
+        let topo = Topology::fat_tree(4, 10e9);
+        let mut a = build(&topo, &pairs, seed);
+        let mut b = build(&topo, &pairs, seed);
+        a.allocate_max_min(&topo);
+        b.allocate_max_min(&topo);
+        for f in a.iter() {
+            prop_assert_eq!(f.rate_bps, b.get(f.id).unwrap().rate_bps);
+        }
+    }
+
+    /// Paths sampled from any topology are simple (no repeated node) and
+    /// connect src to dst.
+    #[test]
+    fn sampled_paths_are_simple(s in any::<usize>(), d in any::<usize>(), seed in any::<u64>()) {
+        for topo in [Topology::fat_tree(4, 1e9), Topology::abilene(), Topology::geant()] {
+            let hosts = topo.hosts();
+            let src = hosts[s % hosts.len()];
+            let dst = hosts[d % hosts.len()];
+            if src == dst {
+                continue;
+            }
+            let mut rng = StdRng::seed_from_u64(seed);
+            let path = topo.random_shortest_path(src, dst, None, &mut rng).unwrap();
+            let mut cur = src;
+            let mut visited = std::collections::HashSet::from([src]);
+            for &l in &path {
+                cur = topo.links[l].other(cur);
+                prop_assert!(visited.insert(cur), "{}: node revisited", topo.name);
+            }
+            prop_assert_eq!(cur, dst);
+        }
+    }
+}

@@ -1,0 +1,342 @@
+//! Binary prefix trie.
+//!
+//! The overlap-detection index stores every rule under its destination
+//! prefix in a binary trie. For prefixes, *overlap implies containment one
+//! way or the other*, so all prefixes overlapping a query `q` are found on
+//! the root-to-`q` path (ancestors of `q`) plus in the subtree rooted at `q`
+//! (descendants). This turns the O(n) scan of Algorithm 1's overlap
+//! detection into an output-sensitive walk — one of the "efficient data
+//! structures" §3 calls for.
+
+use crate::prefix::Ipv4Prefix;
+
+#[derive(Debug)]
+struct Node<T> {
+    items: Vec<T>,
+    children: [Option<usize>; 2],
+    /// Number of items stored in this node's entire subtree (including the
+    /// node itself); lets walks skip empty subtrees.
+    subtree_items: usize,
+}
+
+impl<T> Node<T> {
+    fn new() -> Self {
+        Node {
+            items: Vec::new(),
+            children: [None, None],
+            subtree_items: 0,
+        }
+    }
+}
+
+/// A binary trie mapping [`Ipv4Prefix`]es to collections of items.
+///
+/// Multiple items may live under the same prefix (rules with different
+/// priorities or actions frequently share a match).
+#[derive(Debug)]
+pub struct PrefixTrie<T> {
+    nodes: Vec<Node<T>>,
+    len: usize,
+}
+
+impl<T> Default for PrefixTrie<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> PrefixTrie<T> {
+    /// An empty trie.
+    pub fn new() -> Self {
+        PrefixTrie {
+            nodes: vec![Node::new()],
+            len: 0,
+        }
+    }
+
+    /// Total number of stored items.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no items are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Removes every item.
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+        self.nodes.push(Node::new());
+        self.len = 0;
+    }
+
+    /// The bit of `addr` at depth `depth` (0 = most significant).
+    fn bit(addr: u32, depth: u8) -> usize {
+        ((addr >> (31 - depth)) & 1) as usize
+    }
+
+    /// Walks (creating nodes as needed) to the node for `prefix`, returning
+    /// its index. Updates `subtree_items` along the way by `delta`.
+    fn walk_mut(&mut self, prefix: Ipv4Prefix, delta: isize) -> usize {
+        let mut idx = 0;
+        for depth in 0..prefix.len() {
+            self.bump(idx, delta);
+            let b = Self::bit(prefix.addr(), depth);
+            idx = match self.nodes[idx].children[b] {
+                Some(c) => c,
+                None => {
+                    let c = self.nodes.len();
+                    self.nodes.push(Node::new());
+                    self.nodes[idx].children[b] = Some(c);
+                    c
+                }
+            };
+        }
+        self.bump(idx, delta);
+        idx
+    }
+
+    fn bump(&mut self, idx: usize, delta: isize) {
+        let n = &mut self.nodes[idx];
+        n.subtree_items = (n.subtree_items as isize + delta) as usize;
+    }
+
+    /// Inserts `item` under `prefix`.
+    pub fn insert(&mut self, prefix: Ipv4Prefix, item: T) {
+        let idx = self.walk_mut(prefix, 1);
+        self.nodes[idx].items.push(item);
+        self.len += 1;
+    }
+
+    /// Walks to the node for `prefix` without creating nodes.
+    fn walk(&self, prefix: Ipv4Prefix) -> Option<usize> {
+        let mut idx = 0;
+        for depth in 0..prefix.len() {
+            let b = Self::bit(prefix.addr(), depth);
+            idx = self.nodes[idx].children[b]?;
+        }
+        Some(idx)
+    }
+
+    /// Visits every item stored exactly at `prefix`.
+    pub fn items_at(&self, prefix: Ipv4Prefix) -> &[T] {
+        match self.walk(prefix) {
+            Some(idx) => &self.nodes[idx].items,
+            None => &[],
+        }
+    }
+
+    /// Visits every item whose prefix *contains* the query (ancestors,
+    /// including the query node itself).
+    pub fn for_each_ancestor<'a>(&'a self, prefix: Ipv4Prefix, mut f: impl FnMut(&'a T)) {
+        let mut idx = 0;
+        for depth in 0..prefix.len() {
+            for item in &self.nodes[idx].items {
+                f(item);
+            }
+            let b = Self::bit(prefix.addr(), depth);
+            match self.nodes[idx].children[b] {
+                Some(c) => idx = c,
+                None => return,
+            }
+        }
+        for item in &self.nodes[idx].items {
+            f(item);
+        }
+    }
+
+    /// Visits every item whose prefix is *contained in* the query
+    /// (descendants, including the query node itself).
+    pub fn for_each_descendant<'a>(&'a self, prefix: Ipv4Prefix, mut f: impl FnMut(&'a T)) {
+        let Some(start) = self.walk(prefix) else {
+            return;
+        };
+        let mut stack = vec![start];
+        while let Some(idx) = stack.pop() {
+            let node = &self.nodes[idx];
+            if node.subtree_items == 0 {
+                continue;
+            }
+            for item in &node.items {
+                f(item);
+            }
+            for child in node.children.into_iter().flatten() {
+                stack.push(child);
+            }
+        }
+    }
+
+    /// Visits every item whose prefix overlaps the query. For prefixes this
+    /// is exactly ancestors ∪ descendants; the query node itself is visited
+    /// once.
+    pub fn for_each_overlapping<'a>(&'a self, prefix: Ipv4Prefix, mut f: impl FnMut(&'a T)) {
+        // Ancestors, excluding the query node (handled by the descendant
+        // walk so items at the query node are reported exactly once).
+        let mut idx = 0;
+        for depth in 0..prefix.len() {
+            for item in &self.nodes[idx].items {
+                f(item);
+            }
+            let b = Self::bit(prefix.addr(), depth);
+            match self.nodes[idx].children[b] {
+                Some(c) => idx = c,
+                None => return,
+            }
+        }
+        self.for_each_descendant(prefix, f);
+    }
+
+    /// Collects overlapping items into a vector (convenience wrapper).
+    pub fn overlapping(&self, prefix: Ipv4Prefix) -> Vec<&T> {
+        let mut out = Vec::new();
+        self.for_each_overlapping(prefix, |t| out.push(t));
+        // Rebind to drop the closure borrow.
+        out
+    }
+}
+
+impl<T: PartialEq> PrefixTrie<T> {
+    /// Removes one occurrence of `item` stored under `prefix`. Returns
+    /// `true` when found. Empty nodes are left in place (the trie is an
+    /// index over a bounded TCAM; node reclamation isn't worth the
+    /// complexity — `clear` releases everything).
+    pub fn remove(&mut self, prefix: Ipv4Prefix, item: &T) -> bool {
+        let Some(idx) = self.walk(prefix) else {
+            return false;
+        };
+        let node = &mut self.nodes[idx];
+        let Some(pos) = node.items.iter().position(|i| i == item) else {
+            return false;
+        };
+        node.items.swap_remove(pos);
+        self.len -= 1;
+        // Fix up subtree counters along the path.
+        self.walk_mut(prefix, -1);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn insert_and_query_at() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/8"), 1u32);
+        t.insert(p("10.0.0.0/8"), 2);
+        t.insert(p("10.1.0.0/16"), 3);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.items_at(p("10.0.0.0/8")), &[1, 2]);
+        assert_eq!(t.items_at(p("10.1.0.0/16")), &[3]);
+        assert!(t.items_at(p("10.2.0.0/16")).is_empty());
+    }
+
+    #[test]
+    fn overlapping_finds_ancestors_and_descendants() {
+        let mut t = PrefixTrie::new();
+        t.insert(Ipv4Prefix::DEFAULT, "default");
+        t.insert(p("10.0.0.0/8"), "ten8");
+        t.insert(p("10.1.0.0/16"), "ten1-16");
+        t.insert(p("10.1.2.0/24"), "ten12-24");
+        t.insert(p("11.0.0.0/8"), "eleven");
+
+        let mut got: Vec<&str> = t
+            .overlapping(p("10.1.0.0/16"))
+            .into_iter()
+            .copied()
+            .collect();
+        got.sort();
+        assert_eq!(got, vec!["default", "ten1-16", "ten12-24", "ten8"]);
+
+        let got2: Vec<&str> = t
+            .overlapping(p("12.0.0.0/8"))
+            .into_iter()
+            .copied()
+            .collect();
+        assert_eq!(got2, vec!["default"]);
+    }
+
+    #[test]
+    fn query_node_items_reported_once() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/8"), 42u32);
+        let hits = t.overlapping(p("10.0.0.0/8"));
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn remove_works_and_fixes_counters() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/8"), 1u32);
+        t.insert(p("10.1.0.0/16"), 2);
+        assert!(t.remove(p("10.0.0.0/8"), &1));
+        assert!(!t.remove(p("10.0.0.0/8"), &1));
+        assert_eq!(t.len(), 1);
+        let got: Vec<u32> = t
+            .overlapping(p("10.0.0.0/8"))
+            .into_iter()
+            .copied()
+            .collect();
+        assert_eq!(got, vec![2]);
+    }
+
+    #[test]
+    fn ancestor_descendant_split() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/8"), 'a');
+        t.insert(p("10.1.0.0/16"), 'b');
+        t.insert(p("10.1.2.0/24"), 'c');
+
+        let mut anc = Vec::new();
+        t.for_each_ancestor(p("10.1.0.0/16"), |x| anc.push(*x));
+        assert_eq!(anc, vec!['a', 'b']);
+
+        let mut desc = Vec::new();
+        t.for_each_descendant(p("10.1.0.0/16"), |x| desc.push(*x));
+        desc.sort();
+        assert_eq!(desc, vec!['b', 'c']);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut t = PrefixTrie::new();
+        for i in 0..100u32 {
+            t.insert(Ipv4Prefix::new(i << 8, 24), i);
+        }
+        assert_eq!(t.len(), 100);
+        t.clear();
+        assert!(t.is_empty());
+        assert!(t.overlapping(Ipv4Prefix::DEFAULT).is_empty());
+    }
+
+    #[test]
+    fn dense_random_consistency_with_naive_scan() {
+        use std::collections::HashSet;
+        let mut t = PrefixTrie::new();
+        let mut all: Vec<(Ipv4Prefix, u32)> = Vec::new();
+        // Deterministic pseudo-random prefixes.
+        let mut x: u32 = 0x9e3779b9;
+        for i in 0..500u32 {
+            x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+            let len = (x % 25) as u8 + 8;
+            let pre = Ipv4Prefix::new(x, len);
+            t.insert(pre, i);
+            all.push((pre, i));
+        }
+        for &(q, _) in all.iter().step_by(37) {
+            let via_trie: HashSet<u32> = t.overlapping(q).into_iter().copied().collect();
+            let via_scan: HashSet<u32> = all
+                .iter()
+                .filter(|(p, _)| p.overlaps(&q))
+                .map(|&(_, i)| i)
+                .collect();
+            assert_eq!(via_trie, via_scan, "query {q}");
+        }
+    }
+}

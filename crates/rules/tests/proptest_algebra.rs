@@ -1,0 +1,189 @@
+//! Property-based tests for the classifier algebra — the invariants the
+//! whole Hermes correctness story rests on (DESIGN.md §5).
+
+use hermes_rules::merge::{minimize_keys, optimize_ruleset};
+use hermes_rules::overlap::OverlapIndex;
+use hermes_rules::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary ternary key over a narrow (16-bit) window so
+/// exhaustive packet checks stay cheap.
+fn small_key() -> impl Strategy<Value = TernaryKey> {
+    (any::<u16>(), any::<u16>())
+        .prop_map(|(v, m)| TernaryKey::new((v as u128) << 96, (m as u128) << 96))
+}
+
+/// All packets in the 16-bit window.
+fn window_packets() -> impl Iterator<Item = u128> {
+    (0u32..=0xffff).map(|v| (v as u128) << 96)
+}
+
+/// Strategy: an arbitrary IPv4 prefix within 10.0.0.0/8 with length 8..=28.
+fn prefix() -> impl Strategy<Value = Ipv4Prefix> {
+    (any::<u32>(), 8u8..=28).prop_map(|(addr, len)| Ipv4Prefix::new(0x0a00_0000 | (addr >> 8), len))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `overlaps` is symmetric and consistent with a witness packet search.
+    #[test]
+    fn overlap_symmetry_and_witness(a in small_key(), b in small_key()) {
+        prop_assert_eq!(a.overlaps(&b), b.overlaps(&a));
+        let witness = window_packets().any(|p| a.matches(p) && b.matches(p));
+        prop_assert_eq!(a.overlaps(&b), witness);
+    }
+
+    /// Containment a ⊇ b ⇔ every packet of b matches a.
+    #[test]
+    fn containment_is_semantic(a in small_key(), b in small_key()) {
+        let semantic = window_packets().all(|p| !b.matches(p) || a.matches(p));
+        prop_assert_eq!(a.contains(&b), semantic);
+    }
+
+    /// Intersection matches exactly the packets both keys match.
+    #[test]
+    fn intersection_semantics(a in small_key(), b in small_key()) {
+        match a.intersection(&b) {
+            Some(i) => {
+                for p in window_packets() {
+                    prop_assert_eq!(i.matches(p), a.matches(p) && b.matches(p));
+                }
+            }
+            None => {
+                prop_assert!(!a.overlaps(&b));
+            }
+        }
+    }
+
+    /// Difference: pieces are pairwise disjoint and cover exactly `a \ b`.
+    #[test]
+    fn difference_is_exact_disjoint_cover(a in small_key(), b in small_key()) {
+        let pieces = a.difference(&b);
+        for p in window_packets() {
+            let expect = a.matches(p) && !b.matches(p);
+            let n = pieces.iter().filter(|k| k.matches(p)).count();
+            prop_assert_eq!(n, usize::from(expect), "packet {:#x}", p);
+        }
+    }
+
+    /// try_merge result matches exactly the union of its inputs.
+    #[test]
+    fn merge_is_exact_union(a in small_key(), b in small_key()) {
+        if let Some(m) = a.try_merge(&b) {
+            for p in window_packets() {
+                prop_assert_eq!(m.matches(p), a.matches(p) || b.matches(p));
+            }
+        }
+    }
+
+    /// minimize_keys preserves the matched set and never grows it.
+    #[test]
+    fn minimize_preserves_union(keys in prop::collection::vec(small_key(), 0..12)) {
+        let minimized = minimize_keys(keys.clone());
+        prop_assert!(minimized.len() <= keys.len().max(1));
+        for p in window_packets().step_by(7) {
+            let before = keys.iter().any(|k| k.matches(p));
+            let after = minimized.iter().any(|k| k.matches(p));
+            prop_assert_eq!(before, after, "packet {:#x}", p);
+        }
+    }
+
+    /// Prefix difference agrees with brute force over the prefix's hosts.
+    #[test]
+    fn prefix_difference_semantics(a in prefix(), b in prefix()) {
+        let pieces = a.difference(&b);
+        // Sample addresses inside `a`.
+        let span = 32 - a.len();
+        for i in 0..256u32 {
+            let host = if span >= 8 { i << (span - 8) } else { i & ((1 << span) - 1) };
+            let addr = a.addr() | host;
+            let expect = a.matches(addr) && !b.matches(addr);
+            let got = pieces.iter().filter(|q| q.matches(addr)).count();
+            prop_assert_eq!(got, usize::from(expect), "addr {:#x}", addr);
+        }
+    }
+
+    /// Prefix containment/overlap laws.
+    #[test]
+    fn prefix_laws(a in prefix(), b in prefix()) {
+        prop_assert_eq!(a.overlaps(&b), b.overlaps(&a));
+        if a.contains(&b) && b.contains(&a) {
+            prop_assert_eq!(a, b);
+        }
+        // Parent always contains child.
+        if let Some(parent) = a.parent() {
+            prop_assert!(parent.contains(&a));
+        }
+        if let Some((l, r)) = a.children() {
+            prop_assert!(a.contains(&l) && a.contains(&r));
+            prop_assert!(!l.overlaps(&r));
+        }
+    }
+
+    /// The overlap index returns exactly what a naive scan returns.
+    #[test]
+    fn overlap_index_matches_naive(
+        prefixes in prop::collection::vec((prefix(), 1u32..100), 1..40),
+        query in prefix(),
+    ) {
+        let mut idx = OverlapIndex::new();
+        let mut all = Vec::new();
+        for (i, (p, prio)) in prefixes.iter().enumerate() {
+            let r = Rule::new(i as u64, p.to_key(), Priority(*prio), Action::Drop);
+            idx.insert(r);
+            all.push(r);
+        }
+        let qkey = query.to_key();
+        let mut got: Vec<u64> = idx.overlapping(&qkey).iter().map(|r| r.id.0).collect();
+        let mut want: Vec<u64> = all
+            .iter()
+            .filter(|r| r.key.overlaps(&qkey))
+            .map(|r| r.id.0)
+            .collect();
+        got.sort_unstable();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    /// optimize_ruleset preserves classification (actions tied to priority
+    /// so same-priority overlap is unambiguous).
+    #[test]
+    fn optimize_ruleset_preserves_semantics(
+        prefixes in prop::collection::vec((prefix(), 1u32..6), 1..25),
+    ) {
+        let rules: Vec<Rule> = prefixes
+            .iter()
+            .enumerate()
+            .map(|(i, (p, prio))| {
+                Rule::new(i as u64, p.to_key(), Priority(*prio), Action::Forward(prio % 3))
+            })
+            .collect();
+        let optimized = optimize_ruleset(rules.clone());
+        prop_assert!(optimized.len() <= rules.len());
+        let classify = |set: &[Rule], pkt: u128| {
+            set.iter()
+                .filter(|r| r.key.matches(pkt))
+                .max_by_key(|r| r.priority)
+                .map(|r| r.action)
+        };
+        for i in 0..512u32 {
+            let pkt = ((0x0a00_0000u32 | i.wrapping_mul(2654435761) % (1 << 24)) as u128) << 96;
+            prop_assert_eq!(classify(&rules, pkt), classify(&optimized, pkt));
+        }
+    }
+
+    /// Trie removal really removes (and only removes one occurrence).
+    #[test]
+    fn trie_insert_remove_roundtrip(items in prop::collection::vec((prefix(), 0u32..50), 1..30)) {
+        let mut trie = PrefixTrie::new();
+        for (p, v) in &items {
+            trie.insert(*p, *v);
+        }
+        prop_assert_eq!(trie.len(), items.len());
+        for (p, v) in &items {
+            prop_assert!(trie.remove(*p, v));
+        }
+        prop_assert!(trie.is_empty());
+    }
+}

@@ -1,0 +1,458 @@
+//! A switch ASIC: carved TCAM slices plus a performance model.
+//!
+//! Commercial switches expose *TCAM carving*: the monolithic TCAM is
+//! subdivided into slices (Broadcom "groups", Cisco "regions") with
+//! per-slice sizes, lookup keys and inter-slice priorities (§6). Hermes
+//! needs exactly two capabilities from the SDK: (1) create two slices with
+//! identical keys and chosen sizes, and (2) target control actions at a
+//! specific slice. [`TcamDevice`] models that surface.
+//!
+//! Lookup walks the slices in configured order — for Hermes, shadow first,
+//! then main — honouring each slice's table-miss behaviour, which is how
+//! the paper preserves the single-logical-table abstraction (§3).
+
+use crate::perf::SwitchModel;
+use crate::table::{OpShifts, TcamError, TcamTable};
+use crate::time::SimDuration;
+use hermes_rules::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// What a slice does when no entry matches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MissBehavior {
+    /// Continue the lookup in the next slice (Hermes shadow-table default:
+    /// "forward to next table").
+    GotoNextSlice,
+    /// Drop the packet.
+    Drop,
+    /// Punt to the controller (OpenFlow table-miss default).
+    ToController,
+}
+
+/// One carved TCAM slice.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Slice {
+    /// Operator-visible slice label.
+    pub label: String,
+    /// The slice's entry table.
+    pub table: TcamTable,
+    /// Behaviour on lookup miss.
+    pub miss: MissBehavior,
+    /// Total control-plane time this slice has consumed.
+    pub busy: SimDuration,
+}
+
+/// Outcome of one control-plane action against a device.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OpReport {
+    /// Simulated latency charged for the action.
+    pub latency: SimDuration,
+    /// Entries physically shifted (insertions only).
+    pub shifts: usize,
+    /// Slice occupancy before the action.
+    pub occupancy_before: usize,
+    /// Which slice the action was applied to.
+    pub slice: usize,
+}
+
+/// The result of a packet lookup across the slice pipeline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LookupResult {
+    /// A rule matched; the device applies its action.
+    Matched {
+        /// Index of the slice that terminated the lookup.
+        slice: usize,
+        /// The matching rule.
+        rule: Rule,
+    },
+    /// The pipeline ended with a drop.
+    Dropped,
+    /// The pipeline punted the packet to the controller.
+    ToController,
+}
+
+impl LookupResult {
+    /// The forwarding action, if a rule matched.
+    pub fn action(&self) -> Option<Action> {
+        match self {
+            LookupResult::Matched { rule, .. } => Some(rule.action),
+            _ => None,
+        }
+    }
+
+    /// The matching rule, if any.
+    pub fn rule(&self) -> Option<Rule> {
+        match self {
+            LookupResult::Matched { rule, .. } => Some(*rule),
+            _ => None,
+        }
+    }
+}
+
+/// A switch ASIC: one or more TCAM slices sharing a performance model.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TcamDevice {
+    model: SwitchModel,
+    slices: Vec<Slice>,
+}
+
+impl TcamDevice {
+    /// A traditional single-table switch: the whole TCAM in one slice with
+    /// OpenFlow's punt-on-miss default.
+    pub fn monolithic(model: SwitchModel) -> Self {
+        let table = TcamTable::new(model.capacity, model.placement);
+        TcamDevice {
+            model,
+            slices: vec![Slice {
+                label: "main".into(),
+                table,
+                miss: MissBehavior::ToController,
+                busy: SimDuration::ZERO,
+            }],
+        }
+    }
+
+    /// Carves the TCAM into slices of the given sizes. The sum of sizes
+    /// must not exceed the model's capacity; the slices are looked up in
+    /// the given order.
+    ///
+    /// # Panics
+    /// Panics if the sizes oversubscribe the TCAM.
+    pub fn carved(model: SwitchModel, slices: &[(&str, usize, MissBehavior)]) -> Self {
+        let total: usize = slices.iter().map(|(_, s, _)| s).sum();
+        assert!(
+            total <= model.capacity,
+            "carving {total} entries exceeds capacity {}",
+            model.capacity
+        );
+        let placement = model.placement;
+        TcamDevice {
+            model,
+            slices: slices
+                .iter()
+                .map(|(label, size, miss)| Slice {
+                    label: (*label).into(),
+                    table: TcamTable::new(*size, placement),
+                    miss: *miss,
+                    busy: SimDuration::ZERO,
+                })
+                .collect(),
+        }
+    }
+
+    /// The performance model.
+    pub fn model(&self) -> &SwitchModel {
+        &self.model
+    }
+
+    /// Number of slices.
+    pub fn slice_count(&self) -> usize {
+        self.slices.len()
+    }
+
+    /// Borrow a slice.
+    pub fn slice(&self, idx: usize) -> &Slice {
+        &self.slices[idx]
+    }
+
+    /// Mutably borrow a slice (test/bench plumbing; normal mutation goes
+    /// through [`apply`](Self::apply) so latency is charged).
+    pub fn slice_mut(&mut self, idx: usize) -> &mut Slice {
+        &mut self.slices[idx]
+    }
+
+    /// Total entries across all slices.
+    pub fn total_entries(&self) -> usize {
+        self.slices.iter().map(|s| s.table.len()).sum()
+    }
+
+    /// Finds which slice holds the rule, if any.
+    pub fn find_rule(&self, id: RuleId) -> Option<(usize, Rule)> {
+        self.slices
+            .iter()
+            .enumerate()
+            .find_map(|(i, s)| s.table.get(id).map(|r| (i, *r)))
+    }
+
+    /// Applies a control action to a specific slice, charging latency per
+    /// the performance model.
+    pub fn apply(&mut self, slice: usize, action: &ControlAction) -> Result<OpReport, TcamError> {
+        let occupancy_before = self.slices[slice].table.len();
+        let (latency, shifts) = match action {
+            ControlAction::Insert(rule) => {
+                let OpShifts {
+                    shifts,
+                    occupancy_before,
+                } = self.slices[slice].table.insert(*rule)?;
+                (self.model.insert_latency(occupancy_before, shifts), shifts)
+            }
+            ControlAction::Delete(id) => {
+                self.slices[slice].table.delete(*id)?;
+                (self.model.delete, 0)
+            }
+            ControlAction::Modify {
+                id,
+                action,
+                priority,
+            } => {
+                if priority.is_some() {
+                    // Priority changes are delete+insert; higher layers
+                    // (Hermes's Gate Keeper, §4.1) perform that conversion.
+                    let old = *self.slices[slice]
+                        .table
+                        .get(*id)
+                        .ok_or(TcamError::NotFound(*id))?;
+                    self.slices[slice].table.delete(*id)?;
+                    let mut new_rule = old;
+                    if let Some(a) = action {
+                        new_rule.action = *a;
+                    }
+                    new_rule.priority = priority.expect("checked is_some");
+                    let OpShifts {
+                        shifts,
+                        occupancy_before,
+                    } = self.slices[slice].table.insert(new_rule)?;
+                    (
+                        self.model.delete + self.model.insert_latency(occupancy_before, shifts),
+                        shifts,
+                    )
+                } else {
+                    if let Some(a) = action {
+                        self.slices[slice].table.modify_action(*id, *a)?;
+                    }
+                    (self.model.modify, 0)
+                }
+            }
+        };
+        self.slices[slice].busy += latency;
+        Ok(OpReport {
+            latency,
+            shifts,
+            occupancy_before,
+            slice,
+        })
+    }
+
+    /// Packet lookup through the slice pipeline.
+    pub fn lookup(&mut self, packet: u128) -> LookupResult {
+        for i in 0..self.slices.len() {
+            match self.slices[i].table.lookup(packet) {
+                Some(rule) if rule.action == Action::GotoNextTable => continue,
+                Some(rule) => return LookupResult::Matched { slice: i, rule },
+                None => match self.slices[i].miss {
+                    MissBehavior::GotoNextSlice => continue,
+                    MissBehavior::Drop => return LookupResult::Dropped,
+                    MissBehavior::ToController => return LookupResult::ToController,
+                },
+            }
+        }
+        // Walked off the end of the pipeline.
+        LookupResult::ToController
+    }
+
+    /// Lookup without statistics (oracle/tests).
+    pub fn peek(&self, packet: u128) -> LookupResult {
+        for (i, s) in self.slices.iter().enumerate() {
+            match s.table.peek(packet) {
+                Some(rule) if rule.action == Action::GotoNextTable => continue,
+                Some(rule) => return LookupResult::Matched { slice: i, rule },
+                None => match s.miss {
+                    MissBehavior::GotoNextSlice => continue,
+                    MissBehavior::Drop => return LookupResult::Dropped,
+                    MissBehavior::ToController => return LookupResult::ToController,
+                },
+            }
+        }
+        LookupResult::ToController
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn rule(id: u64, pfx: &str, prio: u32, port: u32) -> Rule {
+        let p: Ipv4Prefix = pfx.parse().unwrap();
+        Rule::new(id, p.to_key(), Priority(prio), Action::Forward(port))
+    }
+
+    fn pkt(addr: &str) -> u128 {
+        let p: Ipv4Prefix = format!("{addr}/32").parse().unwrap();
+        (p.addr() as u128) << 96
+    }
+
+    #[test]
+    fn monolithic_insert_charges_latency() {
+        let mut dev = TcamDevice::monolithic(SwitchModel::pica8_p3290());
+        let r1 = dev
+            .apply(0, &ControlAction::Insert(rule(1, "10.0.0.0/8", 5, 1)))
+            .unwrap();
+        assert_eq!(r1.latency, dev.model().base); // empty table: no shifts
+                                                  // Fill with descending priorities then insert at the top.
+        for i in 2..100u64 {
+            dev.apply(
+                0,
+                &ControlAction::Insert(rule(i, "10.0.0.0/8", 200 - i as u32, 1)),
+            )
+            .unwrap();
+        }
+        let top = dev
+            .apply(
+                0,
+                &ControlAction::Insert(rule(1000, "10.0.0.0/8", 10_000, 1)),
+            )
+            .unwrap();
+        assert_eq!(top.shifts, 99);
+        assert!(top.latency > dev.model().base);
+        assert!(dev.slice(0).busy > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn carved_slices_respect_sizes() {
+        let model = SwitchModel::dell_8132f();
+        let dev = TcamDevice::carved(
+            model,
+            &[
+                ("shadow", 50, MissBehavior::GotoNextSlice),
+                ("main", 900, MissBehavior::Drop),
+            ],
+        );
+        assert_eq!(dev.slice_count(), 2);
+        assert_eq!(dev.slice(0).table.capacity(), 50);
+        assert_eq!(dev.slice(1).table.capacity(), 900);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds capacity")]
+    fn carving_cannot_oversubscribe() {
+        let model = SwitchModel::dell_8132f();
+        TcamDevice::carved(
+            model,
+            &[
+                ("a", 900, MissBehavior::Drop),
+                ("b", 900, MissBehavior::Drop),
+            ],
+        );
+    }
+
+    #[test]
+    fn pipeline_lookup_shadow_first() {
+        let model = SwitchModel::pica8_p3290();
+        let mut dev = TcamDevice::carved(
+            model,
+            &[
+                ("shadow", 64, MissBehavior::GotoNextSlice),
+                ("main", 1900, MissBehavior::ToController),
+            ],
+        );
+        dev.apply(1, &ControlAction::Insert(rule(1, "192.168.1.0/24", 1, 2)))
+            .unwrap();
+        // Miss in shadow falls through to main.
+        assert_eq!(
+            dev.lookup(pkt("192.168.1.5")).action(),
+            Some(Action::Forward(2))
+        );
+        // A shadow entry takes precedence.
+        dev.apply(0, &ControlAction::Insert(rule(2, "192.168.1.0/26", 5, 1)))
+            .unwrap();
+        assert_eq!(
+            dev.lookup(pkt("192.168.1.5")).action(),
+            Some(Action::Forward(1))
+        );
+        // Outside the /26 the main rule still serves.
+        assert_eq!(
+            dev.lookup(pkt("192.168.1.200")).action(),
+            Some(Action::Forward(2))
+        );
+        // Total miss punts to controller.
+        assert_eq!(dev.lookup(pkt("8.8.8.8")), LookupResult::ToController);
+    }
+
+    #[test]
+    fn goto_next_table_action_falls_through() {
+        let model = SwitchModel::pica8_p3290();
+        let mut dev = TcamDevice::carved(
+            model,
+            &[
+                ("shadow", 64, MissBehavior::GotoNextSlice),
+                ("main", 1900, MissBehavior::Drop),
+            ],
+        );
+        // An explicit fall-through rule in the shadow.
+        let fall = Rule::new(1, TernaryKey::ANY, Priority(1), Action::GotoNextTable);
+        dev.apply(0, &ControlAction::Insert(fall)).unwrap();
+        dev.apply(1, &ControlAction::Insert(rule(2, "10.0.0.0/8", 1, 7)))
+            .unwrap();
+        assert_eq!(
+            dev.lookup(pkt("10.1.2.3")).action(),
+            Some(Action::Forward(7))
+        );
+        assert_eq!(dev.lookup(pkt("11.1.2.3")), LookupResult::Dropped);
+    }
+
+    #[test]
+    fn delete_and_modify_costs() {
+        let mut dev = TcamDevice::monolithic(SwitchModel::hp_5406zl());
+        dev.apply(0, &ControlAction::Insert(rule(1, "10.0.0.0/8", 5, 1)))
+            .unwrap();
+        let del_model = dev.model().delete;
+        let mod_model = dev.model().modify;
+        let m = dev
+            .apply(
+                0,
+                &ControlAction::Modify {
+                    id: RuleId(1),
+                    action: Some(Action::Drop),
+                    priority: None,
+                },
+            )
+            .unwrap();
+        assert_eq!(m.latency, mod_model);
+        let d = dev.apply(0, &ControlAction::Delete(RuleId(1))).unwrap();
+        assert_eq!(d.latency, del_model);
+        assert!(dev.apply(0, &ControlAction::Delete(RuleId(1))).is_err());
+    }
+
+    #[test]
+    fn priority_modify_is_delete_plus_insert() {
+        let mut dev = TcamDevice::monolithic(SwitchModel::pica8_p3290());
+        for i in 0..50u64 {
+            dev.apply(
+                0,
+                &ControlAction::Insert(rule(i, "10.0.0.0/8", 100 - i as u32, 1)),
+            )
+            .unwrap();
+        }
+        let rep = dev
+            .apply(
+                0,
+                &ControlAction::Modify {
+                    id: RuleId(49),
+                    action: None,
+                    priority: Some(Priority(1000)),
+                },
+            )
+            .unwrap();
+        // Rule moved to the top: all other entries shifted.
+        assert_eq!(rep.shifts, 49);
+        assert_eq!(dev.slice(0).table.entries()[0].id, RuleId(49));
+        assert!(rep.latency > dev.model().delete);
+    }
+
+    #[test]
+    fn find_rule_locates_slice() {
+        let model = SwitchModel::pica8_p3290();
+        let mut dev = TcamDevice::carved(
+            model,
+            &[
+                ("shadow", 64, MissBehavior::GotoNextSlice),
+                ("main", 1900, MissBehavior::Drop),
+            ],
+        );
+        dev.apply(1, &ControlAction::Insert(rule(9, "10.0.0.0/8", 5, 1)))
+            .unwrap();
+        assert_eq!(dev.find_rule(RuleId(9)).unwrap().0, 1);
+        assert!(dev.find_rule(RuleId(10)).is_none());
+    }
+}

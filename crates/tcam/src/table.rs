@@ -1,0 +1,469 @@
+//! The TCAM table model.
+//!
+//! A TCAM stores entries at physical addresses; on lookup *every* entry is
+//! compared in parallel and the lowest-address match wins. To honour rule
+//! priorities the switch software must therefore keep entries physically
+//! sorted by priority — and that is exactly why insertions are expensive:
+//! making room at the right address means *shifting* existing entries
+//! (§2.1: "the insertion time is a function of the time to perform this
+//! move which is proportional to the number of entries that must be moved").
+//!
+//! [`TcamTable`] models the entry list plus the shift accounting. It does
+//! not know about latency — the [`perf`](crate::perf) module converts shift
+//! counts into simulated time per switch model.
+
+use hermes_rules::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// How the switch software packs entries into the physical TCAM, which
+/// determines how many entries move per insertion. Real switches differ
+/// (§2.1: insertion-order effects of 10× between ascending and descending
+/// priority order), and Tango-style baselines exploit knowledge of this
+/// strategy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlacementStrategy {
+    /// Entries packed toward low addresses; an insertion at position `p`
+    /// shifts everything below it down. Inserting in *descending* priority
+    /// order is cheap (always appends).
+    PackedLow,
+    /// Entries packed toward high addresses; an insertion shifts everything
+    /// above it up. Inserting in *ascending* priority order is cheap.
+    PackedHigh,
+    /// The management software moves whichever side is smaller (free space
+    /// kept at both ends). Insertions in the middle still cost ~half the
+    /// table.
+    Balanced,
+}
+
+/// Why a TCAM operation was rejected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TcamError {
+    /// The table is at capacity.
+    Full,
+    /// No entry with the given rule id exists.
+    NotFound(RuleId),
+    /// An entry with this rule id already exists (ids must be unique per
+    /// table).
+    Duplicate(RuleId),
+}
+
+impl std::fmt::Display for TcamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TcamError::Full => write!(f, "TCAM table full"),
+            TcamError::NotFound(id) => write!(f, "no TCAM entry for rule {id}"),
+            TcamError::Duplicate(id) => write!(f, "duplicate TCAM entry for rule {id}"),
+        }
+    }
+}
+
+impl std::error::Error for TcamError {}
+
+/// Counters accumulated over the table's lifetime.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TableStats {
+    /// Number of successful insertions.
+    pub inserts: u64,
+    /// Number of successful deletions.
+    pub deletes: u64,
+    /// Number of successful in-place modifications.
+    pub modifies: u64,
+    /// Total entries shifted across all insertions.
+    pub total_shifts: u64,
+    /// Number of lookups served.
+    pub lookups: u64,
+}
+
+/// The outcome of a successful mutation: how many entries physically moved.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OpShifts {
+    /// Entries moved to make room (0 for appends, deletions and in-place
+    /// modifications).
+    pub shifts: usize,
+    /// Occupancy *before* the operation (the latency model keys off this).
+    pub occupancy_before: usize,
+}
+
+/// A priority-ordered TCAM table with bounded capacity.
+///
+/// Entries are kept sorted by descending [`Priority`]; among equal
+/// priorities, earlier-inserted entries match first (standard switch-agent
+/// behaviour). Lookup returns the first matching entry, which is exactly
+/// the highest-priority match.
+///
+/// ```
+/// use hermes_rules::prelude::*;
+/// use hermes_tcam::{PlacementStrategy, TcamTable};
+///
+/// let mut table = TcamTable::new(1024, PlacementStrategy::PackedLow);
+/// let wide: Ipv4Prefix = "10.0.0.0/8".parse().unwrap();
+/// let narrow: Ipv4Prefix = "10.1.0.0/16".parse().unwrap();
+/// table.insert(Rule::new(1, wide.to_key(), Priority(1), Action::Forward(1))).unwrap();
+/// let shifts = table.insert(Rule::new(2, narrow.to_key(), Priority(9), Action::Drop)).unwrap();
+/// // The higher-priority rule displaced the earlier entry.
+/// assert_eq!(shifts.shifts, 1);
+/// // Lookup returns the highest-priority match.
+/// let pkt = (u32::from_be_bytes([10, 1, 2, 3]) as u128) << 96;
+/// assert_eq!(table.peek(pkt).unwrap().action, Action::Drop);
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TcamTable {
+    entries: Vec<Rule>,
+    capacity: usize,
+    strategy: PlacementStrategy,
+    stats: TableStats,
+}
+
+impl TcamTable {
+    /// An empty table with the given capacity and placement strategy.
+    pub fn new(capacity: usize, strategy: PlacementStrategy) -> Self {
+        TcamTable {
+            entries: Vec::with_capacity(capacity.min(4096)),
+            capacity,
+            strategy,
+            stats: TableStats::default(),
+        }
+    }
+
+    /// Current number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the table holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Remaining free entries.
+    pub fn free(&self) -> usize {
+        self.capacity - self.entries.len()
+    }
+
+    /// Occupancy as a fraction of capacity in `[0, 1]`.
+    pub fn occupancy(&self) -> f64 {
+        if self.capacity == 0 {
+            return 1.0;
+        }
+        self.entries.len() as f64 / self.capacity as f64
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> TableStats {
+        self.stats
+    }
+
+    /// The placement strategy in use.
+    pub fn strategy(&self) -> PlacementStrategy {
+        self.strategy
+    }
+
+    /// The entries in match order (highest precedence first).
+    pub fn entries(&self) -> &[Rule] {
+        &self.entries
+    }
+
+    /// Looks up a rule by id.
+    pub fn get(&self, id: RuleId) -> Option<&Rule> {
+        self.entries.iter().find(|r| r.id == id)
+    }
+
+    /// `true` when an entry with this id exists.
+    pub fn contains(&self, id: RuleId) -> bool {
+        self.get(id).is_some()
+    }
+
+    /// The position a new rule of priority `p` would occupy: after every
+    /// entry with priority `>= p` (FIFO among equals).
+    fn insert_position(&self, p: Priority) -> usize {
+        self.entries.partition_point(|r| r.priority >= p)
+    }
+
+    /// How many entries must physically move for an insertion at `pos`.
+    fn shifts_for(&self, pos: usize) -> usize {
+        let below = self.entries.len() - pos;
+        let above = pos;
+        match self.strategy {
+            PlacementStrategy::PackedLow => below,
+            PlacementStrategy::PackedHigh => above,
+            PlacementStrategy::Balanced => below.min(above),
+        }
+    }
+
+    /// Inserts a rule, returning the shift count for the latency model.
+    ///
+    /// Rules with [`Priority::NONE`] carry no ordering requirement: the
+    /// switch drops them into any free slot without moving anything (§2.1:
+    /// "rules with priorities are five times slower than rules without
+    /// priorities"). They sort below all prioritized rules.
+    pub fn insert(&mut self, rule: Rule) -> Result<OpShifts, TcamError> {
+        if self.entries.len() >= self.capacity {
+            return Err(TcamError::Full);
+        }
+        if self.contains(rule.id) {
+            return Err(TcamError::Duplicate(rule.id));
+        }
+        let occupancy_before = self.entries.len();
+        let pos = self.insert_position(rule.priority);
+        let shifts = if rule.priority.is_none() {
+            0
+        } else {
+            self.shifts_for(pos)
+        };
+        self.entries.insert(pos, rule);
+        self.stats.inserts += 1;
+        self.stats.total_shifts += shifts as u64;
+        Ok(OpShifts {
+            shifts,
+            occupancy_before,
+        })
+    }
+
+    /// Deletes the rule with the given id. Deletion is an in-place
+    /// invalidation in real TCAMs — no shifting (§2.1: "deletion is a simple
+    /// and fast operation").
+    pub fn delete(&mut self, id: RuleId) -> Result<Rule, TcamError> {
+        let pos = self
+            .entries
+            .iter()
+            .position(|r| r.id == id)
+            .ok_or(TcamError::NotFound(id))?;
+        let rule = self.entries.remove(pos);
+        self.stats.deletes += 1;
+        Ok(rule)
+    }
+
+    /// Modifies the action of an existing rule in place. Constant time in
+    /// hardware ("modifying 5000 entries could be six times faster than
+    /// adding new flows"). Priority changes are *not* handled here — Hermes
+    /// converts them into delete+insert (§4.1).
+    pub fn modify_action(&mut self, id: RuleId, action: Action) -> Result<(), TcamError> {
+        let rule = self
+            .entries
+            .iter_mut()
+            .find(|r| r.id == id)
+            .ok_or(TcamError::NotFound(id))?;
+        rule.action = action;
+        self.stats.modifies += 1;
+        Ok(())
+    }
+
+    /// Replaces the match key of an existing rule in place (same-priority
+    /// match rewrite, also constant time).
+    pub fn modify_key(&mut self, id: RuleId, key: TernaryKey) -> Result<(), TcamError> {
+        let rule = self
+            .entries
+            .iter_mut()
+            .find(|r| r.id == id)
+            .ok_or(TcamError::NotFound(id))?;
+        rule.key = key;
+        self.stats.modifies += 1;
+        Ok(())
+    }
+
+    /// TCAM lookup: the first (highest-precedence) entry matching the packet.
+    pub fn lookup(&mut self, packet: u128) -> Option<Rule> {
+        self.stats.lookups += 1;
+        self.entries.iter().find(|r| r.key.matches(packet)).copied()
+    }
+
+    /// Lookup without touching statistics (for oracles and tests).
+    pub fn peek(&self, packet: u128) -> Option<Rule> {
+        self.entries.iter().find(|r| r.key.matches(packet)).copied()
+    }
+
+    /// Removes all entries (used when the Rule Manager empties the shadow
+    /// table after migration — a batch of in-place invalidations).
+    pub fn clear(&mut self) -> usize {
+        let n = self.entries.len();
+        self.stats.deletes += n as u64;
+        self.entries.clear();
+        n
+    }
+
+    /// Drains and returns all entries (step 1 of the migration workflow
+    /// copies rules out of the tables).
+    pub fn drain(&mut self) -> Vec<Rule> {
+        self.stats.deletes += self.entries.len() as u64;
+        std::mem::take(&mut self.entries)
+    }
+
+    /// Checks the priority-ordering invariant (debug aid / property tests).
+    pub fn check_invariants(&self) -> bool {
+        self.entries
+            .windows(2)
+            .all(|w| w[0].priority >= w[1].priority)
+            && self.entries.len() <= self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rule(id: u64, pfx: &str, prio: u32) -> Rule {
+        let p: Ipv4Prefix = pfx.parse().unwrap();
+        Rule::new(id, p.to_key(), Priority(prio), Action::Forward(id as u32))
+    }
+
+    #[test]
+    fn insert_orders_by_priority() {
+        let mut t = TcamTable::new(16, PlacementStrategy::PackedLow);
+        t.insert(rule(1, "10.0.0.0/8", 5)).unwrap();
+        t.insert(rule(2, "10.0.0.0/8", 10)).unwrap();
+        t.insert(rule(3, "10.0.0.0/8", 1)).unwrap();
+        let prios: Vec<u32> = t.entries().iter().map(|r| r.priority.0).collect();
+        assert_eq!(prios, vec![10, 5, 1]);
+        assert!(t.check_invariants());
+    }
+
+    #[test]
+    fn equal_priority_is_fifo() {
+        let mut t = TcamTable::new(16, PlacementStrategy::PackedLow);
+        t.insert(rule(1, "10.0.0.0/8", 5)).unwrap();
+        t.insert(rule(2, "11.0.0.0/8", 5)).unwrap();
+        let ids: Vec<u64> = t.entries().iter().map(|r| r.id.0).collect();
+        assert_eq!(ids, vec![1, 2]);
+    }
+
+    #[test]
+    fn shift_counting_packed_low() {
+        let mut t = TcamTable::new(16, PlacementStrategy::PackedLow);
+        // Descending priority: always appends, zero shifts.
+        for (i, p) in [50u32, 40, 30, 20, 10].iter().enumerate() {
+            let s = t.insert(rule(i as u64, "10.0.0.0/8", *p)).unwrap();
+            assert_eq!(s.shifts, 0, "descending insert must not shift");
+            assert_eq!(s.occupancy_before, i);
+        }
+        // A top-priority insert shifts everything.
+        let s = t.insert(rule(99, "10.0.0.0/8", 60)).unwrap();
+        assert_eq!(s.shifts, 5);
+    }
+
+    #[test]
+    fn shift_counting_packed_high() {
+        let mut t = TcamTable::new(16, PlacementStrategy::PackedHigh);
+        // Ascending priority: always at the top, zero shifts for PackedHigh.
+        for (i, p) in [10u32, 20, 30, 40, 50].iter().enumerate() {
+            let s = t.insert(rule(i as u64, "10.0.0.0/8", *p)).unwrap();
+            assert_eq!(s.shifts, 0, "ascending insert must not shift");
+        }
+        let s = t.insert(rule(99, "10.0.0.0/8", 5)).unwrap();
+        assert_eq!(s.shifts, 5);
+    }
+
+    #[test]
+    fn shift_counting_balanced() {
+        let mut t = TcamTable::new(16, PlacementStrategy::Balanced);
+        for (i, p) in [50u32, 40, 30, 20, 10].iter().enumerate() {
+            t.insert(rule(i as u64, "10.0.0.0/8", p * 10)).unwrap();
+        }
+        // Insert in the middle of 5 entries: min(above, below) = 2.
+        let s = t.insert(rule(99, "10.0.0.0/8", 250)).unwrap();
+        assert!(s.shifts <= 2, "balanced shifts {} > 2", s.shifts);
+    }
+
+    #[test]
+    fn none_priority_is_free_and_lowest() {
+        let mut t = TcamTable::new(16, PlacementStrategy::PackedHigh);
+        t.insert(rule(1, "10.0.0.0/8", 5)).unwrap();
+        let s = t.insert(rule(2, "0.0.0.0/0", 0)).unwrap();
+        assert_eq!(s.shifts, 0);
+        assert_eq!(t.entries().last().unwrap().id.0, 2);
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut t = TcamTable::new(2, PlacementStrategy::PackedLow);
+        t.insert(rule(1, "10.0.0.0/8", 1)).unwrap();
+        t.insert(rule(2, "10.0.0.0/8", 2)).unwrap();
+        assert_eq!(t.insert(rule(3, "10.0.0.0/8", 3)), Err(TcamError::Full));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_ids_rejected() {
+        let mut t = TcamTable::new(8, PlacementStrategy::PackedLow);
+        t.insert(rule(1, "10.0.0.0/8", 1)).unwrap();
+        assert_eq!(
+            t.insert(rule(1, "11.0.0.0/8", 2)),
+            Err(TcamError::Duplicate(RuleId(1)))
+        );
+    }
+
+    #[test]
+    fn lookup_returns_highest_priority_match() {
+        let mut t = TcamTable::new(16, PlacementStrategy::PackedLow);
+        t.insert(rule(1, "192.168.1.0/24", 1)).unwrap(); // port 1
+        t.insert(rule(2, "192.168.1.0/26", 9)).unwrap(); // port 2, higher prio
+        let pkt = ("192.168.1.5/32".parse::<Ipv4Prefix>().unwrap().addr() as u128) << 96;
+        let hit = t.lookup(pkt).unwrap();
+        assert_eq!(hit.id.0, 2);
+        // Outside the /26 the /24 matches.
+        let pkt2 = ("192.168.1.200/32".parse::<Ipv4Prefix>().unwrap().addr() as u128) << 96;
+        assert_eq!(t.lookup(pkt2).unwrap().id.0, 1);
+        // Miss entirely.
+        let pkt3 = ("10.0.0.1/32".parse::<Ipv4Prefix>().unwrap().addr() as u128) << 96;
+        assert!(t.lookup(pkt3).is_none());
+        assert_eq!(t.stats().lookups, 3);
+    }
+
+    #[test]
+    fn delete_and_modify() {
+        let mut t = TcamTable::new(16, PlacementStrategy::PackedLow);
+        t.insert(rule(1, "10.0.0.0/8", 5)).unwrap();
+        t.insert(rule(2, "11.0.0.0/8", 5)).unwrap();
+        t.modify_action(RuleId(1), Action::Drop).unwrap();
+        assert_eq!(t.get(RuleId(1)).unwrap().action, Action::Drop);
+        let removed = t.delete(RuleId(1)).unwrap();
+        assert_eq!(removed.id.0, 1);
+        assert_eq!(t.delete(RuleId(1)), Err(TcamError::NotFound(RuleId(1))));
+        assert_eq!(
+            t.modify_action(RuleId(1), Action::Drop),
+            Err(TcamError::NotFound(RuleId(1)))
+        );
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.stats().deletes, 1);
+        assert_eq!(t.stats().modifies, 1);
+    }
+
+    #[test]
+    fn clear_and_drain() {
+        let mut t = TcamTable::new(16, PlacementStrategy::PackedLow);
+        for i in 0..5 {
+            t.insert(rule(i, "10.0.0.0/8", (i + 1) as u32)).unwrap();
+        }
+        let drained = t.clone().drain();
+        assert_eq!(drained.len(), 5);
+        assert_eq!(t.clear(), 5);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn random_ops_maintain_invariants() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut t = TcamTable::new(64, PlacementStrategy::Balanced);
+        let mut next_id = 0u64;
+        let mut live: Vec<u64> = Vec::new();
+        for _ in 0..2000 {
+            if live.is_empty() || (rng.gen_bool(0.6) && t.free() > 0) {
+                let r = rule(next_id, "10.0.0.0/8", rng.gen_range(0..100));
+                if t.insert(r).is_ok() {
+                    live.push(next_id);
+                }
+                next_id += 1;
+            } else {
+                let i = rng.gen_range(0..live.len());
+                let id = live.swap_remove(i);
+                t.delete(RuleId(id)).unwrap();
+            }
+            assert!(t.check_invariants());
+        }
+    }
+}

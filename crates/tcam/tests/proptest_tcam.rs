@@ -1,0 +1,162 @@
+//! Property-based tests for the TCAM model: ordering invariants under
+//! arbitrary operation sequences, shift-count consistency, and latency
+//! model sanity across the whole occupancy range.
+
+use hermes_rules::prelude::*;
+use hermes_tcam::{PlacementStrategy, SimDuration, SwitchModel, TcamTable};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert { prio: u32, pfx_bits: u32, len: u8 },
+    Delete { idx: usize },
+    ModifyAction { idx: usize, port: u32 },
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0u32..2000, any::<u32>(), 8u8..=30).prop_map(|(prio, pfx_bits, len)| Op::Insert {
+            prio,
+            pfx_bits,
+            len
+        }),
+        1 => (any::<usize>()).prop_map(|idx| Op::Delete { idx }),
+        1 => (any::<usize>(), 0u32..48).prop_map(|(idx, port)| Op::ModifyAction { idx, port }),
+    ]
+}
+
+fn strategy() -> impl Strategy<Value = PlacementStrategy> {
+    prop_oneof![
+        Just(PlacementStrategy::PackedLow),
+        Just(PlacementStrategy::PackedHigh),
+        Just(PlacementStrategy::Balanced),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Invariants hold under any op sequence: priority-sorted entries,
+    /// capacity respected, shift counts bounded by occupancy.
+    #[test]
+    fn table_invariants_under_random_ops(
+        ops in prop::collection::vec(op(), 1..200),
+        placement in strategy(),
+    ) {
+        let mut table = TcamTable::new(64, placement);
+        let mut live: Vec<RuleId> = Vec::new();
+        let mut next = 0u64;
+        for o in ops {
+            match o {
+                Op::Insert { prio, pfx_bits, len } => {
+                    let rule = Rule::new(
+                        next,
+                        Ipv4Prefix::new(pfx_bits, len).to_key(),
+                        Priority(prio),
+                        Action::Forward(1),
+                    );
+                    next += 1;
+                    match table.insert(rule) {
+                        Ok(shifts) => {
+                            prop_assert!(shifts.shifts <= shifts.occupancy_before);
+                            live.push(rule.id);
+                        }
+                        Err(_) => prop_assert_eq!(table.len(), 64, "only Full may fail"),
+                    }
+                }
+                Op::Delete { idx } => {
+                    if !live.is_empty() {
+                        let id = live.swap_remove(idx % live.len());
+                        prop_assert!(table.delete(id).is_ok());
+                    }
+                }
+                Op::ModifyAction { idx, port } => {
+                    if !live.is_empty() {
+                        let id = live[idx % live.len()];
+                        prop_assert!(table.modify_action(id, Action::Forward(port)).is_ok());
+                    }
+                }
+            }
+            prop_assert!(table.check_invariants());
+            prop_assert_eq!(table.len(), live.len());
+        }
+    }
+
+    /// Lookup always returns the highest-priority matching rule (oracle:
+    /// linear max scan).
+    #[test]
+    fn lookup_matches_priority_oracle(
+        rules in prop::collection::vec((0u32..100, any::<u32>(), 8u8..=24), 1..40),
+        probe in any::<u32>(),
+    ) {
+        let mut table = TcamTable::new(256, PlacementStrategy::PackedLow);
+        let mut all = Vec::new();
+        for (i, (prio, bits, len)) in rules.iter().enumerate() {
+            let r = Rule::new(
+                i as u64,
+                Ipv4Prefix::new(*bits, *len).to_key(),
+                Priority(*prio),
+                Action::Forward(i as u32),
+            );
+            table.insert(r).expect("capacity");
+            all.push(r);
+        }
+        let pkt = (probe as u128) << 96;
+        let got = table.peek(pkt).map(|r| r.priority);
+        let want = all.iter().filter(|r| r.key.matches(pkt)).map(|r| r.priority).max();
+        prop_assert_eq!(got, want);
+    }
+
+    /// The empirical latency model is monotone in occupancy and shifts for
+    /// every switch, and worst-case sizing really bounds the worst case.
+    #[test]
+    fn latency_model_laws(occ in 0usize..2000, shifts in 0usize..2000) {
+        for m in SwitchModel::paper_models() {
+            let occ = occ.min(m.capacity - 1);
+            let shifts = shifts.min(occ);
+            let lat = m.insert_latency(occ, shifts);
+            prop_assert!(lat >= m.base);
+            prop_assert!(lat <= m.insert_latency(occ, occ) + SimDuration::from_nanos(1));
+            // Guarantee sizing: any table within the sized bound meets it.
+            let g = SimDuration::from_ms(5.0);
+            if let Some(size) = m.max_table_for_guarantee(g) {
+                if size > 0 {
+                    prop_assert!(m.worst_insert_latency(size) <= g);
+                }
+            }
+        }
+    }
+
+    /// Delete+reinsert is an identity for lookups (modulo FIFO ties).
+    #[test]
+    fn delete_reinsert_identity(
+        rules in prop::collection::vec((1u32..1000, any::<u32>(), 8u8..=24), 2..30,),
+        victim in any::<usize>(),
+        probes in prop::collection::vec(any::<u32>(), 20),
+    ) {
+        // Unique priorities so FIFO order can't matter.
+        let mut table = TcamTable::new(256, PlacementStrategy::Balanced);
+        let mut seen = std::collections::HashSet::new();
+        let mut all = Vec::new();
+        for (i, (prio, bits, len)) in rules.iter().enumerate() {
+            if !seen.insert(*prio) {
+                continue;
+            }
+            let r = Rule::new(
+                i as u64,
+                Ipv4Prefix::new(*bits, *len).to_key(),
+                Priority(*prio),
+                Action::Forward(i as u32),
+            );
+            table.insert(r).expect("capacity");
+            all.push(r);
+        }
+        prop_assume!(!all.is_empty());
+        let v = all[victim % all.len()];
+        let before: Vec<_> = probes.iter().map(|&p| table.peek((p as u128) << 96)).collect();
+        table.delete(v.id).expect("live");
+        table.insert(v).expect("room");
+        let after: Vec<_> = probes.iter().map(|&p| table.peek((p as u128) << 96)).collect();
+        prop_assert_eq!(before, after);
+    }
+}

@@ -1,0 +1,30 @@
+//! # hermes-workloads — the evaluation's datasets, generated
+//!
+//! The paper evaluates Hermes on six datasets (§8.1.3); each proprietary
+//! or non-redistributable source is replaced by a documented statistical
+//! generator (DESIGN.md §2):
+//!
+//! * [`facebook`] — MapReduce jobs with heavy-tailed shuffle sizes on a
+//!   1024-host cluster (stands in for the Facebook trace \[29\]);
+//! * [`gravity`] — tomo-gravity traffic matrices \[65\] + Poisson flow
+//!   decomposition (stands in for Abilene measurements and drives the
+//!   Geant/Quest synthetic workloads);
+//! * [`microbench`] — systematic rule-insertion streams parameterized by
+//!   arrival rate × overlap rate × priority mode;
+//! * [`bgptrace`] — BGPStream-like update streams: low baseline rate with
+//!   >1000 updates/s bursts (stands in for the four-router captures \[5\]).
+//!
+//! All generators are deterministic given their seed.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bgptrace;
+pub mod facebook;
+pub mod gravity;
+pub mod microbench;
+
+pub use bgptrace::{BgpTrace, TimedUpdate};
+pub use facebook::{FacebookWorkload, FlowSpec, JobSpec};
+pub use gravity::{flows_from_matrix, TimedFlow, TrafficMatrix};
+pub use microbench::{MicroBench, PriorityMode, TimedAction};

@@ -1,0 +1,92 @@
+//! Operator workflow with the §7 management API: explore the
+//! performance/overhead trade-off, then configure guarantees.
+//!
+//! ```sh
+//! cargo run --example qos_planning
+//! ```
+
+use hermes::core::prelude::*;
+use hermes::rules::prelude::*;
+use hermes::tcam::{SimDuration, SimTime, SwitchModel};
+
+fn main() {
+    let mut api = HermesApi::new();
+    api.register_switch(SwitchId(1), SwitchModel::pica8_p3290());
+    api.register_switch(SwitchId(2), SwitchModel::dell_8132f());
+    api.register_switch(SwitchId(3), SwitchModel::hp_5406zl());
+
+    // 1. Explore: what would each guarantee cost? (QoSOverheads)
+    println!("TCAM overhead by guarantee (QoSOverheads):");
+    println!(
+        "{:>10} {:>14} {:>14} {:>14}",
+        "guarantee", "Pica8", "Dell", "HP"
+    );
+    for ms in [1.0, 2.0, 5.0, 10.0, 20.0] {
+        let g = SimDuration::from_ms(ms);
+        let cell = |id: u32| match api.qos_overheads(SwitchId(id), g) {
+            Ok(f) => format!("{:.2}%", f * 100.0),
+            Err(_) => "infeasible".into(),
+        };
+        println!(
+            "{:>8.0}ms {:>14} {:>14} {:>14}",
+            ms,
+            cell(1),
+            cell(2),
+            cell(3)
+        );
+    }
+
+    // 2. Configure: 5 ms on the Pica8, but only for rules inside the
+    //    data-center prefix (the match-predicate argument).
+    let predicate = RulePredicate::DstWithin("10.0.0.0/8".parse().unwrap());
+    let handle = api
+        .create_tcam_qos(SwitchId(1), SimDuration::from_ms(5.0), predicate)
+        .expect("feasible");
+    println!(
+        "\nCreateTCAMQoS -> shadow {:?}: max burst rate {:.0} rules/s, overhead {:.2}%",
+        handle.shadow_id,
+        handle.max_burst_rate,
+        handle.overhead * 100.0
+    );
+
+    // 3. Use it: guaranteed rules ride the shadow table, others don't.
+    let agent = api.agent_mut(SwitchId(1)).expect("configured");
+    let dc_rule = Rule::new(
+        1,
+        "10.1.2.0/24".parse::<Ipv4Prefix>().unwrap().to_key(),
+        Priority(100),
+        Action::Forward(4),
+    );
+    let other_rule = Rule::new(
+        2,
+        "93.184.216.0/24".parse::<Ipv4Prefix>().unwrap().to_key(),
+        Priority(100),
+        Action::Forward(9),
+    );
+    let r1 = agent.insert(dc_rule, SimTime::ZERO).expect("insert");
+    let r2 = agent.insert(other_rule, SimTime::ZERO).expect("insert");
+    println!(
+        "10.1.2.0/24      -> route {:?}, latency {}",
+        r1.route().unwrap(),
+        r1.latency
+    );
+    println!(
+        "93.184.216.0/24  -> route {:?}, latency {}",
+        r2.route().unwrap(),
+        r2.latency
+    );
+
+    // 4. Re-target the guarantee at runtime (ModQoSConfig).
+    let h2 = api
+        .mod_qos_config(handle.shadow_id, SimDuration::from_ms(10.0))
+        .expect("resize");
+    println!(
+        "\nModQoSConfig(10ms) -> overhead now {:.2}%, burst {:.0} rules/s",
+        h2.overhead * 100.0,
+        h2.max_burst_rate
+    );
+
+    // 5. Tear down.
+    api.delete_qos(handle.shadow_id).expect("delete");
+    println!("DeleteQoS -> switch back to unmanaged");
+}

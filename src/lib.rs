@@ -1,0 +1,8 @@
+//! Umbrella crate re-exporting the Hermes reproduction workspace.
+pub use hermes_baselines as baselines;
+pub use hermes_bgp as bgp;
+pub use hermes_core as core;
+pub use hermes_netsim as netsim;
+pub use hermes_rules as rules;
+pub use hermes_tcam as tcam;
+pub use hermes_workloads as workloads;

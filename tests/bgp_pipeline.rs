@@ -1,0 +1,109 @@
+//! Cross-crate integration: the full BGP → RIB → FIB → TCAM pipeline.
+//!
+//! Correctness oracle: after replaying a whole update trace, the TCAM's
+//! longest-prefix-match answers must agree with the RIB's best routes.
+
+use hermes::bgp::prelude::*;
+use hermes::core::config::HermesConfig;
+use hermes::core::prelude::*;
+use hermes::rules::prelude::*;
+use hermes::tcam::{LookupResult, SimDuration, SimTime, SwitchModel, TcamDevice};
+use hermes::workloads::bgptrace::BgpTrace;
+
+fn lpm_oracle(rib: &Rib, pool: &[Ipv4Prefix], addr: u32) -> Option<u32> {
+    // Longest matching prefix with a best route wins.
+    pool.iter()
+        .filter(|p| p.matches(addr))
+        .filter_map(|p| rib.best(*p).map(|r| (p.len(), r.next_hop_port)))
+        .max_by_key(|(len, _)| *len)
+        .map(|(_, port)| port)
+}
+
+fn lookup_port(result: LookupResult) -> Option<u32> {
+    match result.action() {
+        Some(Action::Forward(p)) => Some(p),
+        _ => None,
+    }
+}
+
+#[test]
+fn fib_in_raw_tcam_matches_rib_lpm() {
+    let trace = BgpTrace {
+        prefixes: 400,
+        duration_s: 30.0,
+        ..Default::default()
+    };
+    let pool = trace.prefix_pool();
+    let mut rib = Rib::new();
+    let mut fib = Fib::new();
+    let mut dev = TcamDevice::monolithic(SwitchModel::pica8_p3290());
+    for u in trace.generate() {
+        if let Some(delta) = rib.process(u.update) {
+            let action = fib.compile(delta);
+            dev.apply(0, &action).expect("tcam apply");
+        }
+    }
+    // Probe addresses inside every pooled prefix plus random ones.
+    for (i, p) in pool.iter().enumerate() {
+        let addr = p.addr() | (i as u32 % 200);
+        let expect = lpm_oracle(&rib, &pool, addr);
+        let got = lookup_port(dev.peek((addr as u128) << 96));
+        assert_eq!(got, expect, "divergence for {addr:#x} (prefix {p})");
+    }
+}
+
+#[test]
+fn fib_through_hermes_matches_rib_lpm() {
+    let trace = BgpTrace {
+        prefixes: 300,
+        duration_s: 40.0,
+        ..Default::default()
+    };
+    let pool = trace.prefix_pool();
+    let mut rib = Rib::new();
+    let mut fib = Fib::new();
+    let config = HermesConfig {
+        guarantee: SimDuration::from_ms(5.0),
+        rate_limit: Some(f64::INFINITY),
+        ..Default::default()
+    };
+    let mut sw = HermesSwitch::new(SwitchModel::pica8_p3290(), config).expect("feasible");
+    let mut last_tick = SimTime::ZERO;
+    for u in trace.generate() {
+        if let Some(delta) = rib.process(u.update) {
+            let action = fib.compile(delta);
+            sw.submit(&action, u.at).expect("hermes apply");
+        }
+        if u.at.since(last_tick) >= SimDuration::from_ms(100.0) {
+            sw.tick(u.at);
+            last_tick = u.at;
+        }
+    }
+    for (i, p) in pool.iter().enumerate() {
+        let addr = p.addr() | (i as u32 % 200);
+        let expect = lpm_oracle(&rib, &pool, addr);
+        let got = lookup_port(sw.peek((addr as u128) << 96));
+        assert_eq!(got, expect, "divergence for {addr:#x} (prefix {p})");
+    }
+    assert!(
+        sw.stats().migrations > 0,
+        "the trace should have triggered migrations"
+    );
+}
+
+#[test]
+fn rib_suppression_reduces_tcam_load() {
+    let trace = BgpTrace {
+        prefixes: 500,
+        duration_s: 30.0,
+        ..Default::default()
+    };
+    let updates = trace.generate();
+    let mut rib = Rib::new();
+    let fib_ops = updates
+        .iter()
+        .filter(|u| rib.process(u.update).is_some())
+        .count();
+    assert!(fib_ops < updates.len(), "some updates must be RIB-only");
+    assert!(fib_ops > 0, "some updates must reach the FIB");
+}

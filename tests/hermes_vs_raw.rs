@@ -1,0 +1,188 @@
+//! Cross-crate integration: Hermes vs a raw switch on generated workloads,
+//! checking the paper's headline properties end to end.
+
+use hermes::baselines::{ControlPlane, CpQueue, HermesPlane, RawSwitch};
+use hermes::core::config::HermesConfig;
+use hermes::netsim::metrics::Samples;
+use hermes::rules::prelude::*;
+use hermes::tcam::{SimDuration, SimTime, SwitchModel};
+use hermes::workloads::microbench::{MicroBench, TimedAction};
+
+fn drive<P: ControlPlane>(plane: P, stream: &[TimedAction]) -> (Samples, Samples, u64) {
+    let mut q = CpQueue::new(plane);
+    let tick = SimDuration::from_ms(100.0);
+    let mut next_tick = SimTime::ZERO + tick;
+    let mut rit = Samples::new();
+    let mut exec = Samples::new();
+    let mut violations = 0;
+    for ta in stream {
+        while next_tick <= ta.at {
+            q.plane_mut().tick(next_tick);
+            next_tick += tick;
+        }
+        let (start, outcome) = q.submit(std::slice::from_ref(&ta.action), ta.at);
+        let op = outcome.ops.last().expect("one op");
+        rit.push((start + op.completed_at).since(ta.at).as_ms());
+        exec.push(op.exec.as_ms());
+        if op.violated {
+            violations += 1;
+        }
+    }
+    (rit, exec, violations)
+}
+
+/// Headline: Hermes improves the median RIT by a large factor once the raw
+/// switch's table has filled up.
+#[test]
+fn hermes_beats_raw_switch_at_scale() {
+    let stream = MicroBench {
+        arrival_rate: 20.0,
+        overlap_rate: 0.1,
+        count: 1200,
+        ..Default::default()
+    }
+    .generate();
+    let model = SwitchModel::pica8_p3290();
+    let (_, mut raw_exec, _) = drive(RawSwitch::new(model.clone()), &stream);
+    let config = HermesConfig::default();
+    let (_, mut hermes_exec, _) = drive(
+        HermesPlane::with_config(model, config).expect("feasible"),
+        &stream,
+    );
+
+    let raw_median = raw_exec.median();
+    let hermes_median = hermes_exec.median();
+    let improvement = (raw_median - hermes_median) / raw_median;
+    assert!(
+        improvement > 0.5,
+        "median improvement {improvement:.2} (raw {raw_median:.2}ms vs hermes {hermes_median:.2}ms)"
+    );
+}
+
+/// The guarantee holds: within the admitted rate, shadow-routed insertions
+/// never exceed the configured bound.
+#[test]
+fn guarantee_holds_within_admitted_rate() {
+    let model = SwitchModel::dell_8132f();
+    let guarantee = SimDuration::from_ms(5.0);
+    let config = HermesConfig::with_guarantee(guarantee);
+    let mut plane = HermesPlane::with_config(model, config).expect("feasible");
+    // Stay well under the sustainable rate.
+    let rate = plane.switch().max_supported_rate() * 0.5;
+    let stream = MicroBench {
+        arrival_rate: rate,
+        overlap_rate: 0.2,
+        count: 600,
+        ..Default::default()
+    }
+    .generate();
+    let tick = SimDuration::from_ms(100.0);
+    let mut q_next = SimTime::ZERO + tick;
+    let mut worst_guaranteed = SimDuration::ZERO;
+    let mut violations = 0u64;
+    for ta in &stream {
+        while q_next <= ta.at {
+            plane.tick(q_next);
+            q_next += tick;
+        }
+        if let ControlAction::Insert(rule) = ta.action {
+            let report = plane.switch_mut().insert(rule, ta.at).expect("insert");
+            if report.violated() {
+                violations += 1;
+            }
+            if matches!(
+                report.route(),
+                Some(hermes::core::gatekeeper::Route::Shadow)
+            ) {
+                worst_guaranteed = worst_guaranteed.max(report.latency);
+            }
+        }
+    }
+    assert_eq!(violations, 0, "no violations under the admitted rate");
+    assert!(
+        worst_guaranteed <= guarantee,
+        "worst shadow-routed latency {worst_guaranteed} exceeds {guarantee}"
+    );
+}
+
+/// Under sustained overload Hermes cannot promise the world — but it must
+/// degrade by diverting to the main table, not by blowing the guarantee
+/// for admitted rules.
+#[test]
+fn overload_diverts_rather_than_violates() {
+    let model = SwitchModel::pica8_p3290();
+    let config = HermesConfig::default(); // derived (honest) admission rate
+    let mut plane = HermesPlane::with_config(model, config).expect("feasible");
+    let stream = MicroBench {
+        arrival_rate: 500.0, // far above sustainable
+        overlap_rate: 0.0,
+        count: 2000,
+        ..Default::default()
+    }
+    .generate();
+    let mut diverted = 0u64;
+    let mut shadow_worst = SimDuration::ZERO;
+    let tick = SimDuration::from_ms(100.0);
+    let mut q_next = SimTime::ZERO + tick;
+    for ta in &stream {
+        while q_next <= ta.at {
+            plane.tick(q_next);
+            q_next += tick;
+        }
+        if let ControlAction::Insert(rule) = ta.action {
+            let report = plane.switch_mut().insert(rule, ta.at).expect("insert");
+            match report.route().expect("insert") {
+                hermes::core::gatekeeper::Route::Shadow => {
+                    shadow_worst = shadow_worst.max(report.latency)
+                }
+                _ => diverted += 1,
+            }
+        }
+    }
+    assert!(
+        diverted > 500,
+        "overload must divert to the main table ({diverted})"
+    );
+    assert!(
+        shadow_worst <= SimDuration::from_ms(5.0),
+        "admitted rules still bounded: {shadow_worst}"
+    );
+    let stats = plane.switch().stats();
+    assert!(
+        (stats.violations as f64) < 0.02 * stats.inserts as f64,
+        "violations {} of {} inserts",
+        stats.violations,
+        stats.inserts
+    );
+}
+
+/// Lookup equivalence survives the full pipeline: a packet matches the
+/// same way through Hermes's two tables as through the raw switch, for a
+/// shared rule set.
+#[test]
+fn lookup_equivalence_hermes_vs_raw() {
+    let stream = MicroBench {
+        arrival_rate: 50.0,
+        overlap_rate: 0.4,
+        count: 400,
+        ..Default::default()
+    }
+    .generate();
+    let model = SwitchModel::hp_5406zl();
+    let mut raw = RawSwitch::new(model.clone());
+    let mut hermes = HermesPlane::with_config(model, HermesConfig::default()).expect("feasible");
+    for ta in &stream {
+        raw.apply(&ta.action, ta.at);
+        hermes.apply(&ta.action, ta.at);
+        hermes.tick(ta.at);
+    }
+    // Compare lookups across a sample of destinations drawn from the
+    // workload space.
+    for i in 0..2000u32 {
+        let addr = (0b01u32 << 30) | (i.wrapping_mul(2654435761) % (1 << 30));
+        let pkt = (addr as u128) << 96;
+        let r = raw.device().peek(pkt).action();
+        let h = hermes.switch().peek(pkt).action();
+        assert_eq!(r, h, "divergence at address {addr:#x}");
+    }
+}

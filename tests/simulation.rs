@@ -1,0 +1,181 @@
+//! Cross-crate integration: full Varys simulations comparing control
+//! planes — the paper's application-level story at test scale.
+
+use hermes::core::config::HermesConfig;
+use hermes::netsim::prelude::*;
+use hermes::tcam::SwitchModel;
+use hermes::workloads::facebook::{FlowSpec, JobSpec};
+
+/// A congestion-heavy workload: full-rate flows between distinct host
+/// pairs crossing the fabric, so the TE app keeps rerouting and the
+/// control plane stays busy.
+fn workload(n: usize) -> Vec<JobSpec> {
+    (0..n)
+        .map(|i| JobSpec {
+            id: i,
+            arrival_s: (i % 8) as f64 * 0.05,
+            flows: vec![FlowSpec {
+                src: i % 16,
+                dst: 112 + (i % 16),
+                bytes: 800_000_000,
+            }],
+        })
+        .collect()
+}
+
+fn run(kind: SwitchKind, seed: u64) -> hermes::netsim::metrics::RunMetrics {
+    let topo = Topology::fat_tree(8, 10e9);
+    let config = VarysConfig {
+        switch: kind,
+        congestion_threshold: 0.6,
+        base_rules_per_switch: 300,
+        seed,
+        ..Default::default()
+    };
+    let mut sim = Varys::new(topo, config);
+    sim.register_jobs(&workload(24));
+    sim.run(600.0);
+    sim.metrics.clone()
+}
+
+#[test]
+fn all_flows_complete_under_every_control_plane() {
+    let model = SwitchModel::pica8_p3290();
+    for kind in [
+        SwitchKind::Ideal,
+        SwitchKind::Raw(model.clone()),
+        SwitchKind::Hermes(model.clone(), HermesConfig::default()),
+        SwitchKind::Tango(model.clone()),
+        SwitchKind::Espres(model),
+    ] {
+        let label = kind.label();
+        let m = run(kind, 5);
+        assert_eq!(m.fct_s.len(), 24, "{label}: flows lost");
+        assert_eq!(m.jct_s.len(), 24, "{label}: jobs lost");
+    }
+}
+
+#[test]
+fn control_latency_inflates_completion_times() {
+    let mut ideal = run(SwitchKind::Ideal, 5);
+    let mut raw = run(SwitchKind::Raw(SwitchModel::pica8_p3290()), 5);
+    // The raw switch's slow installations delay flow starts and reroutes.
+    // Per-job effects are mostly adverse, but delayed starts also shift
+    // contention between overlapping jobs, so allow a small tolerance on
+    // the mean at this tiny scale.
+    assert!(
+        raw.jct_s.mean() >= ideal.jct_s.mean() * 0.95,
+        "raw {} vs ideal {}",
+        raw.jct_s.mean(),
+        ideal.jct_s.mean()
+    );
+    assert!(raw.rit_ms.median() > ideal.rit_ms.median());
+}
+
+#[test]
+fn hermes_installs_faster_than_raw_in_the_network() {
+    let mut raw = run(SwitchKind::Raw(SwitchModel::pica8_p3290()), 5);
+    let mut hermes = run(
+        SwitchKind::Hermes(SwitchModel::pica8_p3290(), HermesConfig::default()),
+        5,
+    );
+    assert!(
+        hermes.rit_ms.median() < raw.rit_ms.median(),
+        "hermes median RIT {} !< raw {}",
+        hermes.rit_ms.median(),
+        raw.rit_ms.median()
+    );
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let a = run(SwitchKind::Raw(SwitchModel::dell_8132f()), 9);
+    let b = run(SwitchKind::Raw(SwitchModel::dell_8132f()), 9);
+    assert_eq!(a.fct_s.values(), b.fct_s.values());
+    assert_eq!(a.rit_ms.values(), b.rit_ms.values());
+    assert_eq!(a.installs, b.installs);
+}
+
+/// Paper-scale smoke test: the k=16 fat tree (1024 hosts, 320 switches)
+/// with a slice of the Facebook workload. Run with `--ignored` (takes a
+/// couple of minutes).
+#[test]
+#[ignore = "paper-scale run; invoke with --ignored"]
+fn paper_scale_fat_tree16() {
+    use hermes::workloads::facebook::FacebookWorkload;
+    let topo = Topology::fat_tree(16, 40e9);
+    let hosts = topo.hosts().len();
+    assert_eq!(hosts, 1024);
+    let config = VarysConfig {
+        switch: SwitchKind::Hermes(SwitchModel::pica8_p3290(), HermesConfig::default()),
+        congestion_threshold: 0.6,
+        base_rules_per_switch: 250,
+        seed: 1,
+        ..Default::default()
+    };
+    let mut sim = Varys::new(topo, config);
+    let jobs = FacebookWorkload {
+        jobs: 150,
+        hosts,
+        duration_s: 30.0,
+        seed: 3,
+    }
+    .generate();
+    let n_jobs = jobs.len();
+    sim.register_jobs(&jobs);
+    sim.run(1800.0);
+    assert_eq!(
+        sim.metrics.jct_s.len(),
+        n_jobs,
+        "all jobs complete at paper scale"
+    );
+}
+
+#[test]
+fn leaf_spine_fabric_simulation() {
+    let topo = Topology::leaf_spine(4, 2, 8, 10e9);
+    let config = VarysConfig {
+        switch: SwitchKind::Raw(SwitchModel::dell_8132f()),
+        congestion_threshold: 0.5,
+        base_rules_per_switch: 100,
+        seed: 3,
+        ..Default::default()
+    };
+    let mut sim = Varys::new(topo, config);
+    let jobs: Vec<JobSpec> = (0..12)
+        .map(|i| JobSpec {
+            id: i,
+            arrival_s: 0.05 * i as f64,
+            flows: vec![FlowSpec {
+                src: i % 8,
+                dst: 24 + (i % 8),
+                bytes: 400_000_000,
+            }],
+        })
+        .collect();
+    sim.register_jobs(&jobs);
+    sim.run(300.0);
+    assert_eq!(sim.metrics.fct_s.len(), 12);
+    assert!(sim.metrics.installs > 0, "gated starts install rules");
+}
+
+#[test]
+fn isp_topology_simulation_with_hermes() {
+    use hermes::workloads::gravity::{flows_from_matrix, TrafficMatrix};
+    let topo = Topology::geant();
+    let nodes = topo.hosts().len();
+    let config = VarysConfig {
+        switch: SwitchKind::Hermes(SwitchModel::dell_8132f(), HermesConfig::default()),
+        congestion_threshold: 0.6,
+        base_rules_per_switch: 150,
+        seed: 2,
+        ..Default::default()
+    };
+    let mut sim = Varys::new(topo, config);
+    let tm = TrafficMatrix::gravity(nodes, 3e9, 8);
+    let flows = flows_from_matrix(&tm, 3.0, 100e6, 9);
+    let n = flows.len();
+    sim.register_flows(&flows, 0);
+    sim.run(600.0);
+    assert_eq!(sim.metrics.fct_s.len(), n, "ISP flows must all complete");
+}
