@@ -1,8 +1,7 @@
-//! Criterion micro-benchmarks for the Hermes framework itself: Algorithm 1
+//! Micro-benchmarks for the Hermes framework itself: Algorithm 1
 //! partitioning, end-to-end insertion through the agent, migration, and
 //! the prediction algorithms — the software costs Fig. 15 reports.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hermes_core::config::{HermesConfig, MigrationMode};
 use hermes_core::partition::partition_new_rule;
 use hermes_core::predict::PredictorKind;
@@ -10,8 +9,9 @@ use hermes_core::prelude::*;
 use hermes_rules::overlap::OverlapIndex;
 use hermes_rules::prelude::*;
 use hermes_tcam::{SimDuration, SimTime, SwitchModel};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use hermes_util::bench::Bench;
+use hermes_util::rng::rngs::StdRng;
+use hermes_util::rng::{Rng, SeedableRng};
 use std::hint::black_box;
 
 fn random_main(n: usize, seed: u64) -> OverlapIndex {
@@ -30,8 +30,8 @@ fn random_main(n: usize, seed: u64) -> OverlapIndex {
     idx
 }
 
-fn bench_partition(c: &mut Criterion) {
-    let mut group = c.benchmark_group("partition_new_rule");
+fn bench_partition() {
+    let b = Bench::new("partition_new_rule");
     for n in [100usize, 1000, 5000] {
         let main = random_main(n, 5);
         // A wide low-priority rule: the worst case that actually gets cut.
@@ -41,133 +41,111 @@ fn bench_partition(c: &mut Criterion) {
             Priority(1),
             Action::Drop,
         );
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| black_box(partition_new_rule(black_box(&new), &main)));
+        b.run(&n.to_string(), || {
+            black_box(partition_new_rule(black_box(&new), &main))
         });
     }
-    group.finish();
 }
 
-fn bench_agent_insert(c: &mut Criterion) {
-    c.bench_function("hermes_agent_insert", |b| {
-        let config = HermesConfig {
-            rate_limit: Some(f64::INFINITY),
-            ..Default::default()
-        };
-        let base = HermesSwitch::new(SwitchModel::pica8_p3290(), config).expect("feasible");
-        let i = std::cell::Cell::new(0u64);
-        b.iter_batched(
+fn bench_agent_insert() {
+    let config = HermesConfig {
+        rate_limit: Some(f64::INFINITY),
+        ..Default::default()
+    };
+    let base = HermesSwitch::new(SwitchModel::pica8_p3290(), config).expect("feasible");
+    let i = std::cell::Cell::new(0u64);
+    Bench::new("hermes_agent_insert").run_batched(
+        "",
+        || {
+            i.set(0);
+            let mut sw = HermesSwitch::new(SwitchModel::pica8_p3290(), base.config().clone())
+                .expect("feasible");
+            // Pre-populate the main table.
+            for j in 0..500u64 {
+                let r = Rule::new(
+                    1_000_000 + j,
+                    Ipv4Prefix::new((j as u32) << 12, 24).to_key(),
+                    Priority(10 + (j % 100) as u32),
+                    Action::Forward(1),
+                );
+                sw.insert(r, SimTime::ZERO).expect("preload");
+            }
+            sw.migrate(SimTime::ZERO);
+            sw
+        },
+        |mut sw| {
+            for k in 0..32u64 {
+                i.set(i.get() + 1);
+                let id = i.get();
+                let r = Rule::new(
+                    id,
+                    Ipv4Prefix::new(0x0b000000 | ((id as u32) << 8), 24).to_key(),
+                    Priority(500 + (k % 10) as u32),
+                    Action::Forward(2),
+                );
+                sw.insert(r, SimTime::ZERO).expect("insert");
+            }
+            black_box(sw.shadow_len())
+        },
+    );
+}
+
+fn bench_migration() {
+    let b = Bench::new("hermes_migration");
+    for shadow_rules in [16usize, 48] {
+        b.run_batched(
+            &shadow_rules.to_string(),
             || {
-                i.set(0);
-                let mut sw = HermesSwitch::new(SwitchModel::pica8_p3290(), base.config().clone())
-                    .expect("feasible");
-                // Pre-populate the main table.
-                for j in 0..500u64 {
+                let config = HermesConfig {
+                    rate_limit: Some(f64::INFINITY),
+                    mode: MigrationMode::MakeBeforeBreak,
+                    ..Default::default()
+                };
+                let mut sw = HermesSwitch::new(SwitchModel::pica8_p3290(), config).expect("ok");
+                for j in 0..shadow_rules as u64 {
                     let r = Rule::new(
-                        1_000_000 + j,
+                        j,
                         Ipv4Prefix::new((j as u32) << 12, 24).to_key(),
-                        Priority(10 + (j % 100) as u32),
+                        Priority(10 + j as u32),
                         Action::Forward(1),
                     );
-                    sw.insert(r, SimTime::ZERO).expect("preload");
+                    sw.insert(r, SimTime::ZERO).expect("fill shadow");
                 }
-                sw.migrate(SimTime::ZERO);
                 sw
             },
-            |mut sw| {
-                for k in 0..32u64 {
-                    i.set(i.get() + 1);
-                    let id = i.get();
-                    let r = Rule::new(
-                        id,
-                        Ipv4Prefix::new(0x0b000000 | ((id as u32) << 8), 24).to_key(),
-                        Priority(500 + (k % 10) as u32),
-                        Action::Forward(2),
-                    );
-                    sw.insert(r, SimTime::ZERO).expect("insert");
-                }
-                black_box(sw.shadow_len())
-            },
-            criterion::BatchSize::LargeInput,
-        );
-    });
-}
-
-fn bench_migration(c: &mut Criterion) {
-    let mut group = c.benchmark_group("hermes_migration");
-    for shadow_rules in [16usize, 48] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(shadow_rules),
-            &shadow_rules,
-            |b, &n| {
-                b.iter_batched(
-                    || {
-                        let config = HermesConfig {
-                            rate_limit: Some(f64::INFINITY),
-                            mode: MigrationMode::MakeBeforeBreak,
-                            ..Default::default()
-                        };
-                        let mut sw =
-                            HermesSwitch::new(SwitchModel::pica8_p3290(), config).expect("ok");
-                        for j in 0..n as u64 {
-                            let r = Rule::new(
-                                j,
-                                Ipv4Prefix::new((j as u32) << 12, 24).to_key(),
-                                Priority(10 + j as u32),
-                                Action::Forward(1),
-                            );
-                            sw.insert(r, SimTime::ZERO).expect("fill shadow");
-                        }
-                        sw
-                    },
-                    |mut sw| black_box(sw.migrate(SimTime::ZERO)),
-                    criterion::BatchSize::LargeInput,
-                );
-            },
+            |mut sw| black_box(sw.migrate(SimTime::ZERO)),
         );
     }
-    group.finish();
 }
 
-fn bench_predictors(c: &mut Criterion) {
-    let mut group = c.benchmark_group("predict_one_step");
+fn bench_predictors() {
+    let b = Bench::new("predict_one_step");
     for kind in PredictorKind::all() {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{kind:?}")),
-            &kind,
-            |b, kind| {
-                let mut p = kind.build();
-                for t in 0..64 {
-                    p.observe(100.0 + (t as f64) * 3.0);
-                }
-                b.iter(|| {
-                    p.observe(black_box(150.0));
-                    black_box(p.predict())
-                });
-            },
-        );
+        let mut p = kind.build();
+        for t in 0..64 {
+            p.observe(100.0 + (t as f64) * 3.0);
+        }
+        b.run(&format!("{kind:?}"), || {
+            p.observe(black_box(150.0));
+            black_box(p.predict())
+        });
     }
-    group.finish();
 }
 
-fn bench_token_bucket(c: &mut Criterion) {
-    c.bench_function("token_bucket_try_take", |b| {
-        let mut bucket = TokenBucket::new(1000.0, 100.0);
-        let mut t = 0u64;
-        b.iter(|| {
-            t += 1000;
-            black_box(bucket.try_take(SimTime::from_nanos(t), 1.0))
-        });
+fn bench_token_bucket() {
+    let mut bucket = TokenBucket::new(1000.0, 100.0);
+    let mut t = 0u64;
+    Bench::new("token_bucket_try_take").run("", || {
+        t += 1000;
+        black_box(bucket.try_take(SimTime::from_nanos(t), 1.0))
     });
     let _ = SimDuration::ZERO;
 }
 
-criterion_group!(
-    benches,
-    bench_partition,
-    bench_agent_insert,
-    bench_migration,
-    bench_predictors,
-    bench_token_bucket
-);
-criterion_main!(benches);
+fn main() {
+    bench_partition();
+    bench_agent_insert();
+    bench_migration();
+    bench_predictors();
+    bench_token_bucket();
+}

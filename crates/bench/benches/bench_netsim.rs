@@ -1,14 +1,14 @@
-//! Criterion micro-benchmarks for the Varys simulator substrate: max-min
-//! fair allocation, shortest-path sampling and a small end-to-end
-//! simulation — the costs that bound experiment turnaround time.
+//! Micro-benchmarks for the Varys simulator substrate: max-min fair
+//! allocation, shortest-path sampling and a small end-to-end simulation —
+//! the costs that bound experiment turnaround time.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hermes_netsim::flow::{ActiveFlow, FlowTable};
 use hermes_netsim::prelude::*;
 use hermes_tcam::SimTime;
+use hermes_util::bench::Bench;
+use hermes_util::rng::rngs::StdRng;
+use hermes_util::rng::{Rng, SeedableRng};
 use hermes_workloads::facebook::FacebookWorkload;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::hint::black_box;
 
 fn flow_table_on(topo: &Topology, flows: usize, seed: u64) -> FlowTable {
@@ -39,56 +39,50 @@ fn flow_table_on(topo: &Topology, flows: usize, seed: u64) -> FlowTable {
     ft
 }
 
-fn bench_max_min(c: &mut Criterion) {
-    let mut group = c.benchmark_group("max_min_allocation");
-    group.sample_size(20);
+fn bench_max_min() {
+    let b = Bench::new("max_min_allocation").samples(20);
     let topo = Topology::fat_tree(8, 10e9);
     for flows in [50usize, 200, 800] {
         let base = flow_table_on(&topo, flows, 7);
-        group.bench_with_input(BenchmarkId::from_parameter(flows), &flows, |b, _| {
-            b.iter_batched(
-                || base.clone(),
-                |mut ft| black_box(ft.allocate_max_min(&topo).len()),
-                criterion::BatchSize::LargeInput,
-            );
-        });
+        b.run_batched(
+            &flows.to_string(),
+            || base.clone(),
+            |mut ft| black_box(ft.allocate_max_min(&topo).len()),
+        );
     }
-    group.finish();
 }
 
-fn bench_paths(c: &mut Criterion) {
-    c.bench_function("fat_tree16_random_shortest_path", |b| {
-        let topo = Topology::fat_tree(16, 40e9);
-        let hosts = topo.hosts();
-        let mut rng = StdRng::seed_from_u64(11);
-        b.iter(|| {
-            let s = hosts[rng.gen_range(0..hosts.len())];
-            let d = hosts[rng.gen_range(0..hosts.len())];
-            black_box(topo.random_shortest_path(s, d, None, &mut rng))
-        });
+fn bench_paths() {
+    let topo = Topology::fat_tree(16, 40e9);
+    let hosts = topo.hosts();
+    let mut rng = StdRng::seed_from_u64(11);
+    Bench::new("fat_tree16_random_shortest_path").run("", || {
+        let s = hosts[rng.gen_range(0..hosts.len())];
+        let d = hosts[rng.gen_range(0..hosts.len())];
+        black_box(topo.random_shortest_path(s, d, None, &mut rng))
     });
 }
 
-fn bench_end_to_end(c: &mut Criterion) {
-    let mut group = c.benchmark_group("varys_end_to_end");
-    group.sample_size(10);
-    group.bench_function("fat_tree4_30jobs_ideal", |b| {
-        let jobs = FacebookWorkload {
-            jobs: 30,
-            hosts: 16,
-            duration_s: 3.0,
-            seed: 5,
-        }
-        .generate();
-        b.iter(|| {
+fn bench_end_to_end() {
+    let jobs = FacebookWorkload {
+        jobs: 30,
+        hosts: 16,
+        duration_s: 3.0,
+        seed: 5,
+    }
+    .generate();
+    Bench::new("varys_end_to_end")
+        .samples(10)
+        .run("fat_tree4_30jobs_ideal", || {
             let topo = Topology::fat_tree(4, 10e9);
             let mut sim = Varys::new(topo, VarysConfig::default());
             sim.register_jobs(&jobs);
             black_box(sim.run(300.0))
         });
-    });
-    group.finish();
 }
 
-criterion_group!(benches, bench_max_min, bench_paths, bench_end_to_end);
-criterion_main!(benches);
+fn main() {
+    bench_max_min();
+    bench_paths();
+    bench_end_to_end();
+}

@@ -1,13 +1,13 @@
-//! Criterion micro-benchmarks for the classifier algebra: overlap
-//! detection (trie-indexed vs naive scan — the DESIGN.md ablation),
-//! difference cutting and rule-set minimization.
+//! Micro-benchmarks for the classifier algebra: overlap detection
+//! (trie-indexed vs naive scan — the DESIGN.md ablation), difference
+//! cutting and rule-set minimization.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hermes_rules::merge::{minimize_keys, optimize_ruleset};
 use hermes_rules::overlap::OverlapIndex;
 use hermes_rules::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use hermes_util::bench::Bench;
+use hermes_util::rng::rngs::StdRng;
+use hermes_util::rng::{Rng, SeedableRng};
 use std::hint::black_box;
 
 fn random_rules(n: usize, seed: u64) -> Vec<Rule> {
@@ -28,8 +28,8 @@ fn random_rules(n: usize, seed: u64) -> Vec<Rule> {
 
 /// Ablation: trie-backed overlap query vs the naive O(n) scan Algorithm 1
 /// would otherwise need.
-fn bench_overlap(c: &mut Criterion) {
-    let mut group = c.benchmark_group("overlap_query");
+fn bench_overlap() {
+    let b = Bench::new("overlap_query");
     for n in [100usize, 1000, 5000] {
         let rules = random_rules(n, 3);
         let mut index = OverlapIndex::new();
@@ -37,61 +37,51 @@ fn bench_overlap(c: &mut Criterion) {
             index.insert(*r);
         }
         let query = rules[n / 2].key;
-        group.bench_with_input(BenchmarkId::new("trie", n), &n, |b, _| {
-            b.iter(|| black_box(index.overlapping_above(black_box(&query), Priority(500))));
+        b.run(&format!("trie/{n}"), || {
+            black_box(index.overlapping_above(black_box(&query), Priority(500)))
         });
-        group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
-            b.iter(|| {
-                let hits: Vec<&Rule> = rules
-                    .iter()
-                    .filter(|r| r.priority > Priority(500) && r.key.overlaps(&query))
-                    .collect();
-                black_box(hits)
-            });
+        b.run(&format!("naive/{n}"), || {
+            let hits: Vec<&Rule> = rules
+                .iter()
+                .filter(|r| r.priority > Priority(500) && r.key.overlaps(&query))
+                .collect();
+            black_box(hits)
         });
     }
-    group.finish();
 }
 
-fn bench_difference(c: &mut Criterion) {
-    c.bench_function("ternary_difference_wide_vs_host", |b| {
-        let wide: Ipv4Prefix = "10.0.0.0/8".parse().unwrap();
-        let hole: Ipv4Prefix = "10.123.45.67/32".parse().unwrap();
-        let (w, h) = (wide.to_key(), hole.to_key());
-        b.iter(|| black_box(w.difference(black_box(&h))));
-    });
+fn bench_difference() {
+    let wide: Ipv4Prefix = "10.0.0.0/8".parse().unwrap();
+    let hole: Ipv4Prefix = "10.123.45.67/32".parse().unwrap();
+    let (w, h) = (wide.to_key(), hole.to_key());
+    Bench::new("ternary_difference_wide_vs_host")
+        .run("", || black_box(w.difference(black_box(&h))));
 }
 
-fn bench_minimize(c: &mut Criterion) {
-    let mut group = c.benchmark_group("minimize_keys");
+fn bench_minimize() {
+    let b = Bench::new("minimize_keys");
     for n in [8usize, 32, 128] {
         // n sibling /26 blocks that fully merge.
         let keys: Vec<TernaryKey> = (0..n)
             .map(|i| Ipv4Prefix::new(0x0a000000 | ((i as u32) << 6), 26).to_key())
             .collect();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| black_box(minimize_keys(black_box(keys.clone()))));
-        });
+        b.run(&n.to_string(), || black_box(minimize_keys(black_box(keys.clone()))));
     }
-    group.finish();
 }
 
-fn bench_optimize_ruleset(c: &mut Criterion) {
-    let mut group = c.benchmark_group("optimize_ruleset");
+fn bench_optimize_ruleset() {
+    let b = Bench::new("optimize_ruleset");
     for n in [100usize, 500] {
         let rules = random_rules(n, 9);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| black_box(optimize_ruleset(black_box(rules.clone()))));
+        b.run(&n.to_string(), || {
+            black_box(optimize_ruleset(black_box(rules.clone())))
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_overlap,
-    bench_difference,
-    bench_minimize,
-    bench_optimize_ruleset
-);
-criterion_main!(benches);
+fn main() {
+    bench_overlap();
+    bench_difference();
+    bench_minimize();
+    bench_optimize_ruleset();
+}

@@ -1,11 +1,11 @@
-//! Criterion micro-benchmarks for the TCAM device model: insertion (by
-//! occupancy), deletion, modification and lookup — the operations whose
-//! *simulated* costs drive every experiment, benchmarked here for *real*
-//! wall-clock cost to show the model itself is cheap.
+//! Micro-benchmarks for the TCAM device model: insertion (by occupancy),
+//! deletion, modification and lookup — the operations whose *simulated*
+//! costs drive every experiment, benchmarked here for *real* wall-clock
+//! cost to show the model itself is cheap.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hermes_rules::prelude::*;
 use hermes_tcam::{PlacementStrategy, SwitchModel, TcamDevice, TcamTable};
+use hermes_util::bench::Bench;
 use std::hint::black_box;
 
 fn rule(id: u64, i: u32, prio: u32) -> Rule {
@@ -26,72 +26,61 @@ fn filled_table(n: usize) -> TcamTable {
     t
 }
 
-fn bench_insert(c: &mut Criterion) {
-    let mut group = c.benchmark_group("tcam_insert");
+fn bench_insert() {
+    let b = Bench::new("tcam_insert");
     for occ in [100usize, 1000, 4000] {
-        group.bench_with_input(BenchmarkId::from_parameter(occ), &occ, |b, &occ| {
-            let base = filled_table(occ);
-            let mut i = occ as u64;
-            b.iter_batched(
-                || base.clone(),
-                |mut t| {
-                    i += 1;
-                    t.insert(rule(i, i as u32, 500)).expect("insert");
-                    black_box(t.len())
-                },
-                criterion::BatchSize::LargeInput,
-            );
-        });
+        let base = filled_table(occ);
+        let mut i = occ as u64;
+        b.run_batched(
+            &occ.to_string(),
+            || base.clone(),
+            |mut t| {
+                i += 1;
+                t.insert(rule(i, i as u32, 500)).expect("insert");
+                black_box(t.len())
+            },
+        );
     }
-    group.finish();
 }
 
-fn bench_lookup(c: &mut Criterion) {
-    let mut group = c.benchmark_group("tcam_lookup");
+fn bench_lookup() {
+    let b = Bench::new("tcam_lookup");
     for occ in [100usize, 1000, 4000] {
         let t = filled_table(occ);
-        group.bench_with_input(BenchmarkId::from_parameter(occ), &occ, |b, _| {
-            let pkt = ((occ as u32 / 2) << 8) as u128;
-            b.iter(|| black_box(t.peek(black_box(pkt << 96))));
-        });
+        let pkt = ((occ as u32 / 2) << 8) as u128;
+        b.run(&occ.to_string(), || black_box(t.peek(black_box(pkt << 96))));
     }
-    group.finish();
 }
 
-fn bench_device_pipeline(c: &mut Criterion) {
-    c.bench_function("device_shadow_main_lookup", |b| {
-        let model = SwitchModel::pica8_p3290();
-        let mut dev = TcamDevice::carved(
-            model,
-            &[
-                ("shadow", 64, hermes_tcam::MissBehavior::GotoNextSlice),
-                ("main", 1900, hermes_tcam::MissBehavior::ToController),
-            ],
-        );
-        for i in 0..500u64 {
-            dev.apply(
-                1,
-                &ControlAction::Insert(rule(i, i as u32, (i % 100) as u32 + 1)),
-            )
-            .expect("fill");
-        }
-        let pkt = (250u128 << 8) << 96;
-        b.iter(|| black_box(dev.peek(black_box(pkt))));
-    });
+fn bench_device_pipeline() {
+    let model = SwitchModel::pica8_p3290();
+    let mut dev = TcamDevice::carved(
+        model,
+        &[
+            ("shadow", 64, hermes_tcam::MissBehavior::GotoNextSlice),
+            ("main", 1900, hermes_tcam::MissBehavior::ToController),
+        ],
+    );
+    for i in 0..500u64 {
+        dev.apply(
+            1,
+            &ControlAction::Insert(rule(i, i as u32, (i % 100) as u32 + 1)),
+        )
+        .expect("fill");
+    }
+    let pkt = (250u128 << 8) << 96;
+    Bench::new("device_shadow_main_lookup").run("", || black_box(dev.peek(black_box(pkt))));
 }
 
-fn bench_perf_model(c: &mut Criterion) {
-    c.bench_function("perf_insert_latency_eval", |b| {
-        let m = SwitchModel::dell_8132f();
-        b.iter(|| black_box(m.insert_latency(black_box(500), black_box(230))));
-    });
+fn bench_perf_model() {
+    let m = SwitchModel::dell_8132f();
+    Bench::new("perf_insert_latency_eval")
+        .run("", || black_box(m.insert_latency(black_box(500), black_box(230))));
 }
 
-criterion_group!(
-    benches,
-    bench_insert,
-    bench_lookup,
-    bench_device_pipeline,
-    bench_perf_model
-);
-criterion_main!(benches);
+fn main() {
+    bench_insert();
+    bench_lookup();
+    bench_device_pipeline();
+    bench_perf_model();
+}

@@ -12,8 +12,8 @@
 use hermes_bench::Table;
 use hermes_rules::prelude::*;
 use hermes_tcam::{SimDuration, SwitchModel, TcamDevice};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use hermes_util::rng::rngs::StdRng;
+use hermes_util::rng::{Rng, SeedableRng};
 
 fn measured_update_rate(model: &SwitchModel, occupancy: usize, probes: usize) -> f64 {
     let mut dev = TcamDevice::monolithic(model.clone());

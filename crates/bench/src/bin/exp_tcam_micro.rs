@@ -10,8 +10,8 @@
 use hermes_bench::Table;
 use hermes_rules::prelude::*;
 use hermes_tcam::{SimDuration, SwitchModel, TcamDevice};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use hermes_util::rng::rngs::StdRng;
+use hermes_util::rng::{Rng, SeedableRng};
 
 fn rule(id: u64, i: u32, prio: u32) -> Rule {
     Rule::new(

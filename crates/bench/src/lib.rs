@@ -101,8 +101,8 @@ pub fn te_batches(
     seed: u64,
 ) -> Vec<(SimTime, Vec<hermes_rules::rule::ControlAction>)> {
     use hermes_rules::prelude::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use hermes_util::rng::rngs::StdRng;
+    use hermes_util::rng::{Rng, SeedableRng};
     let mut rng = StdRng::seed_from_u64(seed);
     let mut out: Vec<(SimTime, Vec<ControlAction>)> = Vec::new();
     let mut now_s = 0.0f64;
@@ -443,366 +443,39 @@ pub fn run_varys_geant(
 /// Writes a JSON document for downstream plotting when `HERMES_OUT` is set
 /// to a directory: `<HERMES_OUT>/<name>.json`. No-op otherwise. Errors are
 /// reported to stderr but never abort an experiment.
-pub fn export_json<T: serde::Serialize>(name: &str, value: &T) {
+pub fn export_json<T: hermes_util::json::ToJson>(name: &str, value: &T) {
     let Ok(dir) = std::env::var("HERMES_OUT") else {
         return;
     };
     let path = std::path::Path::new(&dir).join(format!("{name}.json"));
-    match serde_json::to_string_pretty_compat(value) {
-        Ok(body) => {
-            if let Err(e) = std::fs::write(&path, body) {
-                eprintln!("warning: could not write {}: {e}", path.display());
-            }
-        }
-        Err(e) => eprintln!("warning: could not serialize {name}: {e}"),
-    }
-}
-
-/// Minimal JSON serializer (avoiding a serde_json dependency): enough for
-/// the experiment exports, which are maps/lists of numbers and strings.
-mod serde_json {
-    use serde::ser::{self, Serialize};
-    use std::fmt::Write;
-
-    /// Serializes to a JSON string.
-    pub fn to_string_pretty_compat<T: Serialize>(value: &T) -> Result<String, Error> {
-        let mut ser = Json { out: String::new() };
-        value.serialize(&mut ser)?;
-        Ok(ser.out)
-    }
-
-    /// Serialization error.
-    #[derive(Debug)]
-    pub struct Error(pub String);
-
-    impl std::fmt::Display for Error {
-        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-            write!(f, "{}", self.0)
-        }
-    }
-    impl std::error::Error for Error {}
-    impl ser::Error for Error {
-        fn custom<T: std::fmt::Display>(msg: T) -> Self {
-            Error(msg.to_string())
-        }
-    }
-
-    struct Json {
-        out: String,
-    }
-
-    fn escape(s: &str, out: &mut String) {
-        out.push('"');
-        for c in s.chars() {
-            match c {
-                '"' => out.push_str("\\\""),
-                '\\' => out.push_str("\\\\"),
-                '\n' => out.push_str("\\n"),
-                '\t' => out.push_str("\\t"),
-                '\r' => out.push_str("\\r"),
-                c if (c as u32) < 0x20 => {
-                    let _ = write!(out, "\\u{:04x}", c as u32);
-                }
-                c => out.push(c),
-            }
-        }
-        out.push('"');
-    }
-
-    macro_rules! num {
-        ($fn:ident, $t:ty) => {
-            fn $fn(self, v: $t) -> Result<(), Error> {
-                let _ = write!(self.out, "{}", v);
-                Ok(())
-            }
-        };
-    }
-
-    impl<'a> ser::Serializer for &'a mut Json {
-        type Ok = ();
-        type Error = Error;
-        type SerializeSeq = Seq<'a>;
-        type SerializeTuple = Seq<'a>;
-        type SerializeTupleStruct = Seq<'a>;
-        type SerializeTupleVariant = Seq<'a>;
-        type SerializeMap = Map<'a>;
-        type SerializeStruct = Map<'a>;
-        type SerializeStructVariant = Map<'a>;
-
-        num!(serialize_i8, i8);
-        num!(serialize_i16, i16);
-        num!(serialize_i32, i32);
-        num!(serialize_i64, i64);
-        num!(serialize_u8, u8);
-        num!(serialize_u16, u16);
-        num!(serialize_u32, u32);
-        num!(serialize_u64, u64);
-
-        fn serialize_f32(self, v: f32) -> Result<(), Error> {
-            self.serialize_f64(v as f64)
-        }
-        fn serialize_f64(self, v: f64) -> Result<(), Error> {
-            if v.is_finite() {
-                let _ = write!(self.out, "{v}");
-            } else {
-                self.out.push_str("null");
-            }
-            Ok(())
-        }
-        fn serialize_bool(self, v: bool) -> Result<(), Error> {
-            self.out.push_str(if v { "true" } else { "false" });
-            Ok(())
-        }
-        fn serialize_char(self, v: char) -> Result<(), Error> {
-            escape(&v.to_string(), &mut self.out);
-            Ok(())
-        }
-        fn serialize_str(self, v: &str) -> Result<(), Error> {
-            escape(v, &mut self.out);
-            Ok(())
-        }
-        fn serialize_bytes(self, v: &[u8]) -> Result<(), Error> {
-            use serde::ser::SerializeSeq;
-            let mut seq = self.serialize_seq(Some(v.len()))?;
-            for b in v {
-                seq.serialize_element(b)?;
-            }
-            seq.end()
-        }
-        fn serialize_none(self) -> Result<(), Error> {
-            self.out.push_str("null");
-            Ok(())
-        }
-        fn serialize_some<T: ?Sized + Serialize>(self, value: &T) -> Result<(), Error> {
-            value.serialize(self)
-        }
-        fn serialize_unit(self) -> Result<(), Error> {
-            self.out.push_str("null");
-            Ok(())
-        }
-        fn serialize_unit_struct(self, _name: &'static str) -> Result<(), Error> {
-            self.serialize_unit()
-        }
-        fn serialize_unit_variant(
-            self,
-            _name: &'static str,
-            _idx: u32,
-            variant: &'static str,
-        ) -> Result<(), Error> {
-            self.serialize_str(variant)
-        }
-        fn serialize_newtype_struct<T: ?Sized + Serialize>(
-            self,
-            _name: &'static str,
-            value: &T,
-        ) -> Result<(), Error> {
-            value.serialize(self)
-        }
-        fn serialize_newtype_variant<T: ?Sized + Serialize>(
-            self,
-            _name: &'static str,
-            _idx: u32,
-            variant: &'static str,
-            value: &T,
-        ) -> Result<(), Error> {
-            self.out.push('{');
-            escape(variant, &mut self.out);
-            self.out.push(':');
-            value.serialize(&mut *self)?;
-            self.out.push('}');
-            Ok(())
-        }
-        fn serialize_seq(self, _len: Option<usize>) -> Result<Seq<'a>, Error> {
-            self.out.push('[');
-            Ok(Seq {
-                ser: self,
-                first: true,
-            })
-        }
-        fn serialize_tuple(self, len: usize) -> Result<Seq<'a>, Error> {
-            self.serialize_seq(Some(len))
-        }
-        fn serialize_tuple_struct(self, _n: &'static str, len: usize) -> Result<Seq<'a>, Error> {
-            self.serialize_seq(Some(len))
-        }
-        fn serialize_tuple_variant(
-            self,
-            _n: &'static str,
-            _i: u32,
-            _v: &'static str,
-            len: usize,
-        ) -> Result<Seq<'a>, Error> {
-            self.serialize_seq(Some(len))
-        }
-        fn serialize_map(self, _len: Option<usize>) -> Result<Map<'a>, Error> {
-            self.out.push('{');
-            Ok(Map {
-                ser: self,
-                first: true,
-            })
-        }
-        fn serialize_struct(self, _n: &'static str, len: usize) -> Result<Map<'a>, Error> {
-            self.serialize_map(Some(len))
-        }
-        fn serialize_struct_variant(
-            self,
-            _n: &'static str,
-            _i: u32,
-            _v: &'static str,
-            len: usize,
-        ) -> Result<Map<'a>, Error> {
-            self.serialize_map(Some(len))
-        }
-    }
-
-    /// Sequence serializer.
-    pub struct Seq<'a> {
-        ser: &'a mut Json,
-        first: bool,
-    }
-
-    impl<'a> ser::SerializeSeq for Seq<'a> {
-        type Ok = ();
-        type Error = Error;
-        fn serialize_element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Error> {
-            if !self.first {
-                self.ser.out.push(',');
-            }
-            self.first = false;
-            value.serialize(&mut *self.ser)
-        }
-        fn end(self) -> Result<(), Error> {
-            self.ser.out.push(']');
-            Ok(())
-        }
-    }
-
-    impl<'a> ser::SerializeTuple for Seq<'a> {
-        type Ok = ();
-        type Error = Error;
-        fn serialize_element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Error> {
-            ser::SerializeSeq::serialize_element(self, value)
-        }
-        fn end(self) -> Result<(), Error> {
-            ser::SerializeSeq::end(self)
-        }
-    }
-
-    impl<'a> ser::SerializeTupleStruct for Seq<'a> {
-        type Ok = ();
-        type Error = Error;
-        fn serialize_field<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Error> {
-            ser::SerializeSeq::serialize_element(self, value)
-        }
-        fn end(self) -> Result<(), Error> {
-            ser::SerializeSeq::end(self)
-        }
-    }
-
-    impl<'a> ser::SerializeTupleVariant for Seq<'a> {
-        type Ok = ();
-        type Error = Error;
-        fn serialize_field<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Error> {
-            ser::SerializeSeq::serialize_element(self, value)
-        }
-        fn end(self) -> Result<(), Error> {
-            ser::SerializeSeq::end(self)
-        }
-    }
-
-    /// Map/struct serializer.
-    pub struct Map<'a> {
-        ser: &'a mut Json,
-        first: bool,
-    }
-
-    impl<'a> ser::SerializeMap for Map<'a> {
-        type Ok = ();
-        type Error = Error;
-        fn serialize_key<T: ?Sized + Serialize>(&mut self, key: &T) -> Result<(), Error> {
-            if !self.first {
-                self.ser.out.push(',');
-            }
-            self.first = false;
-            key.serialize(&mut *self.ser)
-        }
-        fn serialize_value<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Error> {
-            self.ser.out.push(':');
-            value.serialize(&mut *self.ser)
-        }
-        fn end(self) -> Result<(), Error> {
-            self.ser.out.push('}');
-            Ok(())
-        }
-    }
-
-    impl<'a> ser::SerializeStruct for Map<'a> {
-        type Ok = ();
-        type Error = Error;
-        fn serialize_field<T: ?Sized + Serialize>(
-            &mut self,
-            key: &'static str,
-            value: &T,
-        ) -> Result<(), Error> {
-            ser::SerializeMap::serialize_key(self, key)?;
-            ser::SerializeMap::serialize_value(self, value)
-        }
-        fn end(self) -> Result<(), Error> {
-            self.ser.out.push('}');
-            Ok(())
-        }
-    }
-
-    impl<'a> ser::SerializeStructVariant for Map<'a> {
-        type Ok = ();
-        type Error = Error;
-        fn serialize_field<T: ?Sized + Serialize>(
-            &mut self,
-            key: &'static str,
-            value: &T,
-        ) -> Result<(), Error> {
-            ser::SerializeStruct::serialize_field(self, key, value)
-        }
-        fn end(self) -> Result<(), Error> {
-            ser::SerializeStruct::end(self)
-        }
+    if let Err(e) = std::fs::write(&path, value.to_json().to_string()) {
+        eprintln!("warning: could not write {}: {e}", path.display());
     }
 }
 
 #[cfg(test)]
 mod json_tests {
     use super::*;
-    use serde::Serialize;
-
-    #[derive(Serialize)]
-    struct Doc {
-        name: String,
-        points: Vec<(f64, f64)>,
-        n: u64,
-        tail: Option<f64>,
-        ok: bool,
-    }
+    use hermes_util::json::{Json, ToJson};
 
     #[test]
-    fn json_serializer_round_trips_structures() {
-        let doc = Doc {
-            name: "fig8 \"RIT\"\n".into(),
-            points: vec![(1.0, 0.5), (2.5, 1.0)],
-            n: 42,
-            tail: None,
-            ok: true,
-        };
-        let body = serde_json::to_string_pretty_compat(&doc).unwrap();
+    fn json_documents_serialize_compactly() {
+        let doc = Json::obj([
+            ("name", "fig8 \"RIT\"\n".to_json()),
+            ("points", vec![(1.0f64, 0.5f64), (2.5, 1.0)].to_json()),
+            ("n", 42u64.to_json()),
+            ("tail", Option::<f64>::None.to_json()),
+            ("ok", true.to_json()),
+        ]);
         assert_eq!(
-            body,
+            doc.to_string(),
             "{\"name\":\"fig8 \\\"RIT\\\"\\n\",\"points\":[[1,0.5],[2.5,1]],\"n\":42,\"tail\":null,\"ok\":true}"
         );
     }
 
     #[test]
     fn json_handles_non_finite_floats() {
-        let body = serde_json::to_string_pretty_compat(&vec![f64::NAN, 1.0]).unwrap();
-        assert_eq!(body, "[null,1]");
+        assert_eq!(vec![f64::NAN, 1.0].to_json().to_string(), "[null,1]");
     }
 
     #[test]
@@ -810,8 +483,7 @@ mod json_tests {
         let mut s = Samples::new();
         s.push(1.0);
         s.push(2.0);
-        let body = serde_json::to_string_pretty_compat(&s).unwrap();
-        assert!(body.contains("[1,2]"), "{body}");
+        assert_eq!(s.to_json().to_string(), "[1,2]");
     }
 
     #[test]

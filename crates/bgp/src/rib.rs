@@ -9,15 +9,14 @@
 //! that survive it.
 
 use hermes_rules::prefix::Ipv4Prefix;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// A BGP peer (session) identifier.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PeerId(pub u32);
 
 /// The attributes of a path learned from a peer, in decision order.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct BgpRoute {
     /// LOCAL_PREF: higher wins.
     pub local_pref: u32,
@@ -52,7 +51,7 @@ impl BgpRoute {
 }
 
 /// One BGP update message.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum BgpUpdate {
     /// A route announcement (implicit withdraw of the peer's previous
     /// route for the prefix).
@@ -82,7 +81,7 @@ impl BgpUpdate {
 
 /// A change to the forwarding table (only emitted when the best path
 /// actually changed).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum FibDelta {
     /// The prefix became reachable: install a route to the port.
     Add {

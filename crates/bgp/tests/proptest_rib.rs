@@ -1,35 +1,45 @@
 //! Property-based tests for the RIB: the incremental decision process must
 //! agree with a from-scratch recomputation after any update sequence, and
 //! the emitted FIB deltas must replay into exactly the best-route table.
+//! Runs under the in-tree `hermes_util::check!` harness with pinned seeds.
 
 use hermes_bgp::prelude::*;
 use hermes_rules::prefix::Ipv4Prefix;
-use proptest::prelude::*;
+use hermes_util::check::{range, vec_of, weighted, zip2, zip3, zip4, Gen};
 use std::collections::HashMap;
 
-fn prefix() -> impl Strategy<Value = Ipv4Prefix> {
+fn prefix() -> Gen<Ipv4Prefix> {
     // A small pool so updates collide on prefixes.
-    (0u32..16, 16u8..=24).prop_map(|(i, len)| Ipv4Prefix::new(0x0a00_0000 | (i << 20), len))
+    zip2(range(0u32..16), range(16u8..=24))
+        .map(|(i, len)| Ipv4Prefix::new(0x0a00_0000 | (i << 20), len))
 }
 
-fn route() -> impl Strategy<Value = BgpRoute> {
-    (0u32..4, 50u32..150, 1u32..6, 0u32..5).prop_map(|(peer, lp, aspath, med)| BgpRoute {
-        local_pref: lp,
-        as_path_len: aspath,
-        med,
-        peer: PeerId(peer),
-        next_hop_port: peer + 1,
-    })
+fn route() -> Gen<BgpRoute> {
+    zip4(range(0u32..4), range(50u32..150), range(1u32..6), range(0u32..5)).map(
+        |(peer, lp, aspath, med)| BgpRoute {
+            local_pref: lp,
+            as_path_len: aspath,
+            med,
+            peer: PeerId(peer),
+            next_hop_port: peer + 1,
+        },
+    )
 }
 
-fn update() -> impl Strategy<Value = BgpUpdate> {
-    prop_oneof![
-        3 => (prefix(), route()).prop_map(|(prefix, route)| BgpUpdate::Announce { prefix, route }),
-        1 => (prefix(), 0u32..4).prop_map(|(prefix, peer)| BgpUpdate::Withdraw {
-            prefix,
-            peer: PeerId(peer)
-        }),
-    ]
+fn update() -> Gen<BgpUpdate> {
+    weighted(vec![
+        (
+            3,
+            zip2(prefix(), route()).map(|(prefix, route)| BgpUpdate::Announce { prefix, route }),
+        ),
+        (
+            1,
+            zip2(prefix(), range(0u32..4)).map(|(prefix, peer)| BgpUpdate::Withdraw {
+                prefix,
+                peer: PeerId(peer),
+            }),
+        ),
+    ])
 }
 
 /// From-scratch oracle: track every peer's latest route per prefix and
@@ -59,12 +69,11 @@ fn oracle_best(history: &[BgpUpdate]) -> HashMap<Ipv4Prefix, BgpRoute> {
     best
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+hermes_util::check! {
+    #![cases = 256]
 
     /// Incremental best-path selection ≡ from-scratch recomputation.
-    #[test]
-    fn incremental_matches_recompute(updates in prop::collection::vec(update(), 1..120)) {
+    fn incremental_matches_recompute(updates in vec_of(update(), 1..120)) {
         let mut rib = Rib::new();
         for u in &updates {
             rib.process(*u);
@@ -72,59 +81,58 @@ proptest! {
         let want = oracle_best(&updates);
         for (prefix, route) in &want {
             let got = rib.best(*prefix);
-            prop_assert_eq!(got.map(|r| r.next_hop_port), Some(route.next_hop_port),
+            assert_eq!(got.map(|r| r.next_hop_port), Some(route.next_hop_port),
                 "prefix {}", prefix);
         }
         // And no extra best routes.
         for u in &updates {
             let p = u.prefix();
-            prop_assert_eq!(rib.best(p).is_some(), want.contains_key(&p), "prefix {}", p);
+            assert_eq!(rib.best(p).is_some(), want.contains_key(&p), "prefix {}", p);
         }
     }
 
     /// Replaying the FIB deltas yields exactly the best-route table — no
     /// action is lost or duplicated.
-    #[test]
-    fn fib_deltas_replay_to_best_routes(updates in prop::collection::vec(update(), 1..120)) {
+    fn fib_deltas_replay_to_best_routes(updates in vec_of(update(), 1..120)) {
         let mut rib = Rib::new();
         let mut replayed: HashMap<Ipv4Prefix, u32> = HashMap::new();
         for u in &updates {
             if let Some(delta) = rib.process(*u) {
                 match delta {
                     FibDelta::Add { prefix, port } => {
-                        prop_assert!(replayed.insert(prefix, port).is_none(), "double add");
+                        assert!(replayed.insert(prefix, port).is_none(), "double add");
                     }
                     FibDelta::Replace { prefix, old_port, new_port } => {
                         let prev = replayed.insert(prefix, new_port);
-                        prop_assert_eq!(prev, Some(old_port), "replace mismatch");
+                        assert_eq!(prev, Some(old_port), "replace mismatch");
                     }
                     FibDelta::Remove { prefix } => {
-                        prop_assert!(replayed.remove(&prefix).is_some(), "remove of absent");
+                        assert!(replayed.remove(&prefix).is_some(), "remove of absent");
                     }
                 }
             }
         }
         let want = oracle_best(&updates);
-        prop_assert_eq!(replayed.len(), want.len());
+        assert_eq!(replayed.len(), want.len());
         for (prefix, route) in want {
-            prop_assert_eq!(replayed.get(&prefix), Some(&route.next_hop_port));
+            assert_eq!(replayed.get(&prefix), Some(&route.next_hop_port));
         }
     }
 
     /// The decision order is a strict total order on distinct routes.
-    #[test]
-    fn decision_is_total_order(a in route(), b in route(), c in route()) {
+    fn decision_is_total_order(routes in zip3(route(), route(), route())) {
+        let (a, b, c) = routes;
         // Antisymmetry.
         if a.better_than(&b) {
-            prop_assert!(!b.better_than(&a));
+            assert!(!b.better_than(&a));
         }
         // Transitivity.
         if a.better_than(&b) && b.better_than(&c) {
-            prop_assert!(a.better_than(&c));
+            assert!(a.better_than(&c));
         }
         // Totality on routes from different peers.
         if a.peer != b.peer {
-            prop_assert!(a.better_than(&b) || b.better_than(&a));
+            assert!(a.better_than(&b) || b.better_than(&a));
         }
     }
 }

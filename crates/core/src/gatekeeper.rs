@@ -16,10 +16,9 @@
 use crate::config::RulePredicate;
 use hermes_rules::prelude::*;
 use hermes_tcam::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// A standard token bucket for admission control.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct TokenBucket {
     rate: f64,
     burst: f64,
@@ -68,7 +67,7 @@ impl TokenBucket {
 }
 
 /// Where the Gate Keeper routed an insertion, and why.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Route {
     /// Into the shadow table, under the guarantee.
     Shadow,

@@ -320,8 +320,8 @@ mod tests {
 
     #[test]
     fn randomized_partitions_verified_against_oracle() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        use hermes_util::rng::{Rng, SeedableRng};
+        let mut rng = hermes_util::rng::rngs::StdRng::seed_from_u64(23);
         for _ in 0..30 {
             let mut main = OverlapIndex::new();
             for i in 0..rng.gen_range(1..30u64) {

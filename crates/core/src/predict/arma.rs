@@ -196,8 +196,8 @@ mod tests {
 
     #[test]
     fn prediction_is_finite_on_noisy_input() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        use hermes_util::rng::{Rng, SeedableRng};
+        let mut rng = hermes_util::rng::rngs::StdRng::seed_from_u64(5);
         let mut a = Arma::new(2, 1, 32);
         for _ in 0..200 {
             a.observe(rng.gen_range(0.0..1000.0));

@@ -11,10 +11,9 @@
 //! The evaluation (§8.6) finds Slack (combined with Cubic Spline) most
 //! effective, with 100% slack needed at 1000 updates/s.
 
-use serde::{Deserialize, Serialize};
 
 /// A correction applied on top of a raw prediction.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum Corrector {
     /// No correction.
     None,

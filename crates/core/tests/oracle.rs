@@ -16,8 +16,8 @@ use hermes_core::prelude::*;
 use hermes_rules::fields::DST_SHIFT;
 use hermes_rules::prelude::*;
 use hermes_tcam::{LookupResult, PlacementStrategy, SimDuration, SimTime, SwitchModel, TcamTable};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use hermes_util::rng::rngs::StdRng;
+use hermes_util::rng::{Rng, SeedableRng};
 
 /// The monolithic reference: one big priority-ordered table.
 struct Oracle {
@@ -230,6 +230,71 @@ fn lockstep_threshold_zero_constant_migration() {
         SwitchModel::pica8_p3290(),
         MigrationTrigger::Threshold { fraction: 0.0 },
     );
+}
+
+// Satellite oracle: random whole rule *sets* (not op sequences) pushed
+// through Hermes — shadow routing, main-table migration and partitioned
+// rewrites included — must classify identically to one flat
+// priority-ordered table holding the same rules verbatim.
+hermes_util::check! {
+    #![cases = 256]
+
+    fn random_rule_sets_match_flat_table(
+        rules in hermes_util::check::vec_of(
+            hermes_util::check::zip3(
+                hermes_util::check::arb::<u32>(),
+                hermes_util::check::range(8u8..=28),
+                hermes_util::check::range(1u32..40),
+            ),
+            1..48,
+        ),
+        migrate_every in hermes_util::check::range(1usize..8),
+    ) {
+        let config = HermesConfig {
+            rate_limit: Some(f64::INFINITY),
+            ..Default::default()
+        };
+        let mut hermes = HermesSwitch::new(SwitchModel::pica8_p3290(), config).unwrap();
+        let mut flat = TcamTable::new(1 << 14, PlacementStrategy::PackedLow);
+        let mut now = SimTime::ZERO;
+
+        for (i, (bits, len, prio)) in rules.iter().enumerate() {
+            // Cluster into 10/8 so rules overlap and partitioning kicks in;
+            // tie action to priority so the flat table is unambiguous.
+            let addr = 0x0a00_0000u32 | (bits >> 8);
+            let r = Rule::new(
+                i as u64,
+                Ipv4Prefix::new(addr, *len).to_key(),
+                Priority(*prio),
+                Action::Forward(prio % 5 + 1),
+            );
+            now = now + SimDuration::from_ms(1.0);
+            hermes.insert(r, now).unwrap();
+            flat.insert(r).unwrap();
+            if i % migrate_every == migrate_every - 1 {
+                hermes.migrate(now);
+            }
+        }
+
+        // Probe inside every rule plus a deterministic spray of addresses.
+        for (i, (bits, len, _)) in rules.iter().enumerate() {
+            let addr = (0x0a00_0000u32 | (bits >> 8)) & (u32::MAX << (32 - *len as u32));
+            let p = pkt(addr | (i as u32 & 0x3f));
+            assert_eq!(
+                hermes_action(hermes.peek(p)),
+                flat.peek(p).map(|r| r.action),
+                "divergence inside rule {i}"
+            );
+        }
+        for i in 0..256u32 {
+            let p = pkt(0x0a00_0000 | (i.wrapping_mul(2654435761) % (1 << 24)));
+            assert_eq!(
+                hermes_action(hermes.peek(p)),
+                flat.peek(p).map(|r| r.action),
+                "divergence on sprayed packet {i}"
+            );
+        }
+    }
 }
 
 /// The Fig. 6 scenario, directed: a redundant rule must resurface when the

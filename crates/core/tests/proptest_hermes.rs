@@ -1,7 +1,7 @@
 //! Property-based tests for the Hermes framework: the §4 correctness
-//! guarantee under arbitrary operation sequences (a proptest twin of the
-//! directed lockstep oracle), partition soundness, and predictor/corrector
-//! laws.
+//! guarantee under arbitrary operation sequences (a twin of the directed
+//! lockstep oracle), partition soundness, and predictor/corrector laws.
+//! Runs under the in-tree `hermes_util::check!` harness with pinned seeds.
 
 use hermes_core::partition::{partition_new_rule, verify_partition};
 use hermes_core::predict::{Corrector, PredictorKind};
@@ -10,10 +10,11 @@ use hermes_rules::fields::DST_SHIFT;
 use hermes_rules::overlap::OverlapIndex;
 use hermes_rules::prelude::*;
 use hermes_tcam::{LookupResult, PlacementStrategy, SimDuration, SimTime, SwitchModel, TcamTable};
-use proptest::prelude::*;
+use hermes_util::check::{arb, just, range, vec_of, weighted, zip2, zip3, Gen};
 
-fn prefix() -> impl Strategy<Value = Ipv4Prefix> {
-    (any::<u32>(), 8u8..=26).prop_map(|(a, len)| Ipv4Prefix::new(0x0a00_0000 | (a >> 8), len))
+fn prefix() -> Gen<Ipv4Prefix> {
+    zip2(arb::<u32>(), range(8u8..=26))
+        .map(|(a, len)| Ipv4Prefix::new(0x0a00_0000 | (a >> 8), len))
 }
 
 #[derive(Clone, Debug)]
@@ -25,30 +26,36 @@ enum Op {
     Migrate,
 }
 
-fn op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        5 => (prefix(), 1u32..30).prop_map(|(pfx, prio)| Op::Insert { pfx, prio }),
-        2 => any::<usize>().prop_map(|idx| Op::Delete { idx }),
-        1 => (any::<usize>(), 1u32..30).prop_map(|(idx, prio)| Op::ModifyPrio { idx, prio }),
-        1 => Just(Op::Tick),
-        1 => Just(Op::Migrate),
-    ]
+fn op() -> Gen<Op> {
+    weighted(vec![
+        (
+            5,
+            zip2(prefix(), range(1u32..30)).map(|(pfx, prio)| Op::Insert { pfx, prio }),
+        ),
+        (2, arb::<usize>().map(|idx| Op::Delete { idx })),
+        (
+            1,
+            zip2(arb::<usize>(), range(1u32..30))
+                .map(|(idx, prio)| Op::ModifyPrio { idx, prio }),
+        ),
+        (1, just(Op::Tick)),
+        (1, just(Op::Migrate)),
+    ])
 }
 
 fn action_of(result: LookupResult) -> Option<Action> {
     result.rule().map(|r| r.action)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+hermes_util::check! {
+    #![cases = 256]
 
     /// The monolithic-equivalence guarantee, property-tested: any sequence
     /// of inserts/deletes/priority-modifies/ticks/migrations leaves the
     /// shadow+main pair classifying identically to one big table. (Actions
     /// are tied to priorities so same-priority overlap — undefined even in
     /// OpenFlow — cannot confound the oracle.)
-    #[test]
-    fn lockstep_equivalence(ops in prop::collection::vec(op(), 1..80)) {
+    fn lockstep_equivalence(ops in vec_of(op(), 1..80)) {
         let config = HermesConfig {
             // Everything through the shadow path where possible.
             rate_limit: Some(f64::INFINITY),
@@ -99,7 +106,7 @@ proptest! {
             for (k, r) in live.iter().enumerate() {
                 if let Some(dst) = hermes_rules::fields::FlowMatch::dst_prefix_of_key(&r.key) {
                     let pkt = ((dst.addr() | (k as u32 & 0x3f)) as u128) << DST_SHIFT;
-                    prop_assert_eq!(
+                    assert_eq!(
                         action_of(hermes.peek(pkt)),
                         oracle.peek(pkt).map(|m| m.action),
                         "probe in rule {:?}",
@@ -111,11 +118,10 @@ proptest! {
     }
 
     /// Algorithm 1 soundness against random main tables (sampled oracle).
-    #[test]
     fn partition_soundness(
-        main_rules in prop::collection::vec((prefix(), 5u32..40), 0..25),
+        main_rules in vec_of(zip2(prefix(), range(5u32..40)), 0..25),
         new_pfx in prefix(),
-        new_prio in 1u32..5,
+        new_prio in range(1u32..5),
     ) {
         let mut main = OverlapIndex::new();
         for (i, (p, prio)) in main_rules.iter().enumerate() {
@@ -130,41 +136,41 @@ proptest! {
                 ((new_pfx.addr() | host) as u128) << DST_SHIFT
             })
             .collect();
-        prop_assert!(verify_partition(&new, &outcome, &main, &samples));
+        assert!(verify_partition(&new, &outcome, &main, &samples));
     }
 
     /// Correctors only ever inflate non-negative predictions, and Slack
     /// scales linearly.
-    #[test]
-    fn corrector_laws(pred in 0.0f64..1e6, slack in 0.0f64..2.0, dz in 0.0f64..1e4) {
-        prop_assert!(Corrector::Slack(slack).apply(pred) >= pred);
-        prop_assert!(Corrector::Deadzone(dz).apply(pred) >= pred);
-        prop_assert_eq!(Corrector::None.apply(pred), pred);
+    fn corrector_laws(
+        args in zip3(range(0.0f64..1e6), range(0.0f64..2.0), range(0.0f64..1e4)),
+    ) {
+        let (pred, slack, dz) = args;
+        assert!(Corrector::Slack(slack).apply(pred) >= pred);
+        assert!(Corrector::Deadzone(dz).apply(pred) >= pred);
+        assert_eq!(Corrector::None.apply(pred), pred);
         let a = Corrector::Slack(slack).apply(pred);
-        prop_assert!((a - pred * (1.0 + slack)).abs() < 1e-6);
+        assert!((a - pred * (1.0 + slack)).abs() < 1e-6);
     }
 
     /// Every predictor returns finite non-negative predictions on
     /// arbitrary non-negative series.
-    #[test]
-    fn predictors_are_total(series in prop::collection::vec(0.0f64..1e5, 0..64)) {
+    fn predictors_are_total(series in vec_of(range(0.0f64..1e5), 0..64)) {
         for kind in PredictorKind::all() {
             let mut p = kind.build();
             for &v in &series {
                 p.observe(v);
                 let pred = p.predict();
-                prop_assert!(pred.is_finite() && pred >= 0.0, "{:?} produced {}", kind, pred);
+                assert!(pred.is_finite() && pred >= 0.0, "{:?} produced {}", kind, pred);
             }
         }
     }
 
     /// Token bucket: cumulative admissions over any request pattern never
     /// exceed burst + rate·elapsed.
-    #[test]
     fn token_bucket_never_over_admits(
-        gaps_ms in prop::collection::vec(0.0f64..100.0, 1..100),
-        rate in 1.0f64..1000.0,
-        burst in 1.0f64..100.0,
+        gaps_ms in vec_of(range(0.0f64..100.0), 1..100),
+        rate in range(1.0f64..1000.0),
+        burst in range(1.0f64..100.0),
     ) {
         let mut bucket = TokenBucket::new(rate, burst);
         let mut now = SimTime::ZERO;
@@ -175,29 +181,28 @@ proptest! {
                 admitted += 1.0;
             }
             let bound = burst + rate * now.as_secs() + 1e-6;
-            prop_assert!(admitted <= bound, "admitted {} > bound {}", admitted, bound);
+            assert!(admitted <= bound, "admitted {} > bound {}", admitted, bound);
         }
     }
 
     /// Sizing: the shadow never exceeds half the TCAM and the configured
     /// guarantee is honoured by the worst-case single insert.
-    #[test]
-    fn shadow_sizing_laws(g_ms in 0.5f64..50.0) {
+    fn shadow_sizing_laws(g_ms in range(0.5f64..50.0)) {
         for model in SwitchModel::paper_models() {
             let config = HermesConfig::with_guarantee(SimDuration::from_ms(g_ms));
             match HermesSwitch::new(model.clone(), config) {
                 Ok(sw) => {
-                    prop_assert!(sw.shadow_capacity() <= model.capacity / 2);
-                    prop_assert!(
+                    assert!(sw.shadow_capacity() <= model.capacity / 2);
+                    assert!(
                         model.worst_insert_latency(sw.shadow_capacity())
                             <= SimDuration::from_ms(g_ms)
                             || sw.shadow_capacity() == 1
                     );
                 }
                 Err(HermesError::InfeasibleGuarantee) => {
-                    prop_assert!(SimDuration::from_ms(g_ms) < model.base + model.base);
+                    assert!(SimDuration::from_ms(g_ms) < model.base + model.base);
                 }
-                Err(e) => prop_assert!(false, "unexpected error {e:?}"),
+                Err(e) => assert!(false, "unexpected error {e:?}"),
             }
         }
     }

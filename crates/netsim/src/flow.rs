@@ -189,8 +189,8 @@ impl FlowTable {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use hermes_util::rng::rngs::StdRng;
+    use hermes_util::rng::SeedableRng;
 
     fn flow(id: FlowId, src: usize, dst: usize, path: Vec<LinkId>) -> ActiveFlow {
         ActiveFlow {

@@ -3,10 +3,10 @@
 //! rendering the paper's figures.
 
 use hermes_tcam::SimDuration;
-use serde::{Deserialize, Serialize};
+use hermes_util::json::{Json, ToJson};
 
 /// An empirical distribution of latency/duration samples.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Samples {
     values: Vec<f64>,
     sorted: bool,
@@ -111,8 +111,16 @@ impl Samples {
     }
 }
 
+impl ToJson for Samples {
+    /// Serializes as the raw value array (insertion order), so two
+    /// identically-seeded runs produce byte-identical documents.
+    fn to_json(&self) -> Json {
+        self.values.to_json()
+    }
+}
+
 /// The metric bundle a simulation run produces.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct RunMetrics {
     /// Rule installation times, ms.
     pub rit_ms: Samples,
@@ -132,6 +140,22 @@ pub struct RunMetrics {
     pub installs: u64,
     /// Migrations performed (Hermes only).
     pub migrations: u64,
+}
+
+impl ToJson for RunMetrics {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("rit_ms", self.rit_ms.to_json()),
+            ("fct_s", self.fct_s.to_json()),
+            ("jct_s", self.jct_s.to_json()),
+            ("jct_short_s", self.jct_short_s.to_json()),
+            ("jct_long_s", self.jct_long_s.to_json()),
+            ("fct_short_s", self.fct_short_s.to_json()),
+            ("violations", self.violations.to_json()),
+            ("installs", self.installs.to_json()),
+            ("migrations", self.migrations.to_json()),
+        ])
+    }
 }
 
 /// Median improvement of `ours` over `baseline` as a fraction (the "%

@@ -24,8 +24,8 @@ use hermes_rules::prelude::*;
 use hermes_tcam::{SimDuration, SimTime, SwitchModel};
 use hermes_workloads::facebook::JobSpec;
 use hermes_workloads::gravity::TimedFlow;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use hermes_util::rng::rngs::StdRng;
+use hermes_util::rng::SeedableRng;
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, HashSet};
 
@@ -486,7 +486,7 @@ impl Varys {
         let switches = self.topo.switches_on_path(src, path);
         let mut ready = self.now;
         let mut rules = Vec::with_capacity(switches.len());
-        let priority = Priority(200 + (rand::Rng::gen_range(&mut self.rng, 0..1600u32)));
+        let priority = Priority(200 + (hermes_util::rng::Rng::gen_range(&mut self.rng, 0..1600u32)));
         for sw in switches {
             let rule = Rule::new(
                 self.next_rule,
@@ -636,7 +636,7 @@ impl Varys {
         let mut new_rules = Vec::with_capacity(switches.len());
         // Per-flow priority within the TE band: lands mid-table among the
         // base rules (flow classes differ in practice).
-        let priority = Priority(200 + (rand::Rng::gen_range(&mut self.rng, 0..1600u32)));
+        let priority = Priority(200 + (hermes_util::rng::Rng::gen_range(&mut self.rng, 0..1600u32)));
         for sw in switches {
             let rule = Rule::new(
                 self.next_rule,

@@ -12,8 +12,7 @@
 //! control plane). ISP PoPs are modelled as a switch plus one attached
 //! host that sources/sinks the PoP's traffic.
 
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use hermes_util::rng::Rng;
 use std::collections::VecDeque;
 
 /// Node index.
@@ -22,7 +21,7 @@ pub type NodeId = usize;
 pub type LinkId = usize;
 
 /// What a node is.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum NodeKind {
     /// Traffic endpoint.
     Host,
@@ -31,7 +30,7 @@ pub enum NodeKind {
 }
 
 /// An undirected link with symmetric capacity.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Link {
     /// One endpoint.
     pub a: NodeId,
@@ -53,7 +52,7 @@ impl Link {
 }
 
 /// A network: nodes, links, adjacency.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Topology {
     /// Node kinds, indexed by [`NodeId`].
     pub kinds: Vec<NodeKind>,
@@ -402,8 +401,8 @@ impl Topology {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use hermes_util::rng::rngs::StdRng;
+    use hermes_util::rng::SeedableRng;
 
     #[test]
     fn fat_tree_dimensions() {

@@ -1,13 +1,14 @@
 //! Property-based tests for the max-min fair allocator: feasibility, work
 //! conservation, and max-min optimality (no flow can be raised without
-//! lowering a flow that is no better off).
+//! lowering a flow that is no better off). Runs under the in-tree
+//! `hermes_util::check!` harness with pinned default seeds.
 
 use hermes_netsim::flow::{ActiveFlow, FlowTable};
 use hermes_netsim::prelude::*;
 use hermes_tcam::SimTime;
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use hermes_util::check::{arb, vec_of, zip2, zip3};
+use hermes_util::rng::rngs::StdRng;
+use hermes_util::rng::SeedableRng;
 
 fn build(topo: &Topology, pairs: &[(usize, usize)], seed: u64) -> FlowTable {
     let hosts = topo.hosts();
@@ -37,14 +38,13 @@ fn build(topo: &Topology, pairs: &[(usize, usize)], seed: u64) -> FlowTable {
     ft
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+hermes_util::check! {
+    #![cases = 256]
 
     /// Feasibility + work conservation + max-min optimality on a fat tree.
-    #[test]
     fn max_min_is_fair_and_feasible(
-        pairs in prop::collection::vec((any::<usize>(), any::<usize>()), 1..40),
-        seed in any::<u64>(),
+        pairs in vec_of(zip2(arb::<usize>(), arb::<usize>()), 1..40),
+        seed in arb::<u64>(),
     ) {
         let topo = Topology::fat_tree(4, 10e9);
         let mut ft = build(&topo, &pairs, seed);
@@ -53,13 +53,13 @@ proptest! {
         // Feasibility: no link over capacity.
         let mut load = vec![0.0f64; topo.links.len()];
         for f in ft.iter() {
-            prop_assert!(f.rate_bps > 0.0, "flow {} starved", f.id);
+            assert!(f.rate_bps > 0.0, "flow {} starved", f.id);
             for &l in &f.path {
                 load[l] += f.rate_bps;
             }
         }
         for (l, link) in topo.links.iter().enumerate() {
-            prop_assert!(load[l] <= link.capacity_bps * (1.0 + 1e-9), "link {l} overloaded");
+            assert!(load[l] <= link.capacity_bps * (1.0 + 1e-9), "link {l} overloaded");
         }
 
         // Every flow is bottlenecked: some link on its path is saturated
@@ -85,15 +85,14 @@ proptest! {
                     break;
                 }
             }
-            prop_assert!(certified, "flow {} has no bottleneck certificate", f.id);
+            assert!(certified, "flow {} has no bottleneck certificate", f.id);
         }
     }
 
     /// Determinism: the same flow set allocates identically every time.
-    #[test]
     fn allocation_is_deterministic(
-        pairs in prop::collection::vec((any::<usize>(), any::<usize>()), 1..20),
-        seed in any::<u64>(),
+        pairs in vec_of(zip2(arb::<usize>(), arb::<usize>()), 1..20),
+        seed in arb::<u64>(),
     ) {
         let topo = Topology::fat_tree(4, 10e9);
         let mut a = build(&topo, &pairs, seed);
@@ -101,14 +100,14 @@ proptest! {
         a.allocate_max_min(&topo);
         b.allocate_max_min(&topo);
         for f in a.iter() {
-            prop_assert_eq!(f.rate_bps, b.get(f.id).unwrap().rate_bps);
+            assert_eq!(f.rate_bps, b.get(f.id).unwrap().rate_bps);
         }
     }
 
     /// Paths sampled from any topology are simple (no repeated node) and
     /// connect src to dst.
-    #[test]
-    fn sampled_paths_are_simple(s in any::<usize>(), d in any::<usize>(), seed in any::<u64>()) {
+    fn sampled_paths_are_simple(sds in zip3(arb::<usize>(), arb::<usize>(), arb::<u64>())) {
+        let (s, d, seed) = sds;
         for topo in [Topology::fat_tree(4, 1e9), Topology::abilene(), Topology::geant()] {
             let hosts = topo.hosts();
             let src = hosts[s % hosts.len()];
@@ -122,9 +121,9 @@ proptest! {
             let mut visited = std::collections::HashSet::from([src]);
             for &l in &path {
                 cur = topo.links[l].other(cur);
-                prop_assert!(visited.insert(cur), "{}: node revisited", topo.name);
+                assert!(visited.insert(cur), "{}: node revisited", topo.name);
             }
-            prop_assert_eq!(cur, dst);
+            assert_eq!(cur, dst);
         }
     }
 }

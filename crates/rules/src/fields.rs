@@ -21,7 +21,6 @@
 
 use crate::key::TernaryKey;
 use crate::prefix::Ipv4Prefix;
-use serde::{Deserialize, Serialize};
 
 /// Bit offset of the destination IPv4 address within the header window.
 pub const DST_SHIFT: u32 = 96;
@@ -38,7 +37,7 @@ pub const VLAN_SHIFT: u32 = 12;
 
 /// A multi-field match in OpenFlow style. Every field is optional; `None`
 /// means wildcard. Address fields are prefixes, the rest are exact values.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub struct FlowMatch {
     /// Destination IPv4 prefix.
     pub dst: Option<Ipv4Prefix>,
@@ -151,7 +150,7 @@ impl FlowMatch {
 
 /// Builds a packet header word for lookup, mirroring the [`FlowMatch`]
 /// layout. All fields are concrete in a packet.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct PacketHeader {
     /// Destination IPv4 address.
     pub dst: u32,

@@ -13,14 +13,13 @@
 //! `EliminateOverlap` step in Algorithm 1) and pairwise merging (the inverse
 //! operation, used by the `merge` module to minimize partition sets).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A ternary match key over a 128-bit header window.
 ///
 /// `mask` selects the bits that must match; `value` gives the required bit
 /// values. Bits outside `mask` are "don't care".
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TernaryKey {
     value: u128,
     mask: u128,

@@ -231,8 +231,8 @@ mod tests {
 
     #[test]
     fn optimize_preserves_semantics_randomized() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        use hermes_util::rng::{Rng, SeedableRng};
+        let mut rng = hermes_util::rng::rngs::StdRng::seed_from_u64(11);
         for round in 0..20 {
             let n = rng.gen_range(5..40);
             let rules: Vec<Rule> = (0..n)

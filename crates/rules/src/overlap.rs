@@ -250,8 +250,8 @@ mod tests {
 
     #[test]
     fn agrees_with_naive_scan_on_random_rules() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        use hermes_util::rng::{Rng, SeedableRng};
+        let mut rng = hermes_util::rng::rngs::StdRng::seed_from_u64(7);
         let mut idx = OverlapIndex::new();
         let mut all = Vec::new();
         for i in 0..400u64 {

@@ -10,14 +10,13 @@
 
 use crate::fields::DST_SHIFT;
 use crate::key::TernaryKey;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
 
 /// An IPv4 prefix `addr/len`.
 ///
 /// Invariant: host bits of `addr` below the prefix length are zero.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Ipv4Prefix {
     addr: u32,
     len: u8,

@@ -7,11 +7,10 @@
 //! several physical TCAM entries.
 
 use crate::key::TernaryKey;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Controller-assigned rule identifier.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RuleId(pub u64);
 
 impl fmt::Debug for RuleId {
@@ -29,7 +28,7 @@ impl fmt::Display for RuleId {
 /// Rule priority. Higher values win; `Priority::NONE` marks rules that do
 /// not care about ordering (the paper's "rules without priorities", which
 /// switches can install much faster because no entries need to move).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Priority(pub u32);
 
 impl Priority {
@@ -53,7 +52,7 @@ impl fmt::Debug for Priority {
 }
 
 /// The forwarding action attached to a rule.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Action {
     /// Forward out of the given port.
     Forward(u32),
@@ -67,7 +66,7 @@ pub enum Action {
 }
 
 /// A flow rule: match key + priority + action.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct Rule {
     /// Controller-visible identity.
     pub id: RuleId,
@@ -109,7 +108,7 @@ impl Rule {
 
 /// The kinds of control-plane action a controller can issue (the paper's
 /// `flow-mod` family).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ControlAction {
     /// Insert a new rule.
     Insert(Rule),

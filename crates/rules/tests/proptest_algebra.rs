@@ -1,16 +1,17 @@
 //! Property-based tests for the classifier algebra — the invariants the
-//! whole Hermes correctness story rests on (DESIGN.md §5).
+//! whole Hermes correctness story rests on (DESIGN.md §5). Runs under the
+//! in-tree `hermes_util::check!` harness with pinned default seeds.
 
 use hermes_rules::merge::{minimize_keys, optimize_ruleset};
 use hermes_rules::overlap::OverlapIndex;
 use hermes_rules::prelude::*;
-use proptest::prelude::*;
+use hermes_util::check::{arb, range, vec_of, zip2, Gen};
 
-/// Strategy: an arbitrary ternary key over a narrow (16-bit) window so
+/// Generator: an arbitrary ternary key over a narrow (16-bit) window so
 /// exhaustive packet checks stay cheap.
-fn small_key() -> impl Strategy<Value = TernaryKey> {
-    (any::<u16>(), any::<u16>())
-        .prop_map(|(v, m)| TernaryKey::new((v as u128) << 96, (m as u128) << 96))
+fn small_key() -> Gen<TernaryKey> {
+    zip2(arb::<u16>(), arb::<u16>())
+        .map(|(v, m)| TernaryKey::new((v as u128) << 96, (m as u128) << 96))
 }
 
 /// All packets in the 16-bit window.
@@ -18,80 +19,80 @@ fn window_packets() -> impl Iterator<Item = u128> {
     (0u32..=0xffff).map(|v| (v as u128) << 96)
 }
 
-/// Strategy: an arbitrary IPv4 prefix within 10.0.0.0/8 with length 8..=28.
-fn prefix() -> impl Strategy<Value = Ipv4Prefix> {
-    (any::<u32>(), 8u8..=28).prop_map(|(addr, len)| Ipv4Prefix::new(0x0a00_0000 | (addr >> 8), len))
+/// Generator: an arbitrary IPv4 prefix within 10.0.0.0/8 with length 8..=28.
+fn prefix() -> Gen<Ipv4Prefix> {
+    zip2(arb::<u32>(), range(8u8..=28))
+        .map(|(addr, len)| Ipv4Prefix::new(0x0a00_0000 | (addr >> 8), len))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+hermes_util::check! {
+    #![cases = 256]
 
     /// `overlaps` is symmetric and consistent with a witness packet search.
-    #[test]
-    fn overlap_symmetry_and_witness(a in small_key(), b in small_key()) {
-        prop_assert_eq!(a.overlaps(&b), b.overlaps(&a));
+    fn overlap_symmetry_and_witness(pair in zip2(small_key(), small_key())) {
+        let (a, b) = pair;
+        assert_eq!(a.overlaps(&b), b.overlaps(&a));
         let witness = window_packets().any(|p| a.matches(p) && b.matches(p));
-        prop_assert_eq!(a.overlaps(&b), witness);
+        assert_eq!(a.overlaps(&b), witness);
     }
 
     /// Containment a ⊇ b ⇔ every packet of b matches a.
-    #[test]
-    fn containment_is_semantic(a in small_key(), b in small_key()) {
+    fn containment_is_semantic(pair in zip2(small_key(), small_key())) {
+        let (a, b) = pair;
         let semantic = window_packets().all(|p| !b.matches(p) || a.matches(p));
-        prop_assert_eq!(a.contains(&b), semantic);
+        assert_eq!(a.contains(&b), semantic);
     }
 
     /// Intersection matches exactly the packets both keys match.
-    #[test]
-    fn intersection_semantics(a in small_key(), b in small_key()) {
+    fn intersection_semantics(pair in zip2(small_key(), small_key())) {
+        let (a, b) = pair;
         match a.intersection(&b) {
             Some(i) => {
                 for p in window_packets() {
-                    prop_assert_eq!(i.matches(p), a.matches(p) && b.matches(p));
+                    assert_eq!(i.matches(p), a.matches(p) && b.matches(p));
                 }
             }
             None => {
-                prop_assert!(!a.overlaps(&b));
+                assert!(!a.overlaps(&b));
             }
         }
     }
 
     /// Difference: pieces are pairwise disjoint and cover exactly `a \ b`.
-    #[test]
-    fn difference_is_exact_disjoint_cover(a in small_key(), b in small_key()) {
+    fn difference_is_exact_disjoint_cover(pair in zip2(small_key(), small_key())) {
+        let (a, b) = pair;
         let pieces = a.difference(&b);
         for p in window_packets() {
             let expect = a.matches(p) && !b.matches(p);
             let n = pieces.iter().filter(|k| k.matches(p)).count();
-            prop_assert_eq!(n, usize::from(expect), "packet {:#x}", p);
+            assert_eq!(n, usize::from(expect), "packet {:#x}", p);
         }
     }
 
     /// try_merge result matches exactly the union of its inputs.
-    #[test]
-    fn merge_is_exact_union(a in small_key(), b in small_key()) {
+    fn merge_is_exact_union(pair in zip2(small_key(), small_key())) {
+        let (a, b) = pair;
         if let Some(m) = a.try_merge(&b) {
             for p in window_packets() {
-                prop_assert_eq!(m.matches(p), a.matches(p) || b.matches(p));
+                assert_eq!(m.matches(p), a.matches(p) || b.matches(p));
             }
         }
     }
 
     /// minimize_keys preserves the matched set and never grows it.
-    #[test]
-    fn minimize_preserves_union(keys in prop::collection::vec(small_key(), 0..12)) {
+    fn minimize_preserves_union(keys in vec_of(small_key(), 0..12)) {
         let minimized = minimize_keys(keys.clone());
-        prop_assert!(minimized.len() <= keys.len().max(1));
+        assert!(minimized.len() <= keys.len().max(1));
         for p in window_packets().step_by(7) {
             let before = keys.iter().any(|k| k.matches(p));
             let after = minimized.iter().any(|k| k.matches(p));
-            prop_assert_eq!(before, after, "packet {:#x}", p);
+            assert_eq!(before, after, "packet {:#x}", p);
         }
     }
 
     /// Prefix difference agrees with brute force over the prefix's hosts.
-    #[test]
-    fn prefix_difference_semantics(a in prefix(), b in prefix()) {
+    fn prefix_difference_semantics(pair in zip2(prefix(), prefix())) {
+        let (a, b) = pair;
         let pieces = a.difference(&b);
         // Sample addresses inside `a`.
         let span = 32 - a.len();
@@ -100,31 +101,30 @@ proptest! {
             let addr = a.addr() | host;
             let expect = a.matches(addr) && !b.matches(addr);
             let got = pieces.iter().filter(|q| q.matches(addr)).count();
-            prop_assert_eq!(got, usize::from(expect), "addr {:#x}", addr);
+            assert_eq!(got, usize::from(expect), "addr {:#x}", addr);
         }
     }
 
     /// Prefix containment/overlap laws.
-    #[test]
-    fn prefix_laws(a in prefix(), b in prefix()) {
-        prop_assert_eq!(a.overlaps(&b), b.overlaps(&a));
+    fn prefix_laws(pair in zip2(prefix(), prefix())) {
+        let (a, b) = pair;
+        assert_eq!(a.overlaps(&b), b.overlaps(&a));
         if a.contains(&b) && b.contains(&a) {
-            prop_assert_eq!(a, b);
+            assert_eq!(a, b);
         }
         // Parent always contains child.
         if let Some(parent) = a.parent() {
-            prop_assert!(parent.contains(&a));
+            assert!(parent.contains(&a));
         }
         if let Some((l, r)) = a.children() {
-            prop_assert!(a.contains(&l) && a.contains(&r));
-            prop_assert!(!l.overlaps(&r));
+            assert!(a.contains(&l) && a.contains(&r));
+            assert!(!l.overlaps(&r));
         }
     }
 
     /// The overlap index returns exactly what a naive scan returns.
-    #[test]
     fn overlap_index_matches_naive(
-        prefixes in prop::collection::vec((prefix(), 1u32..100), 1..40),
+        prefixes in vec_of(zip2(prefix(), range(1u32..100)), 1..40),
         query in prefix(),
     ) {
         let mut idx = OverlapIndex::new();
@@ -143,14 +143,13 @@ proptest! {
             .collect();
         got.sort_unstable();
         want.sort_unstable();
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want);
     }
 
     /// optimize_ruleset preserves classification (actions tied to priority
     /// so same-priority overlap is unambiguous).
-    #[test]
     fn optimize_ruleset_preserves_semantics(
-        prefixes in prop::collection::vec((prefix(), 1u32..6), 1..25),
+        prefixes in vec_of(zip2(prefix(), range(1u32..6)), 1..25),
     ) {
         let rules: Vec<Rule> = prefixes
             .iter()
@@ -160,7 +159,7 @@ proptest! {
             })
             .collect();
         let optimized = optimize_ruleset(rules.clone());
-        prop_assert!(optimized.len() <= rules.len());
+        assert!(optimized.len() <= rules.len());
         let classify = |set: &[Rule], pkt: u128| {
             set.iter()
                 .filter(|r| r.key.matches(pkt))
@@ -169,21 +168,20 @@ proptest! {
         };
         for i in 0..512u32 {
             let pkt = ((0x0a00_0000u32 | i.wrapping_mul(2654435761) % (1 << 24)) as u128) << 96;
-            prop_assert_eq!(classify(&rules, pkt), classify(&optimized, pkt));
+            assert_eq!(classify(&rules, pkt), classify(&optimized, pkt));
         }
     }
 
     /// Trie removal really removes (and only removes one occurrence).
-    #[test]
-    fn trie_insert_remove_roundtrip(items in prop::collection::vec((prefix(), 0u32..50), 1..30)) {
+    fn trie_insert_remove_roundtrip(items in vec_of(zip2(prefix(), range(0u32..50)), 1..30)) {
         let mut trie = PrefixTrie::new();
         for (p, v) in &items {
             trie.insert(*p, *v);
         }
-        prop_assert_eq!(trie.len(), items.len());
+        assert_eq!(trie.len(), items.len());
         for (p, v) in &items {
-            prop_assert!(trie.remove(*p, v));
+            assert!(trie.remove(*p, v));
         }
-        prop_assert!(trie.is_empty());
+        assert!(trie.is_empty());
     }
 }

@@ -15,10 +15,9 @@ use crate::perf::SwitchModel;
 use crate::table::{OpShifts, TcamError, TcamTable};
 use crate::time::SimDuration;
 use hermes_rules::prelude::*;
-use serde::{Deserialize, Serialize};
 
 /// What a slice does when no entry matches.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum MissBehavior {
     /// Continue the lookup in the next slice (Hermes shadow-table default:
     /// "forward to next table").
@@ -30,7 +29,7 @@ pub enum MissBehavior {
 }
 
 /// One carved TCAM slice.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Slice {
     /// Operator-visible slice label.
     pub label: String,
@@ -90,7 +89,7 @@ impl LookupResult {
 }
 
 /// A switch ASIC: one or more TCAM slices sharing a performance model.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct TcamDevice {
     model: SwitchModel,
     slices: Vec<Slice>,

@@ -23,10 +23,9 @@
 
 use crate::table::PlacementStrategy;
 use crate::time::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// An empirical model of one switch's TCAM control-plane performance.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct SwitchModel {
     /// Human-readable switch name (as used in the paper's figures).
     pub name: String,

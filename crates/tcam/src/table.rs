@@ -13,14 +13,13 @@
 //! counts into simulated time per switch model.
 
 use hermes_rules::prelude::*;
-use serde::{Deserialize, Serialize};
 
 /// How the switch software packs entries into the physical TCAM, which
 /// determines how many entries move per insertion. Real switches differ
 /// (§2.1: insertion-order effects of 10× between ascending and descending
 /// priority order), and Tango-style baselines exploit knowledge of this
 /// strategy.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum PlacementStrategy {
     /// Entries packed toward low addresses; an insertion at position `p`
     /// shifts everything below it down. Inserting in *descending* priority
@@ -60,7 +59,7 @@ impl std::fmt::Display for TcamError {
 impl std::error::Error for TcamError {}
 
 /// Counters accumulated over the table's lifetime.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct TableStats {
     /// Number of successful insertions.
     pub inserts: u64,
@@ -106,7 +105,7 @@ pub struct OpShifts {
 /// let pkt = (u32::from_be_bytes([10, 1, 2, 3]) as u128) << 96;
 /// assert_eq!(table.peek(pkt).unwrap().action, Action::Drop);
 /// ```
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct TcamTable {
     entries: Vec<Rule>,
     capacity: usize,
@@ -446,8 +445,8 @@ mod tests {
 
     #[test]
     fn random_ops_maintain_invariants() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        use hermes_util::rng::{Rng, SeedableRng};
+        let mut rng = hermes_util::rng::rngs::StdRng::seed_from_u64(3);
         let mut t = TcamTable::new(64, PlacementStrategy::Balanced);
         let mut next_id = 0u64;
         let mut live: Vec<u64> = Vec::new();

@@ -1,10 +1,11 @@
 //! Property-based tests for the TCAM model: ordering invariants under
 //! arbitrary operation sequences, shift-count consistency, and latency
-//! model sanity across the whole occupancy range.
+//! model sanity across the whole occupancy range. Runs under the in-tree
+//! `hermes_util::check!` harness with pinned default seeds.
 
 use hermes_rules::prelude::*;
 use hermes_tcam::{PlacementStrategy, SimDuration, SwitchModel, TcamTable};
-use proptest::prelude::*;
+use hermes_util::check::{arb, just, one_of, range, vec_of, weighted, zip2, zip3, Gen};
 
 #[derive(Clone, Debug)]
 enum Op {
@@ -13,34 +14,38 @@ enum Op {
     ModifyAction { idx: usize, port: u32 },
 }
 
-fn op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        3 => (0u32..2000, any::<u32>(), 8u8..=30).prop_map(|(prio, pfx_bits, len)| Op::Insert {
-            prio,
-            pfx_bits,
-            len
-        }),
-        1 => (any::<usize>()).prop_map(|idx| Op::Delete { idx }),
-        1 => (any::<usize>(), 0u32..48).prop_map(|(idx, port)| Op::ModifyAction { idx, port }),
-    ]
+fn op() -> Gen<Op> {
+    weighted(vec![
+        (
+            3,
+            zip3(range(0u32..2000), arb::<u32>(), range(8u8..=30)).map(
+                |(prio, pfx_bits, len)| Op::Insert { prio, pfx_bits, len },
+            ),
+        ),
+        (1, arb::<usize>().map(|idx| Op::Delete { idx })),
+        (
+            1,
+            zip2(arb::<usize>(), range(0u32..48))
+                .map(|(idx, port)| Op::ModifyAction { idx, port }),
+        ),
+    ])
 }
 
-fn strategy() -> impl Strategy<Value = PlacementStrategy> {
-    prop_oneof![
-        Just(PlacementStrategy::PackedLow),
-        Just(PlacementStrategy::PackedHigh),
-        Just(PlacementStrategy::Balanced),
-    ]
+fn strategy() -> Gen<PlacementStrategy> {
+    one_of(vec![
+        just(PlacementStrategy::PackedLow),
+        just(PlacementStrategy::PackedHigh),
+        just(PlacementStrategy::Balanced),
+    ])
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+hermes_util::check! {
+    #![cases = 256]
 
     /// Invariants hold under any op sequence: priority-sorted entries,
     /// capacity respected, shift counts bounded by occupancy.
-    #[test]
     fn table_invariants_under_random_ops(
-        ops in prop::collection::vec(op(), 1..200),
+        ops in vec_of(op(), 1..200),
         placement in strategy(),
     ) {
         let mut table = TcamTable::new(64, placement);
@@ -58,36 +63,35 @@ proptest! {
                     next += 1;
                     match table.insert(rule) {
                         Ok(shifts) => {
-                            prop_assert!(shifts.shifts <= shifts.occupancy_before);
+                            assert!(shifts.shifts <= shifts.occupancy_before);
                             live.push(rule.id);
                         }
-                        Err(_) => prop_assert_eq!(table.len(), 64, "only Full may fail"),
+                        Err(_) => assert_eq!(table.len(), 64, "only Full may fail"),
                     }
                 }
                 Op::Delete { idx } => {
                     if !live.is_empty() {
                         let id = live.swap_remove(idx % live.len());
-                        prop_assert!(table.delete(id).is_ok());
+                        assert!(table.delete(id).is_ok());
                     }
                 }
                 Op::ModifyAction { idx, port } => {
                     if !live.is_empty() {
                         let id = live[idx % live.len()];
-                        prop_assert!(table.modify_action(id, Action::Forward(port)).is_ok());
+                        assert!(table.modify_action(id, Action::Forward(port)).is_ok());
                     }
                 }
             }
-            prop_assert!(table.check_invariants());
-            prop_assert_eq!(table.len(), live.len());
+            assert!(table.check_invariants());
+            assert_eq!(table.len(), live.len());
         }
     }
 
     /// Lookup always returns the highest-priority matching rule (oracle:
     /// linear max scan).
-    #[test]
     fn lookup_matches_priority_oracle(
-        rules in prop::collection::vec((0u32..100, any::<u32>(), 8u8..=24), 1..40),
-        probe in any::<u32>(),
+        rules in vec_of(zip3(range(0u32..100), arb::<u32>(), range(8u8..=24)), 1..40),
+        probe in arb::<u32>(),
     ) {
         let mut table = TcamTable::new(256, PlacementStrategy::PackedLow);
         let mut all = Vec::new();
@@ -104,35 +108,33 @@ proptest! {
         let pkt = (probe as u128) << 96;
         let got = table.peek(pkt).map(|r| r.priority);
         let want = all.iter().filter(|r| r.key.matches(pkt)).map(|r| r.priority).max();
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want);
     }
 
     /// The empirical latency model is monotone in occupancy and shifts for
     /// every switch, and worst-case sizing really bounds the worst case.
-    #[test]
-    fn latency_model_laws(occ in 0usize..2000, shifts in 0usize..2000) {
+    fn latency_model_laws(occ in range(0usize..2000), shifts in range(0usize..2000)) {
         for m in SwitchModel::paper_models() {
             let occ = occ.min(m.capacity - 1);
             let shifts = shifts.min(occ);
             let lat = m.insert_latency(occ, shifts);
-            prop_assert!(lat >= m.base);
-            prop_assert!(lat <= m.insert_latency(occ, occ) + SimDuration::from_nanos(1));
+            assert!(lat >= m.base);
+            assert!(lat <= m.insert_latency(occ, occ) + SimDuration::from_nanos(1));
             // Guarantee sizing: any table within the sized bound meets it.
             let g = SimDuration::from_ms(5.0);
             if let Some(size) = m.max_table_for_guarantee(g) {
                 if size > 0 {
-                    prop_assert!(m.worst_insert_latency(size) <= g);
+                    assert!(m.worst_insert_latency(size) <= g);
                 }
             }
         }
     }
 
     /// Delete+reinsert is an identity for lookups (modulo FIFO ties).
-    #[test]
     fn delete_reinsert_identity(
-        rules in prop::collection::vec((1u32..1000, any::<u32>(), 8u8..=24), 2..30,),
-        victim in any::<usize>(),
-        probes in prop::collection::vec(any::<u32>(), 20),
+        rules in vec_of(zip3(range(1u32..1000), arb::<u32>(), range(8u8..=24)), 2..30),
+        victim in arb::<usize>(),
+        probes in vec_of(arb::<u32>(), 20..21),
     ) {
         // Unique priorities so FIFO order can't matter.
         let mut table = TcamTable::new(256, PlacementStrategy::Balanced);
@@ -151,12 +153,14 @@ proptest! {
             table.insert(r).expect("capacity");
             all.push(r);
         }
-        prop_assume!(!all.is_empty());
+        if all.is_empty() {
+            return;
+        }
         let v = all[victim % all.len()];
         let before: Vec<_> = probes.iter().map(|&p| table.peek((p as u128) << 96)).collect();
         table.delete(v.id).expect("live");
         table.insert(v).expect("room");
         let after: Vec<_> = probes.iter().map(|&p| table.peek((p as u128) << 96)).collect();
-        prop_assert_eq!(before, after);
+        assert_eq!(before, after);
     }
 }

@@ -17,8 +17,8 @@
 use hermes_bgp::prelude::*;
 use hermes_rules::prefix::Ipv4Prefix;
 use hermes_tcam::SimTime;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use hermes_util::rng::rngs::StdRng;
+use hermes_util::rng::{Rng, SeedableRng};
 
 /// A timestamped BGP update.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -76,7 +76,7 @@ impl BgpTrace {
         (0..self.prefixes)
             .map(|i| {
                 let len = *[16u8, 19, 20, 22, 24, 24, 24]
-                    .get(rng.gen_range(0..7))
+                    .get(rng.gen_range(0..7usize))
                     .expect("index in range");
                 // Spread pools over 1.0.0.0/8 .. 223.0.0.0/8 unicast space.
                 let octet1 = 1 + (i as u32 * 7919) % 222;
@@ -175,7 +175,7 @@ impl BgpTrace {
                         prefix,
                         route: BgpRoute {
                             local_pref: 100,
-                            as_path_len: rng.gen_range(1..8)
+                            as_path_len: rng.gen_range(1..8u32)
                                 + if peer == home_peer(idx) { 0 } else { 2 },
                             med: rng.gen_range(0..10),
                             peer,

@@ -14,12 +14,11 @@
 //! The figures built on this workload (1, 8, 9) depend on the short/long
 //! dichotomy and the reconfiguration pressure, both preserved here.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use hermes_util::rng::rngs::StdRng;
+use hermes_util::rng::{Rng, SeedableRng};
 
 /// One flow of a job: a shuffle transfer between two hosts.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct FlowSpec {
     /// Source host index.
     pub src: usize,
@@ -30,7 +29,7 @@ pub struct FlowSpec {
 }
 
 /// One MapReduce job: a set of shuffle flows starting together.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct JobSpec {
     /// Job id.
     pub id: usize,

@@ -9,13 +9,12 @@
 //! per-OD-pair Poisson flow arrivals whose sizes sum to the matrix cell.
 
 use crate::facebook::FlowSpec;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use hermes_util::rng::rngs::StdRng;
+use hermes_util::rng::{Rng, SeedableRng};
 
 /// A traffic matrix over `n` nodes: `demand[i][j]` bytes per second from
 /// ingress `i` to egress `j`.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct TrafficMatrix {
     /// Per-pair demand in bytes/s, row-major `n × n`.
     pub demand: Vec<Vec<f64>>,
@@ -80,7 +79,7 @@ impl TrafficMatrix {
 
 /// A flow with an arrival time (the ISP analogue of a MapReduce job's
 /// flows; each ISP flow is its own "job" for FCT purposes).
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct TimedFlow {
     /// Arrival in seconds from trace start.
     pub arrival_s: f64,

@@ -13,8 +13,8 @@
 
 use hermes_rules::prelude::*;
 use hermes_tcam::SimTime;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use hermes_util::rng::rngs::StdRng;
+use hermes_util::rng::{Rng, SeedableRng};
 
 /// How rule priorities are assigned across the stream.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

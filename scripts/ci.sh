@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Hermetic CI for the Hermes reproduction workspace.
+#
+# Policy (README.md "Hermetic build"): the workspace has ZERO external
+# crate dependencies — everything that would come from crates.io lives in
+# crates/util. Every cargo invocation below therefore runs with
+# `--offline`; if a network fetch would be needed, CI must fail.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== guard: Cargo.lock contains only workspace packages =="
+cargo metadata --offline --format-version 1 \
+  | python3 -c '
+import json, sys
+meta = json.load(sys.stdin)
+external = [p["name"] for p in meta["packages"] if p["source"] is not None]
+if external:
+    sys.exit("non-workspace dependencies found: %s" % ", ".join(sorted(set(external))))
+print("ok: %d workspace packages, 0 external" % len(meta["packages"]))
+'
+
+echo "== build (release, offline) =="
+cargo build --release --offline --workspace
+
+echo "== tests (offline) =="
+cargo test -q --offline --workspace
+
+echo "== experiment binaries build =="
+cargo build --release --offline -p hermes-bench --bins
+
+echo "== bench harnesses build and smoke-run =="
+cargo build --release --offline --workspace --benches
+for b in bench_tcam bench_rules bench_hermes bench_netsim; do
+    HERMES_BENCH_FAST=1 HERMES_BENCH_SAMPLES=2 HERMES_BENCH_WARMUP_MS=1 \
+        cargo bench --offline -q -p hermes-bench --bench "$b" >/dev/null
+done
+
+echo "== ci green =="

@@ -5,4 +5,5 @@ pub use hermes_core as core;
 pub use hermes_netsim as netsim;
 pub use hermes_rules as rules;
 pub use hermes_tcam as tcam;
+pub use hermes_util as util;
 pub use hermes_workloads as workloads;
