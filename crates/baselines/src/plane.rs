@@ -75,6 +75,12 @@ pub trait ControlPlane {
     /// but time-dependent state (admission buckets, busy windows) resets
     /// to the epoch. No-op for stateless planes.
     fn end_warmup(&mut self) {}
+
+    /// Recovery-subsystem health counters, for planes that have one
+    /// (`None` for baselines without retry/reconciliation machinery).
+    fn recovery_stats(&self) -> Option<RecoveryStats> {
+        None
+    }
 }
 
 impl ControlPlane for Box<dyn ControlPlane> {
@@ -100,6 +106,10 @@ impl ControlPlane for Box<dyn ControlPlane> {
 
     fn end_warmup(&mut self) {
         (**self).end_warmup()
+    }
+
+    fn recovery_stats(&self) -> Option<RecoveryStats> {
+        (**self).recovery_stats()
     }
 }
 
@@ -175,9 +185,12 @@ impl HermesPlane {
         model: SwitchModel,
         config: hermes_core::config::HermesConfig,
     ) -> Result<Self, HermesError> {
-        Ok(HermesPlane {
-            switch: HermesSwitch::new(model, config)?,
-        })
+        let mut switch = HermesSwitch::new(model, config)?;
+        // Opt-in chaos: HERMES_FAULT_SEED in the environment arms the
+        // deterministic fault plan on every Hermes plane (unset: no faults,
+        // behaviour identical to before the fault layer existed).
+        switch.install_fault_plan(hermes_tcam::FaultPlan::from_env());
+        Ok(HermesPlane { switch })
     }
 
     /// Borrow the agent.
@@ -228,6 +241,10 @@ impl ControlPlane for HermesPlane {
 
     fn end_warmup(&mut self) {
         self.switch.end_warmup();
+    }
+
+    fn recovery_stats(&self) -> Option<RecoveryStats> {
+        Some(self.switch.recovery_stats())
     }
 }
 

@@ -268,7 +268,7 @@ mod tests {
         );
         assert_eq!(out.ops.len(), 4, "every logical rule still gets an outcome");
         // Lookup semantics: all four /26s forward to port 7.
-        let pkt = (0x0a0000C1u32 as u128) << DST_SHIFT;
+        let pkt = (0x0a0000c1u32 as u128) << DST_SHIFT;
         assert_eq!(tango.device().peek(pkt).action(), Some(Action::Forward(7)));
     }
 

@@ -27,7 +27,11 @@ fn stream(count: usize, overlap: f64) -> Vec<hermes_workloads::microbench::Timed
     .generate()
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    hermes_bench::run_experiment("exp_ablation", run)
+}
+
+fn run() {
     let count = 800 * hermes_bench::scale();
     println!("== Ablations ==\n");
 

@@ -73,7 +73,11 @@ fn drive<P: ControlPlane>(plane: P, actions: &[(SimTime, ControlAction)]) -> Bgp
     run
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    hermes_bench::run_experiment("exp_bgp", run)
+}
+
+fn run() {
     let scale = hermes_bench::scale();
     let trace = BgpTrace {
         duration_s: 60.0 * scale as f64,

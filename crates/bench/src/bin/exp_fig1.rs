@@ -19,7 +19,11 @@ fn jct_map(kind: SwitchKind, jobs: usize) -> BTreeMap<usize, (f64, u64)> {
     sim.jct_by_job.clone()
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    hermes_bench::run_experiment("exp_fig1", run)
+}
+
+fn run() {
     let jobs = 300 * hermes_bench::scale();
     println!("== Figure 1: CDF of Increase Ratio of JCT (Facebook / fat tree) ==");
     println!("({jobs} MapReduce jobs; ratio vs zero-latency switches)\n");

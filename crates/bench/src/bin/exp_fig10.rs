@@ -42,7 +42,11 @@ fn run_all(dc: bool, total_rules: usize) -> Vec<(String, StreamResult)> {
     ]
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    hermes_bench::run_experiment("exp_fig10", run)
+}
+
+fn run() {
     let total = 1500 * hermes_bench::scale();
     println!("== Figure 10: Rule Installation Time — Hermes vs Tango vs ESPRES ==");
     println!("(per-rule installation latency, Pica8 P-3290, {total} rules)");

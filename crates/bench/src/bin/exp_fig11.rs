@@ -37,7 +37,11 @@ fn series<P: ControlPlane>(plane: P, batches: &[(SimTime, Vec<ControlAction>)]) 
     out
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    hermes_bench::run_experiment("exp_fig11", run)
+}
+
+fn run() {
     let count = 1000; // the figure plots exactly the first 1000 rules
     let model = SwitchModel::pica8_p3290();
     println!("== Figure 11: Time Series of Rule Installation Time (first {count} rules) ==");

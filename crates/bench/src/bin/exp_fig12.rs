@@ -58,7 +58,11 @@ fn run(model: &SwitchModel, trigger: MigrationTrigger, count: usize) -> Outcome 
     }
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    hermes_bench::run_experiment("exp_fig12", run_experiment_body)
+}
+
+fn run_experiment_body() {
     let count = 3000 * hermes_bench::scale();
     println!("== Figure 12: Hermes-SIMPLE vs threshold (1000 upd/s, 100% overlap) ==\n");
 

@@ -72,7 +72,11 @@ fn run(rate: f64, overlap: f64, slack: f64, count: usize) -> (f64, f64) {
     )
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    hermes_bench::run_experiment("exp_fig13", run_experiment_body)
+}
+
+fn run_experiment_body() {
     let count = 500 * hermes_bench::scale();
     println!("== Figure 13: Guaranteed-insertion latency vs Slack Factor (Dell 8132F) ==");
     let slacks = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0];

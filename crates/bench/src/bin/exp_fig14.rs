@@ -8,7 +8,11 @@ use hermes_bench::Table;
 use hermes_core::prelude::*;
 use hermes_tcam::{SimDuration, SwitchModel};
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    hermes_bench::run_experiment("exp_fig14", run)
+}
+
+fn run() {
     println!("== Figure 14: ASIC Overhead vs Performance Guarantee ==\n");
     let mut api = HermesApi::new();
     let ids = [

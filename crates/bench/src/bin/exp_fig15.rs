@@ -44,7 +44,11 @@ fn fib_inserts(n: usize) -> Vec<hermes_rules::rule::ControlAction> {
     out
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    hermes_bench::run_experiment("exp_fig15", run)
+}
+
+fn run() {
     let sizes: Vec<usize> = [1000usize, 2500, 5000, 10_000, 20_000]
         .iter()
         .map(|s| s * hermes_bench::scale())

@@ -25,7 +25,11 @@ fn systems() -> Vec<(String, SwitchKind)> {
     v
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    hermes_bench::run_experiment("exp_fig8", run)
+}
+
+fn run() {
     let scale = hermes_bench::scale();
     println!("== Figure 8: Rule Installation Time CDFs (TE workload) ==\n");
 

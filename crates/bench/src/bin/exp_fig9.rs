@@ -12,7 +12,11 @@ use hermes_netsim::metrics::Samples;
 use hermes_netsim::sim::SwitchKind;
 use hermes_tcam::SwitchModel;
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    hermes_bench::run_experiment("exp_fig9", run)
+}
+
+fn run() {
     let scale = hermes_bench::scale();
     println!("== Figure 9: Flow Completion Time CDFs ==\n");
 

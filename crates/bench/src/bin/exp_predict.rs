@@ -98,7 +98,11 @@ fn prediction_error(kind: PredictorKind) -> f64 {
     err / n as f64
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    hermes_bench::run_experiment("exp_predict", run_experiment_body)
+}
+
+fn run_experiment_body() {
     let count = 800 * hermes_bench::scale();
     println!("== §8.6: Prediction-algorithm sensitivity ==\n");
 

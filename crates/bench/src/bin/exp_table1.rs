@@ -60,7 +60,11 @@ fn measured_update_rate(model: &SwitchModel, occupancy: usize, probes: usize) ->
     probes as f64 / busy.as_secs()
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    hermes_bench::run_experiment("exp_table1", run)
+}
+
+fn run() {
     println!("== Table 1: Rule Update Rate vs Occupancy ==\n");
     let probes = 200 * hermes_bench::scale();
 

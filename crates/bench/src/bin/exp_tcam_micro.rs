@@ -75,7 +75,11 @@ fn ordered_install(model: &SwitchModel, n: usize, ascending: bool) -> SimDuratio
     total
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    hermes_bench::run_experiment("exp_tcam_micro", run)
+}
+
+fn run() {
     let n = 100 * hermes_bench::scale();
     println!("== §2.1 microbenchmarks: TCAM behaviour ==\n");
 

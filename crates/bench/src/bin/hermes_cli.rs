@@ -47,7 +47,7 @@ fn model_by_name(name: &str) -> Result<SwitchModel, String> {
     }
 }
 
-fn cmd_switches() -> ExitCode {
+fn cmd_switches() {
     let mut t = Table::new(&["Model", "TCAM capacity", "base cost", "delete", "packing"]);
     for m in SwitchModel::paper_models() {
         t.row(&[
@@ -59,7 +59,6 @@ fn cmd_switches() -> ExitCode {
         ]);
     }
     t.print();
-    ExitCode::SUCCESS
 }
 
 fn cmd_overheads(flags: &HashMap<String, String>) -> Result<(), String> {
@@ -183,13 +182,20 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let result = match cmd.as_str() {
-        "switches" => return cmd_switches(),
+    // Run the command under a panic guard: whatever goes wrong inside —
+    // bad arithmetic, a fault-injected device, a bug — the operator gets a
+    // one-line error and a nonzero exit, never a backtrace.
+    let result = hermes_bench::catch_panic(|| match cmd.as_str() {
+        "switches" => {
+            cmd_switches();
+            Ok(())
+        }
         "overheads" => cmd_overheads(&flags),
         "plan" => cmd_plan(&flags),
         "simulate" => cmd_simulate(&flags),
         other => Err(format!("unknown command '{other}'\n{USAGE}")),
-    };
+    })
+    .and_then(|r| r);
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {

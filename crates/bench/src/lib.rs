@@ -440,6 +440,41 @@ pub fn run_varys_geant(
     sim
 }
 
+/// Runs `body`, converting any panic into a one-line error string instead
+/// of a backtrace (the default panic hook is silenced for the duration).
+///
+/// Top-level handler for operator-facing binaries: a fault-injected or
+/// misconfigured run must exit with a diagnosable message, not a crash
+/// dump. `AssertUnwindSafe` is sound here because the state the closure
+/// touched is discarded on the error path.
+pub fn catch_panic<T>(body: impl FnOnce() -> T) -> Result<T, String> {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(body));
+    std::panic::set_hook(prev);
+    result.map_err(|payload| {
+        if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "unexpected panic".to_string()
+        }
+    })
+}
+
+/// Wraps an experiment body for a binary's `main`: success exits 0, any
+/// panic prints `<name>: error: <message>` on stderr and exits nonzero.
+pub fn run_experiment(name: &str, body: impl FnOnce()) -> std::process::ExitCode {
+    match catch_panic(body) {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{name}: error: {e}");
+            std::process::ExitCode::FAILURE
+        }
+    }
+}
+
 /// Writes a JSON document for downstream plotting when `HERMES_OUT` is set
 /// to a directory: `<HERMES_OUT>/<name>.json`. No-op otherwise. Errors are
 /// reported to stderr but never abort an experiment.

@@ -145,6 +145,9 @@ impl HermesApi {
             .handles
             .get(&shadow)
             .ok_or(ApiError::UnknownShadow(shadow))?;
+        // Infallible: `handles` entries are only created by `create_qos`,
+        // which requires the switch to exist in `models`, and models are
+        // never removed.
         let model = self
             .models
             .get(&switch)

@@ -1,6 +1,7 @@
 //! Hermes configuration: guarantees, predicates and migration policy.
 
 use crate::predict::{Corrector, PredictorKind};
+use crate::recovery::RetryPolicy;
 use hermes_rules::prelude::*;
 use hermes_tcam::SimDuration;
 
@@ -112,6 +113,11 @@ pub struct HermesConfig {
     /// without shifting and are the rules that fragment worst). Disable to
     /// force every qualifying rule through the shadow path (ablation).
     pub low_priority_bypass: bool,
+    /// Per-op retry policy for transient control-channel failures.
+    pub retry: RetryPolicy,
+    /// Consecutive retry-exhausted device ops before the Gate Keeper
+    /// enters degraded mode and queues admissions.
+    pub degraded_threshold: u32,
 }
 
 impl Default for HermesConfig {
@@ -126,6 +132,8 @@ impl Default for HermesConfig {
             max_partitions: 16,
             shadow_size: None,
             low_priority_bypass: true,
+            retry: RetryPolicy::default(),
+            degraded_threshold: 2,
         }
     }
 }

@@ -86,6 +86,10 @@ pub enum Route {
     /// Installed nothing: wholly subsumed by higher-priority main rules
     /// (Fig. 5(a)); logically present, physically redundant.
     Redundant,
+    /// Queued by the Gate Keeper's degraded mode: the control channel is
+    /// unavailable, so the admission is applied once it recovers (drained
+    /// by the next tick or audit).
+    Deferred,
 }
 
 impl Route {

@@ -51,6 +51,7 @@ pub mod manager;
 pub mod multitable;
 pub mod partition;
 pub mod predict;
+pub mod recovery;
 pub mod switch;
 
 /// Convenient glob-import of the crate's main types.
@@ -62,6 +63,7 @@ pub mod prelude {
     pub use crate::multitable::{MultiTableHermes, TableSpec};
     pub use crate::partition::{partition_new_rule, PartitionOutcome};
     pub use crate::predict::{Arma, Corrector, CubicSpline, Ewma, Predictor, PredictorKind};
+    pub use crate::recovery::{AuditReport, RecoveryStats, RetryPolicy};
     pub use crate::switch::{
         ActionReport, HermesError, HermesStats, HermesSwitch, ReportDetail, MAIN, SHADOW,
     };

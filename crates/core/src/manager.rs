@@ -129,6 +129,9 @@ impl RuleManager {
                 shadow_len as f64 >= fraction * shadow_cap as f64 && shadow_len > 0
             }
             MigrationTrigger::Predictive { .. } => {
+                // Infallible: `RuleManager::new` constructs `predictor` as
+                // `Some` exactly when the trigger is `Predictive`, and
+                // neither field is reassigned afterwards.
                 let predictor = self.predictor.as_mut().expect("predictive trigger");
                 predictor.observe(arrived);
                 let predicted = self.corrector.apply(predictor.predict());
@@ -190,14 +193,14 @@ mod tests {
             for _ in 0..30 {
                 m.record_arrival();
             }
-            now = now + SimDuration::from_ms(100.0);
+            now += SimDuration::from_ms(100.0);
             assert!(!m.on_tick(now, 40, 100, 1.0));
         }
         // …but with 80 resident, 80+30 >= 100 triggers.
         for _ in 0..30 {
             m.record_arrival();
         }
-        now = now + SimDuration::from_ms(100.0);
+        now += SimDuration::from_ms(100.0);
         assert!(m.on_tick(now, 80, 100, 1.0));
     }
 
@@ -213,7 +216,7 @@ mod tests {
                 for _ in 0..25 {
                     m.record_arrival();
                 }
-                now = now + SimDuration::from_ms(100.0);
+                now += SimDuration::from_ms(100.0);
                 fired |= m.on_tick(now, 60, 100, 1.0);
             }
             fired
@@ -231,7 +234,7 @@ mod tests {
             for _ in 0..20 {
                 m.record_arrival();
             }
-            now = now + SimDuration::from_ms(100.0);
+            now += SimDuration::from_ms(100.0);
             // 20 arrivals × r_p 3 = 60 entries projected: 50 + 60 >= 100.
             if m.on_tick(now, 50, 100, 3.0) {
                 return;

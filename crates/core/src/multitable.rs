@@ -267,7 +267,7 @@ mod tests {
         let mut p = pipeline();
         let mut now = SimTime::ZERO;
         for i in 0..200u64 {
-            now = now + SimDuration::from_ms(20.0);
+            now += SimDuration::from_ms(20.0);
             let r = rule(
                 1000 + i,
                 &format!("10.{}.{}.0/24", i % 200, (i * 7) % 250),

@@ -32,10 +32,14 @@ use crate::config::{HermesConfig, MigrationMode, MigrationTrigger};
 use crate::gatekeeper::{GateKeeper, Route};
 use crate::manager::{MigrationReport, RuleManager};
 use crate::partition::partition_new_rule_bounded;
+use crate::recovery::{AuditReport, RecoveryState, RecoveryStats};
 use hermes_rules::overlap::OverlapIndex;
 use hermes_rules::prelude::*;
-use hermes_tcam::{LookupResult, MissBehavior, SimDuration, SimTime, SwitchModel, TcamDevice};
-use std::collections::{BTreeMap, HashMap};
+use hermes_tcam::{
+    FaultPlan, FaultStats, LookupResult, MissBehavior, OpReport, SimDuration, SimTime, SwitchModel,
+    TcamDevice, TcamError,
+};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// Slice index of the shadow table.
 pub const SHADOW: usize = 0;
@@ -60,6 +64,9 @@ pub enum HermesError {
     InfeasibleGuarantee,
     /// Logical rule ids must stay below 2^62 (the physical-id space).
     IdOutOfRange(RuleId),
+    /// The device rejected the op even after retries (transient channel
+    /// faults that outlasted the retry budget).
+    Device(TcamError),
 }
 
 impl std::fmt::Display for HermesError {
@@ -70,6 +77,7 @@ impl std::fmt::Display for HermesError {
             HermesError::DeviceFull => write!(f, "TCAM full"),
             HermesError::InfeasibleGuarantee => write!(f, "guarantee below switch base cost"),
             HermesError::IdOutOfRange(id) => write!(f, "rule id {id} out of range"),
+            HermesError::Device(e) => write!(f, "device failure: {e}"),
         }
     }
 }
@@ -200,6 +208,11 @@ pub struct HermesSwitch {
     prio_counts: BTreeMap<u32, usize>,
     next_phys: u64,
     stats: HermesStats,
+    /// Retry/journal/degraded-mode state (see [`crate::recovery`]).
+    recovery: RecoveryState,
+    /// High-water mark of `now` across public entry points; used to stamp
+    /// degraded-mode episodes from internal paths that take no clock.
+    clock: SimTime,
 }
 
 impl HermesSwitch {
@@ -251,6 +264,7 @@ impl HermesSwitch {
         );
         gate.set_low_priority_bypass(config.low_priority_bypass);
         let manager = RuleManager::new(config.trigger);
+        let recovery = RecoveryState::new(config.retry, config.degraded_threshold);
         Ok(HermesSwitch {
             device,
             config,
@@ -263,6 +277,8 @@ impl HermesSwitch {
             prio_counts: BTreeMap::new(),
             next_phys: PHYS_BASE,
             stats: HermesStats::default(),
+            recovery,
+            clock: SimTime::ZERO,
         })
     }
 
@@ -327,16 +343,53 @@ impl HermesSwitch {
         &self.device
     }
 
+    /// Installs (or clears) a fault-injection plan on the device's control
+    /// channel (chaos testing).
+    pub fn install_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.device.set_fault_plan(plan);
+    }
+
+    /// Injected-fault counters, when a plan is installed.
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.device.fault_stats()
+    }
+
+    /// Recovery-subsystem health counters.
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        self.recovery.stats
+    }
+
+    /// Whether the Gate Keeper is currently in degraded mode (queuing
+    /// admissions because the control channel looks dead).
+    pub fn is_degraded(&self) -> bool {
+        self.recovery.is_degraded()
+    }
+
+    /// Admissions queued by degraded mode, awaiting the channel's return.
+    pub fn deferred_len(&self) -> usize {
+        self.recovery.deferred.len()
+    }
+
+    /// Total simulated time spent in degraded mode so far (including a
+    /// still-open episode, measured against the given clock).
+    pub fn degraded_time(&self, now: SimTime) -> SimDuration {
+        SimDuration::from_nanos(self.recovery.degraded_ns_total(now.max(self.clock)))
+    }
+
     /// All logical rules currently installed, in no particular order.
     pub fn logical_rules(&self) -> Vec<Rule> {
         let mut out: Vec<Rule> = self.main_index.iter().collect();
         out.extend(self.shadow.values().map(|e| e.original));
+        out.extend(self.recovery.deferred.iter().copied());
         out
     }
 
-    /// Whether a logical rule is installed.
+    /// Whether a logical rule is installed (including admissions queued by
+    /// degraded mode — they are accepted, just not yet placed).
     pub fn contains(&self, id: RuleId) -> bool {
-        self.shadow.contains_key(&id) || self.main_index.contains(id)
+        self.shadow.contains_key(&id)
+            || self.main_index.contains(id)
+            || self.recovery.deferred.iter().any(|r| r.id == id)
     }
 
     /// Looks up a logical rule.
@@ -345,6 +398,7 @@ impl HermesSwitch {
             .get(&id)
             .map(|e| e.original)
             .or_else(|| self.main_index.get(id))
+            .or_else(|| self.recovery.deferred.iter().find(|r| r.id == id).copied())
     }
 
     fn alloc_phys(&mut self) -> RuleId {
@@ -387,6 +441,106 @@ impl HermesSwitch {
         }
     }
 
+    /// One device op with retry: transient failures back off exponentially
+    /// (with jitter) up to the policy's attempt budget, and the backoff
+    /// time is charged into the returned report's latency — a retried
+    /// insert can still honestly violate its guarantee. Success resets the
+    /// degraded-mode failure streak; exhaustion extends it.
+    fn dev_apply(&mut self, slice: usize, action: &ControlAction) -> Result<OpReport, TcamError> {
+        let mut penalty = SimDuration::ZERO;
+        let mut attempt = 1u32;
+        loop {
+            match self.device.apply(slice, action) {
+                Ok(mut rep) => {
+                    self.recovery.on_success(self.clock);
+                    rep.latency += penalty;
+                    return Ok(rep);
+                }
+                Err(e) if e.is_transient() => {
+                    self.recovery.stats.transient_failures += 1;
+                    if attempt >= self.recovery.policy.max_attempts {
+                        self.recovery.on_permanent_failure(self.clock);
+                        return Err(e);
+                    }
+                    self.recovery.stats.retries += 1;
+                    penalty += self.recovery.backoff(attempt);
+                    attempt += 1;
+                }
+                // State errors (full / not-found / duplicate): retrying
+                // cannot change the answer.
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Insert with stale-duplicate self-healing. The caller's bookkeeping
+    /// says the id is free, so a device `Duplicate` can only mean a
+    /// silently-dropped delete left a stale entry behind — replace it.
+    /// Also purges any journaled delete for the id, which would otherwise
+    /// replay later and destroy the legitimate new entry.
+    fn dev_insert(&mut self, slice: usize, rule: Rule) -> Result<OpReport, TcamError> {
+        self.recovery
+            .pending_gc
+            .retain(|(s, p)| *s != slice || *p != rule.id);
+        match self.dev_apply(slice, &ControlAction::Insert(rule)) {
+            Err(TcamError::Duplicate(id)) => {
+                let penalty = match self.dev_apply(slice, &ControlAction::Delete(id)) {
+                    Ok(rep) => rep.latency,
+                    Err(_) => SimDuration::ZERO,
+                };
+                self.recovery.stats.actions_fixed += 1;
+                self.dev_apply(slice, &ControlAction::Insert(rule))
+                    .map(|mut rep| {
+                        rep.latency += penalty;
+                        rep
+                    })
+            }
+            r => r,
+        }
+    }
+
+    /// Best-effort physical delete. `NotFound` counts as success (the
+    /// install was silently dropped, so there is nothing to remove);
+    /// retry exhaustion journals the delete for idempotent replay so the
+    /// entry can never be stranded.
+    fn dev_delete_or_journal(&mut self, slice: usize, pid: RuleId) -> SimDuration {
+        match self.dev_apply(slice, &ControlAction::Delete(pid)) {
+            Ok(rep) => rep.latency,
+            Err(TcamError::NotFound(_)) => SimDuration::ZERO,
+            Err(_) => {
+                self.recovery.pending_gc.push((slice, pid));
+                SimDuration::ZERO
+            }
+        }
+    }
+
+    /// Replays the journal of failed physical deletes. Idempotent: an
+    /// entry already gone is simply dropped. Returns how many journal
+    /// entries were cleared and the device time spent.
+    fn replay_journal(&mut self) -> (usize, SimDuration) {
+        if self.recovery.pending_gc.is_empty() {
+            return (0, SimDuration::ZERO);
+        }
+        let pending = std::mem::take(&mut self.recovery.pending_gc);
+        let mut cleared = 0;
+        let mut latency = SimDuration::ZERO;
+        for (slice, pid) in pending {
+            match self.dev_apply(slice, &ControlAction::Delete(pid)) {
+                Ok(rep) => {
+                    latency += rep.latency;
+                    cleared += 1;
+                    self.recovery.stats.journal_replays += 1;
+                }
+                Err(TcamError::NotFound(_)) => {
+                    cleared += 1;
+                    self.recovery.stats.journal_replays += 1;
+                }
+                Err(_) => self.recovery.pending_gc.push((slice, pid)),
+            }
+        }
+        (cleared, latency)
+    }
+
     /// Submits a control-plane action (the OpenFlow `flow-mod` surface).
     pub fn submit(
         &mut self,
@@ -405,13 +559,41 @@ impl HermesSwitch {
     }
 
     /// Inserts a rule.
+    ///
+    /// While the Gate Keeper is in degraded mode (the control channel has
+    /// repeatedly timed out) the admission is queued instead of hammering
+    /// the dead channel, reported as [`Route::Deferred`]; queued rules are
+    /// applied by the next tick or audit once the channel recovers.
     pub fn insert(&mut self, rule: Rule, now: SimTime) -> Result<ActionReport, HermesError> {
+        self.clock = self.clock.max(now);
         if rule.id.0 >= PHYS_BASE {
             return Err(HermesError::IdOutOfRange(rule.id));
         }
         if self.contains(rule.id) {
             return Err(HermesError::Duplicate(rule.id));
         }
+        if self.recovery.is_degraded() {
+            let guaranteed = self.gate.qualifies(&rule);
+            self.recovery.defer(rule);
+            return Ok(ActionReport {
+                latency: SimDuration::from_us(10.0),
+                detail: ReportDetail::Insert {
+                    route: Route::Deferred,
+                    pieces: 0,
+                    guaranteed,
+                    // Deferral is surfaced through the health counters,
+                    // not the violation count: during an outage there is
+                    // no latency to measure against the bound.
+                    violated: false,
+                },
+            });
+        }
+        self.insert_live(rule, now)
+    }
+
+    /// The live insert path (Gate Keeper healthy). Factored out so the
+    /// degraded-mode queue can drain through the exact same logic.
+    fn insert_live(&mut self, rule: Rule, now: SimTime) -> Result<ActionReport, HermesError> {
         self.stats.inserts += 1;
         self.manager.record_arrival();
         let guaranteed = self.gate.qualifies(&rule);
@@ -478,6 +660,7 @@ impl HermesSwitch {
             Route::Shadow => {
                 let mut latency = SimDuration::ZERO;
                 let mut piece_ids = Vec::with_capacity(outcome.pieces.len());
+                let mut failed: Option<TcamError> = None;
                 for key in &outcome.pieces {
                     let pid = self.alloc_phys();
                     let phys = Rule {
@@ -485,12 +668,30 @@ impl HermesSwitch {
                         key: *key,
                         ..rule
                     };
-                    let rep = self
-                        .device
-                        .apply(SHADOW, &ControlAction::Insert(phys))
-                        .expect("post_route checked capacity");
-                    latency += rep.latency;
-                    piece_ids.push((pid, *key));
+                    match self.dev_apply(SHADOW, &ControlAction::Insert(phys)) {
+                        Ok(rep) => {
+                            latency += rep.latency;
+                            piece_ids.push((pid, *key));
+                        }
+                        Err(e) => {
+                            failed = Some(e);
+                            break;
+                        }
+                    }
+                }
+                if let Some(e) = failed {
+                    // Transaction rollback: remove the partial install so
+                    // no piece of a never-acknowledged rule can match.
+                    // Pieces the dead channel refuses to delete go to the
+                    // GC journal for idempotent replay.
+                    for (pid, _) in &piece_ids {
+                        self.dev_delete_or_journal(SHADOW, *pid);
+                    }
+                    self.recovery.stats.rollbacks += 1;
+                    return Err(match e {
+                        TcamError::Full => HermesError::DeviceFull,
+                        e => HermesError::Device(e),
+                    });
                 }
                 self.stats.shadow_inserts += 1;
                 self.stats.pieces_written += outcome.pieces.len() as u64;
@@ -550,10 +751,10 @@ impl HermesSwitch {
         route: Route,
         guaranteed: bool,
     ) -> Result<ActionReport, HermesError> {
-        let rep = self
-            .device
-            .apply(MAIN, &ControlAction::Insert(rule))
-            .map_err(|_| HermesError::DeviceFull)?;
+        let rep = self.dev_insert(MAIN, rule).map_err(|e| match e {
+            TcamError::Full => HermesError::DeviceFull,
+            e => HermesError::Device(e),
+        })?;
         self.main_index.insert(rule);
         self.prio_add(rule.priority);
         self.stats.main_inserts += 1;
@@ -591,7 +792,7 @@ impl HermesSwitch {
     /// higher-priority main rule, so only a cut against the *new* rule is
     /// needed — not a full re-partition.
     fn recut_below(&mut self, new_main: Rule) -> SimDuration {
-        let affected: Vec<RuleId> = self
+        let mut affected: Vec<RuleId> = self
             .shadow
             .values()
             .filter(|e| {
@@ -600,6 +801,9 @@ impl HermesSwitch {
             })
             .map(|e| e.original.id)
             .collect();
+        // HashMap iteration order is not deterministic across processes;
+        // the op sequence must be (fault plans and latencies depend on it).
+        affected.sort_unstable_by_key(|id| id.0);
         let mut latency = SimDuration::ZERO;
         for id in affected {
             latency += self.narrow_shadow_rule(id, new_main);
@@ -644,27 +848,24 @@ impl HermesSwitch {
                 key: *key,
                 ..entry.original
             };
-            match self.device.apply(SHADOW, &ControlAction::Insert(phys)) {
+            match self.dev_apply(SHADOW, &ControlAction::Insert(phys)) {
                 Ok(rep) => {
                     latency += rep.latency;
                     new_ids.push((pid, *key));
                 }
                 Err(_) => {
+                    // Roll back the partial narrow and fall back to the
+                    // main table (correct, unguaranteed).
                     for (pid, _) in &new_ids {
-                        if let Ok(rep) = self.device.apply(SHADOW, &ControlAction::Delete(*pid)) {
-                            latency += rep.latency;
-                        }
+                        latency += self.dev_delete_or_journal(SHADOW, *pid);
                     }
+                    self.recovery.stats.rollbacks += 1;
                     return latency + self.evict_shadow_rule_to_main(&entry);
                 }
             }
         }
         for pid in &doomed {
-            let rep = self
-                .device
-                .apply(SHADOW, &ControlAction::Delete(*pid))
-                .expect("piece tracked");
-            latency += rep.latency;
+            latency += self.dev_delete_or_journal(SHADOW, *pid);
         }
         kept.extend(new_ids);
         // The rule now also depends on the new main rule for its shape —
@@ -708,31 +909,24 @@ impl HermesSwitch {
                 key: *key,
                 ..entry.original
             };
-            match self.device.apply(SHADOW, &ControlAction::Insert(phys)) {
+            match self.dev_apply(SHADOW, &ControlAction::Insert(phys)) {
                 Ok(rep) => {
                     latency += rep.latency;
                     new_ids.push((pid, *key));
                 }
                 Err(_) => {
-                    // Shadow full mid-repartition: roll back the new pieces
-                    // and fall back to the main table.
+                    // Shadow full (or channel dead) mid-repartition: roll
+                    // back the new pieces and fall back to the main table.
                     for (pid, _) in &new_ids {
-                        let rep = self
-                            .device
-                            .apply(SHADOW, &ControlAction::Delete(*pid))
-                            .expect("just inserted");
-                        latency += rep.latency;
+                        latency += self.dev_delete_or_journal(SHADOW, *pid);
                     }
+                    self.recovery.stats.rollbacks += 1;
                     return latency + self.evict_shadow_rule_to_main(&entry);
                 }
             }
         }
         for (pid, _) in &entry.pieces {
-            let rep = self
-                .device
-                .apply(SHADOW, &ControlAction::Delete(*pid))
-                .expect("piece tracked");
-            latency += rep.latency;
+            latency += self.dev_delete_or_journal(SHADOW, *pid);
         }
         self.unregister_blockers(id, &entry.cut_against);
         self.register_blockers(id, &outcome.cut_against);
@@ -752,39 +946,47 @@ impl HermesSwitch {
         let id = entry.original.id;
         let mut latency = SimDuration::ZERO;
         for (pid, _) in &entry.pieces {
-            if let Ok(rep) = self.device.apply(SHADOW, &ControlAction::Delete(*pid)) {
-                latency += rep.latency;
-            }
+            latency += self.dev_delete_or_journal(SHADOW, *pid);
         }
         self.unregister_blockers(id, &entry.cut_against);
         self.shadow.remove(&id);
         self.shadow_order.retain(|r| *r != id);
-        if let Ok(rep) = self
-            .device
-            .apply(MAIN, &ControlAction::Insert(entry.original))
-        {
+        // The rule is main-resident by *intent* from here on, whether or
+        // not the write lands right now: on a channel failure the audit
+        // re-installs it from `main_index` instead of the rule being lost.
+        if let Ok(rep) = self.dev_insert(MAIN, entry.original) {
             latency += rep.latency;
-            self.main_index.insert(entry.original);
-            // The rule is now a main rule: lower-priority shadow rules
-            // overlapping it must be re-cut, exactly as on any other
-            // main-table insertion.
-            latency += self.recut_below(entry.original);
         }
+        self.main_index.insert(entry.original);
+        // The rule is now a main rule: lower-priority shadow rules
+        // overlapping it must be re-cut, exactly as on any other
+        // main-table insertion.
+        latency += self.recut_below(entry.original);
         self.stats.repartitions += 1;
         latency
     }
 
     /// Deletes a logical rule.
-    pub fn delete(&mut self, id: RuleId, _now: SimTime) -> Result<ActionReport, HermesError> {
+    pub fn delete(&mut self, id: RuleId, now: SimTime) -> Result<ActionReport, HermesError> {
+        self.clock = self.clock.max(now);
         self.stats.deletes += 1;
+        // A rule still queued by degraded mode is logically installed but
+        // physically nowhere: deleting it is pure bookkeeping.
+        if let Some(pos) = self.recovery.deferred.iter().position(|r| r.id == id) {
+            self.recovery.deferred.remove(pos);
+            self.recovery.stats.deferred_dropped += 1;
+            return Ok(ActionReport {
+                latency: SimDuration::from_us(10.0),
+                detail: ReportDetail::Delete {
+                    pieces_removed: 0,
+                    repartitioned: 0,
+                },
+            });
+        }
         if let Some(entry) = self.shadow.remove(&id) {
             let mut latency = SimDuration::ZERO;
             for (pid, _) in &entry.pieces {
-                let rep = self
-                    .device
-                    .apply(SHADOW, &ControlAction::Delete(*pid))
-                    .expect("piece tracked");
-                latency += rep.latency;
+                latency += self.dev_delete_or_journal(SHADOW, *pid);
             }
             if entry.pieces.is_empty() {
                 latency += SimDuration::from_us(10.0); // agent bookkeeping only
@@ -801,12 +1003,10 @@ impl HermesSwitch {
             });
         }
         if let Some(rule) = self.main_index.remove(id) {
-            let rep = self
-                .device
-                .apply(MAIN, &ControlAction::Delete(id))
-                .expect("main rule tracked");
+            // Journaled on failure; NotFound means the original install
+            // was silently dropped, so the entry is already gone.
+            let mut latency = self.dev_delete_or_journal(MAIN, id);
             self.prio_remove(rule.priority);
-            let mut latency = rep.latency;
             // Fig. 6: un-partition every shadow rule that was cut against
             // the deleted rule.
             let dependents = self.blockers.remove(&id).unwrap_or_default();
@@ -835,7 +1035,26 @@ impl HermesSwitch {
         priority: Option<Priority>,
         now: SimTime,
     ) -> Result<ActionReport, HermesError> {
+        self.clock = self.clock.max(now);
         let current = self.get(id).ok_or(HermesError::NotFound(id))?;
+        // A rule still queued by degraded mode is modified in the queue.
+        if let Some(queued) = self.recovery.deferred.iter_mut().find(|r| r.id == id) {
+            if let Some(a) = action {
+                queued.action = a;
+            }
+            let in_place = match priority {
+                Some(p) if p != queued.priority => {
+                    queued.priority = p;
+                    false
+                }
+                _ => true,
+            };
+            self.stats.modifies += 1;
+            return Ok(ActionReport {
+                latency: SimDuration::from_us(10.0),
+                detail: ReportDetail::Modify { in_place },
+            });
+        }
         if let Some(new_prio) = priority {
             if new_prio != current.priority {
                 let del = self.delete(id, now)?;
@@ -844,7 +1063,24 @@ impl HermesSwitch {
                 if let Some(a) = action {
                     rule.action = a;
                 }
-                let ins = self.insert(rule, now)?;
+                let ins = match self.insert(rule, now) {
+                    Ok(rep) => rep,
+                    Err(e) => {
+                        // Atomicity under faults: the delete leg already
+                        // landed, so a failed re-insert must not lose the
+                        // rule — a failed modify means "old rule still
+                        // stands". Restore the original; if the channel is
+                        // still refusing writes, park it in the degraded
+                        // queue, where it stays logically present and
+                        // flushes on recovery.
+                        if self.insert(current, now).is_err()
+                            && !self.recovery.deferred.iter().any(|r| r.id == id)
+                        {
+                            self.recovery.defer(current);
+                        }
+                        return Err(e);
+                    }
+                };
                 // The delete+insert counts as one modify.
                 self.stats.deletes -= 1;
                 self.stats.inserts -= 1;
@@ -869,35 +1105,36 @@ impl HermesSwitch {
             entry.original.action = new_action;
             let pieces = entry.pieces.clone();
             for (pid, _) in pieces {
-                let rep = self
-                    .device
-                    .apply(
-                        SHADOW,
-                        &ControlAction::Modify {
-                            id: pid,
-                            action: Some(new_action),
-                            priority: None,
-                        },
-                    )
-                    .expect("piece tracked");
-                latency += rep.latency;
-            }
-        } else {
-            let mut rule = self.main_index.get(id).expect("checked contains");
-            rule.action = new_action;
-            self.main_index.insert(rule); // replace
-            let rep = self
-                .device
-                .apply(
-                    MAIN,
+                // Bookkeeping already carries the new action; a device
+                // failure here (or a silently-dropped piece, surfacing as
+                // NotFound) leaves action drift for the audit to repair.
+                if let Ok(rep) = self.dev_apply(
+                    SHADOW,
                     &ControlAction::Modify {
-                        id,
+                        id: pid,
                         action: Some(new_action),
                         priority: None,
                     },
-                )
-                .expect("main rule tracked");
-            latency += rep.latency;
+                ) {
+                    latency += rep.latency;
+                }
+            }
+        } else {
+            // Infallible: `current` came from get(), the deferred and
+            // shadow branches returned above, so the rule is main-resident.
+            let mut rule = self.main_index.get(id).expect("checked contains");
+            rule.action = new_action;
+            self.main_index.insert(rule); // replace
+            if let Ok(rep) = self.dev_apply(
+                MAIN,
+                &ControlAction::Modify {
+                    id,
+                    action: Some(new_action),
+                    priority: None,
+                },
+            ) {
+                latency += rep.latency;
+            }
         }
         Ok(ActionReport {
             latency,
@@ -907,7 +1144,15 @@ impl HermesSwitch {
 
     /// Periodic Rule Manager tick: feeds the predictor and migrates when
     /// the trigger fires. Call every `config.tick` of simulated time.
+    ///
+    /// The tick is also the recovery heartbeat: it replays the journal of
+    /// failed physical deletes and drains the degraded-mode queue (which
+    /// doubles as the channel probe — the first successful flush ends the
+    /// degraded episode automatically).
     pub fn tick(&mut self, now: SimTime) -> Option<MigrationReport> {
+        self.clock = self.clock.max(now);
+        self.replay_journal();
+        self.flush_deferred(now);
         let r_p = self.stats.expected_partitions();
         if self
             .manager
@@ -917,6 +1162,37 @@ impl HermesSwitch {
         } else {
             None
         }
+    }
+
+    /// Drains the degraded-mode admission queue through the live insert
+    /// path, in arrival order. Stops at the first device failure (the
+    /// channel is still dead) and re-queues the remainder. Returns the
+    /// number flushed and the control-plane time spent.
+    fn flush_deferred(&mut self, now: SimTime) -> (usize, SimDuration) {
+        let mut flushed = 0;
+        let mut latency = SimDuration::ZERO;
+        while !self.recovery.deferred.is_empty() {
+            let rule = self.recovery.deferred.remove(0);
+            match self.insert_live(rule, now) {
+                Ok(rep) => {
+                    latency += rep.latency;
+                    flushed += 1;
+                    self.recovery.stats.deferred_flushed += 1;
+                }
+                Err(HermesError::Device(_)) => {
+                    // Channel still dead: put it back at the front and
+                    // stop probing.
+                    self.recovery.deferred.insert(0, rule);
+                    break;
+                }
+                Err(_) => {
+                    // Permanently unplaceable (e.g. the table filled while
+                    // the rule waited): drop it, surfaced by the counter.
+                    self.recovery.stats.deferred_dropped += 1;
+                }
+            }
+        }
+        (flushed, latency)
     }
 
     /// Runs one migration pass (Fig. 7): every logical shadow rule is
@@ -940,24 +1216,28 @@ impl HermesSwitch {
                 None => continue,
             };
             // Step 3: write the original into the main table first…
-            match self
-                .device
-                .apply(MAIN, &ControlAction::Insert(entry.original))
-            {
+            match self.dev_insert(MAIN, entry.original) {
                 Ok(rep) => {
                     report.duration += rep.latency;
                     report.entries_written += 1;
                 }
-                Err(_) => continue, // main full: rule stays in shadow
+                // Main full or channel dead: the per-rule transaction
+                // aborts with no side effects — the rule simply stays in
+                // the shadow (make-before-break means nothing was broken).
+                // The whole PASS must abort too, not just this rule: later
+                // rules in the order have priority ≥ this one, and moving
+                // any of them to the main table would leave this rule's
+                // shadow pieces un-cut against a higher-priority main rule,
+                // breaking the shadow-first lookup invariant.
+                Err(_) => break,
             }
             self.main_index.insert(entry.original);
-            // …then (step 4) remove its shadow pieces.
+            // …then (step 4) remove its shadow pieces. A piece the channel
+            // refuses to release is journaled; until replay or audit GCs
+            // it, the duplicate coverage is harmless (same rule, both
+            // tables — make-before-break's own intermediate state).
             for (pid, _) in &entry.pieces {
-                let rep = self
-                    .device
-                    .apply(SHADOW, &ControlAction::Delete(*pid))
-                    .expect("piece tracked");
-                report.duration += rep.latency;
+                report.duration += self.dev_delete_or_journal(SHADOW, *pid);
                 report.pieces_deleted += 1;
             }
             report.entries_saved += entry.pieces.len().saturating_sub(1);
@@ -973,6 +1253,177 @@ impl HermesSwitch {
         self.stats.migrations += 1;
         self.stats.rules_migrated += report.rules_migrated as u64;
         report
+    }
+
+    /// Reconciliation audit (recovery layer 3): one sweep that makes the
+    /// device converge to the controller's logical view.
+    ///
+    /// The sweep (1) replays the journal of failed physical deletes,
+    /// (2) diffs each slice against the bookkeeping — deleting orphans,
+    /// repairing action/shape drift in place, re-installing silently
+    /// dropped entries — (3) evicts shadow rules whose pieces no longer
+    /// fit (silent drops can let the admission path oversubscribe the
+    /// shadow), and (4) drains the degraded-mode queue. Every repair op
+    /// goes through the retry layer; if the channel is still faulty the
+    /// report comes back with `complete = false` and the sweep can simply
+    /// be run again — all repairs are idempotent. A report for which
+    /// [`AuditReport::clean`] holds certifies that the device exactly
+    /// matches the logical view.
+    pub fn audit(&mut self, now: SimTime) -> AuditReport {
+        self.clock = self.clock.max(now);
+        let mut report = AuditReport {
+            complete: true,
+            ..AuditReport::default()
+        };
+        let (replayed, lat) = self.replay_journal();
+        report.journal_replayed = replayed;
+        report.duration += lat;
+        if !self.recovery.pending_gc.is_empty() {
+            report.complete = false;
+        }
+
+        // Expected physical state of the shadow slice: the union of every
+        // resident rule's pieces, carrying the owner's priority and action.
+        let mut expected_shadow: HashMap<RuleId, Rule> = HashMap::new();
+        for e in self.shadow.values() {
+            for (pid, key) in &e.pieces {
+                expected_shadow.insert(
+                    *pid,
+                    Rule {
+                        id: *pid,
+                        key: *key,
+                        ..e.original
+                    },
+                );
+            }
+        }
+        let evict = self.reconcile_slice(SHADOW, &expected_shadow, &mut report);
+
+        let expected_main: HashMap<RuleId, Rule> =
+            self.main_index.iter().map(|r| (r.id, r)).collect();
+        // Main reinstalls hit `Full` only when the table is genuinely out
+        // of space; there is no eviction target, so the list is empty.
+        let _ = self.reconcile_slice(MAIN, &expected_main, &mut report);
+
+        for id in evict {
+            if let Some(entry) = self.shadow.get(&id).cloned() {
+                report.duration += self.evict_shadow_rule_to_main(&entry);
+                report.evicted += 1;
+            }
+        }
+
+        let (flushed, lat) = self.flush_deferred(now);
+        report.deferred_flushed = flushed;
+        report.duration += lat;
+
+        self.recovery.stats.audits += 1;
+        self.recovery.stats.audit_diffs += report.diffs() as u64;
+        self.recovery.stats.reinstalled += report.reinstalled as u64;
+        self.recovery.stats.orphans_removed += report.orphans_removed as u64;
+        self.recovery.stats.actions_fixed += report.actions_fixed as u64;
+        report
+    }
+
+    /// Diffs one slice against its expected physical entries and repairs
+    /// the device. Returns shadow rules that must be evicted because their
+    /// pieces no longer fit.
+    fn reconcile_slice(
+        &mut self,
+        slice: usize,
+        expected: &HashMap<RuleId, Rule>,
+        report: &mut AuditReport,
+    ) -> Vec<RuleId> {
+        let actual: Vec<Rule> = self.device.slice(slice).table.entries().to_vec();
+        let mut healthy: HashSet<RuleId> = HashSet::new();
+        // Pass 1: orphans and drifted entries.
+        for dev_rule in &actual {
+            match expected.get(&dev_rule.id) {
+                None => {
+                    // No logical owner: a stranded piece or stale entry.
+                    match self.dev_apply(slice, &ControlAction::Delete(dev_rule.id)) {
+                        Ok(rep) => {
+                            report.duration += rep.latency;
+                            report.orphans_removed += 1;
+                        }
+                        Err(TcamError::NotFound(_)) => report.orphans_removed += 1,
+                        Err(_) => {
+                            self.recovery.pending_gc.push((slice, dev_rule.id));
+                            report.complete = false;
+                        }
+                    }
+                }
+                Some(want) if want.priority != dev_rule.priority || want.key != dev_rule.key => {
+                    // Wrong shape (a stale entry under a reused logical
+                    // id): remove it; pass 2 installs the intended rule.
+                    match self.dev_apply(slice, &ControlAction::Delete(dev_rule.id)) {
+                        Ok(rep) => {
+                            report.duration += rep.latency;
+                            report.actions_fixed += 1;
+                        }
+                        Err(TcamError::NotFound(_)) => report.actions_fixed += 1,
+                        Err(_) => {
+                            // Could not clear the stale entry: skip the
+                            // reinstall too (it would collide).
+                            report.complete = false;
+                            healthy.insert(dev_rule.id);
+                        }
+                    }
+                }
+                Some(want) if want.action != dev_rule.action => {
+                    match self.dev_apply(
+                        slice,
+                        &ControlAction::Modify {
+                            id: dev_rule.id,
+                            action: Some(want.action),
+                            priority: None,
+                        },
+                    ) {
+                        Ok(rep) => {
+                            report.duration += rep.latency;
+                            report.actions_fixed += 1;
+                        }
+                        Err(_) => report.complete = false,
+                    }
+                    healthy.insert(dev_rule.id);
+                }
+                Some(_) => {
+                    healthy.insert(dev_rule.id);
+                }
+            }
+        }
+        // Pass 2: expected entries the device lost (silent drops), in
+        // deterministic id order (the map's own order is not).
+        let mut missing: Vec<Rule> = expected
+            .values()
+            .filter(|r| !healthy.contains(&r.id))
+            .copied()
+            .collect();
+        missing.sort_unstable_by_key(|r| r.id.0);
+        let mut evict: Vec<RuleId> = Vec::new();
+        for want in missing {
+            match self.dev_apply(slice, &ControlAction::Insert(want)) {
+                Ok(rep) => {
+                    report.duration += rep.latency;
+                    report.reinstalled += 1;
+                }
+                Err(TcamError::Full) if slice == SHADOW => {
+                    // Silent drops let the admission path oversubscribe
+                    // the shadow: move the owning rule to the main table.
+                    let owner = self
+                        .shadow
+                        .values()
+                        .find(|e| e.pieces.iter().any(|(pid, _)| *pid == want.id))
+                        .map(|e| e.original.id);
+                    if let Some(owner) = owner {
+                        if !evict.contains(&owner) {
+                            evict.push(owner);
+                        }
+                    }
+                }
+                Err(_) => report.complete = false,
+            }
+        }
+        evict
     }
 
     /// Rewrites a matched partition piece back to its controller-visible

@@ -122,7 +122,7 @@ fn run_lockstep(seed: u64, ops: usize, model: SwitchModel, trigger: MigrationTri
     let mut now = SimTime::ZERO;
 
     for step in 0..ops {
-        now = now + SimDuration::from_ms(rng.gen_range(0.1..5.0));
+        now += SimDuration::from_ms(rng.gen_range(0.1..5.0));
         let roll: f64 = rng.gen();
         let action = if live.is_empty() || roll < 0.55 {
             let r = gen_rule(&mut rng, next_id);
@@ -268,7 +268,7 @@ hermes_util::check! {
                 Priority(*prio),
                 Action::Forward(prio % 5 + 1),
             );
-            now = now + SimDuration::from_ms(1.0);
+            now += SimDuration::from_ms(1.0);
             hermes.insert(r, now).unwrap();
             flat.insert(r).unwrap();
             if i % migrate_every == migrate_every - 1 {
@@ -295,6 +295,180 @@ hermes_util::check! {
             );
         }
     }
+}
+
+// Chaos oracle: random workloads driven under random fault plans — write
+// failures, silent-drop acks, latency spikes, outage windows — must, once
+// the faults clear and the reconciliation audit converges, classify
+// identically to a flat priority-ordered table holding the logically-live
+// rules. Ops the agent *reported failed* are excluded from the logical
+// view (the controller knows they failed); everything it acked — including
+// acks the device silently dropped — must survive.
+hermes_util::check! {
+    #![cases = 256]
+
+    fn chaos_recovers_to_flat_oracle(
+        workload_seed in hermes_util::check::arb::<u64>(),
+        fault_seed in hermes_util::check::arb::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(workload_seed);
+        let config = HermesConfig {
+            rate_limit: Some(f64::INFINITY),
+            ..Default::default()
+        };
+        let mut hermes = HermesSwitch::new(SwitchModel::pica8_p3290(), config).unwrap();
+        hermes.install_fault_plan(Some(hermes_tcam::FaultPlan::seeded(fault_seed)));
+        let mut oracle = TcamTable::new(1 << 14, PlacementStrategy::PackedLow);
+        let mut live: Vec<Rule> = Vec::new();
+        let mut next_id = 0u64;
+        let mut now = SimTime::ZERO;
+        let ops = rng.gen_range(30..120);
+
+        for step in 0..ops {
+            now += SimDuration::from_ms(rng.gen_range(0.1..5.0));
+            let roll: f64 = rng.gen();
+            if live.is_empty() || roll < 0.6 {
+                let r = gen_rule(&mut rng, next_id);
+                next_id += 1;
+                // A permanent device failure means the insert never became
+                // logically live (partial installs roll back); only acked
+                // inserts — deferred ones included — enter the oracle.
+                if hermes.insert(r, now).is_ok() {
+                    oracle.insert(r).unwrap();
+                    live.push(r);
+                }
+            } else if roll < 0.85 {
+                let i = rng.gen_range(0..live.len());
+                let r = live.swap_remove(i);
+                if hermes.delete(r.id, now).is_ok() {
+                    oracle.delete(r.id).unwrap();
+                } else {
+                    live.push(r);
+                }
+            } else {
+                let i = rng.gen_range(0..live.len());
+                let r = &mut live[i];
+                // Priority↔action tie as in the lockstep oracle (equal
+                // priority ⇒ equal action keeps the flat table unambiguous).
+                let p = Priority(rng.gen_range(1..40));
+                r.priority = p;
+                r.action = Action::Forward(p.0 % 5 + 1);
+                let action = ControlAction::Modify {
+                    id: r.id,
+                    action: Some(r.action),
+                    priority: Some(p),
+                };
+                if hermes.submit(&action, now).is_ok() {
+                    let old = *oracle.get(r.id).unwrap();
+                    oracle.delete(r.id).unwrap();
+                    let mut new_rule = old;
+                    new_rule.priority = p;
+                    new_rule.action = r.action;
+                    oracle.insert(new_rule).unwrap();
+                }
+            }
+            if step % 9 == 8 {
+                hermes.tick(now);
+            }
+            if step % 31 == 30 {
+                hermes.migrate(now);
+            }
+        }
+
+        // Quiescence: the faults clear; the audit must converge to a clean
+        // sweep (bounded — one repair pass plus one verification pass is
+        // the norm, the slack absorbs pathological plans).
+        hermes.install_fault_plan(None);
+        let mut converged = false;
+        for _ in 0..16 {
+            now += SimDuration::from_ms(5.0);
+            if hermes.audit(now).clean() {
+                converged = true;
+                break;
+            }
+        }
+        assert!(converged, "audit failed to converge after faults cleared");
+
+        // Every logically-live rule is still known to the agent…
+        for r in &live {
+            assert!(hermes.contains(r.id), "acked rule {:?} lost", r.id);
+        }
+        // …and classification matches the flat table on a deterministic
+        // spray over the 10/8 the generator clusters rules into.
+        for i in 0..512u32 {
+            let p = pkt(0x0a00_0000 | (i.wrapping_mul(2654435761) % (1 << 24)));
+            assert_eq!(
+                hermes_action(hermes.peek(p)),
+                oracle.peek(p).map(|r| r.action),
+                "divergence on sprayed packet {i} after recovery"
+            );
+        }
+    }
+}
+
+/// Same fault seed + same workload ⇒ byte-identical metrics document: the
+/// whole chaos pipeline (fault decisions, retry jitter, audit repairs) is
+/// deterministic, so failures reproduce from `HERMES_FAULT_SEED` alone.
+#[test]
+fn chaos_run_is_deterministic_from_seed() {
+    let run = |fault_seed: u64| -> String {
+        let mut rng = StdRng::seed_from_u64(11);
+        let config = HermesConfig {
+            rate_limit: Some(f64::INFINITY),
+            ..Default::default()
+        };
+        let mut hermes = HermesSwitch::new(SwitchModel::pica8_p3290(), config).unwrap();
+        hermes.install_fault_plan(Some(hermes_tcam::FaultPlan::seeded(fault_seed)));
+        let mut live: Vec<RuleId> = Vec::new();
+        let mut now = SimTime::ZERO;
+        for id in 0..300u64 {
+            now += SimDuration::from_ms(1.0);
+            let r = gen_rule(&mut rng, id);
+            if hermes.insert(r, now).is_ok() {
+                live.push(r.id);
+            }
+            if id % 5 == 4 && !live.is_empty() {
+                let victim = live.swap_remove((id as usize / 5) % live.len());
+                let _ = hermes.delete(victim, now);
+            }
+            if id % 11 == 10 {
+                hermes.tick(now);
+            }
+        }
+        let fault = hermes.fault_stats().expect("plan installed");
+        for _ in 0..16 {
+            now += SimDuration::from_ms(5.0);
+            if hermes.audit(now).clean() {
+                break;
+            }
+        }
+        let rec = hermes.recovery_stats();
+        use hermes_util::json::{Json, ToJson};
+        Json::obj([
+            ("ops_seen", fault.ops_seen.to_json()),
+            ("write_failures", fault.write_failures.to_json()),
+            ("silent_drops", fault.silent_drops.to_json()),
+            ("latency_spikes", fault.latency_spikes.to_json()),
+            ("outage_rejections", fault.outage_rejections.to_json()),
+            ("retries", rec.retries.to_json()),
+            ("permanent_failures", rec.permanent_failures.to_json()),
+            ("rollbacks", rec.rollbacks.to_json()),
+            ("journal_replays", rec.journal_replays.to_json()),
+            ("audit_diffs", rec.audit_diffs.to_json()),
+            ("reinstalled", rec.reinstalled.to_json()),
+            ("orphans_removed", rec.orphans_removed.to_json()),
+            ("degraded_entries", rec.degraded_entries.to_json()),
+            ("degraded_ns", rec.degraded_ns.to_json()),
+            ("shadow_len", (hermes.shadow_len() as u64).to_json()),
+            ("main_len", (hermes.main_len() as u64).to_json()),
+        ])
+        .to_string()
+    };
+    let a = run(0xC0FFEE);
+    let b = run(0xC0FFEE);
+    assert_eq!(a, b, "same seed + plan must reproduce byte-for-byte");
+    let c = run(0xDECAF);
+    assert_ne!(a, c, "different fault seeds should diverge");
 }
 
 /// The Fig. 6 scenario, directed: a redundant rule must resurface when the

@@ -68,7 +68,7 @@ hermes_util::check! {
         let mut now = SimTime::ZERO;
 
         for o in ops {
-            now = now + SimDuration::from_ms(3.0);
+            now += SimDuration::from_ms(3.0);
             match o {
                 Op::Insert { pfx, prio } => {
                     let r = Rule::new(next, pfx.to_key(), Priority(prio), Action::Forward(prio % 5));
@@ -176,7 +176,7 @@ hermes_util::check! {
         let mut now = SimTime::ZERO;
         let mut admitted = 0.0;
         for gap in gaps_ms {
-            now = now + SimDuration::from_ms(gap);
+            now += SimDuration::from_ms(gap);
             if bucket.try_take(now, 1.0) {
                 admitted += 1.0;
             }
@@ -202,7 +202,7 @@ hermes_util::check! {
                 Err(HermesError::InfeasibleGuarantee) => {
                     assert!(SimDuration::from_ms(g_ms) < model.base + model.base);
                 }
-                Err(e) => assert!(false, "unexpected error {e:?}"),
+                Err(e) => panic!("unexpected error {e:?}"),
             }
         }
     }

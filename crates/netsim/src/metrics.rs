@@ -140,6 +140,15 @@ pub struct RunMetrics {
     pub installs: u64,
     /// Migrations performed (Hermes only).
     pub migrations: u64,
+    /// Device ops retried after transient control-channel failures
+    /// (Hermes only; 0 without a fault plan).
+    pub device_retries: u64,
+    /// Device ops that exhausted their retry budget.
+    pub device_failures: u64,
+    /// Divergences found and repaired by reconciliation audits.
+    pub audit_diffs: u64,
+    /// Total simulated time the control planes spent in degraded mode, ms.
+    pub degraded_ms: f64,
 }
 
 impl ToJson for RunMetrics {
@@ -154,6 +163,10 @@ impl ToJson for RunMetrics {
             ("violations", self.violations.to_json()),
             ("installs", self.installs.to_json()),
             ("migrations", self.migrations.to_json()),
+            ("device_retries", self.device_retries.to_json()),
+            ("device_failures", self.device_failures.to_json()),
+            ("audit_diffs", self.audit_diffs.to_json()),
+            ("degraded_ms", self.degraded_ms.to_json()),
         ])
     }
 }

@@ -370,7 +370,26 @@ impl Varys {
                 break;
             }
         }
+        self.collect_health();
         self.now
+    }
+
+    /// Snapshots control-plane health counters into the metric bundle
+    /// (overwrites, so repeated `run` calls stay consistent).
+    fn collect_health(&mut self) {
+        let (mut retries, mut failures, mut diffs, mut degraded_ns) = (0u64, 0u64, 0u64, 0u64);
+        for q in self.planes.values() {
+            if let Some(rs) = q.plane().recovery_stats() {
+                retries += rs.retries;
+                failures += rs.permanent_failures;
+                diffs += rs.audit_diffs;
+                degraded_ns += rs.degraded_ns;
+            }
+        }
+        self.metrics.device_retries = retries;
+        self.metrics.device_failures = failures;
+        self.metrics.audit_diffs = diffs;
+        self.metrics.degraded_ms = degraded_ns as f64 / 1e6;
     }
 
     fn advance_to(&mut self, t: SimTime) {

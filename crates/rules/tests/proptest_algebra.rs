@@ -167,7 +167,7 @@ hermes_util::check! {
                 .map(|r| r.action)
         };
         for i in 0..512u32 {
-            let pkt = ((0x0a00_0000u32 | i.wrapping_mul(2654435761) % (1 << 24)) as u128) << 96;
+            let pkt = ((0x0a00_0000u32 | (i.wrapping_mul(2654435761) % (1 << 24))) as u128) << 96;
             assert_eq!(classify(&rules, pkt), classify(&optimized, pkt));
         }
     }

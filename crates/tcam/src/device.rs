@@ -11,6 +11,7 @@
 //! then main — honouring each slice's table-miss behaviour, which is how
 //! the paper preserves the single-logical-table abstraction (§3).
 
+use crate::fault::{FaultDecision, FaultPlan, FaultStats};
 use crate::perf::SwitchModel;
 use crate::table::{OpShifts, TcamError, TcamTable};
 use crate::time::SimDuration;
@@ -93,6 +94,7 @@ impl LookupResult {
 pub struct TcamDevice {
     model: SwitchModel,
     slices: Vec<Slice>,
+    fault: Option<FaultPlan>,
 }
 
 impl TcamDevice {
@@ -108,6 +110,7 @@ impl TcamDevice {
                 miss: MissBehavior::ToController,
                 busy: SimDuration::ZERO,
             }],
+            fault: None,
         }
     }
 
@@ -136,7 +139,23 @@ impl TcamDevice {
                     busy: SimDuration::ZERO,
                 })
                 .collect(),
+            fault: None,
         }
+    }
+
+    /// Installs (or clears) a fault-injection plan on the control channel.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.fault = plan;
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref()
+    }
+
+    /// Injected-fault counters, when a plan is installed.
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.fault.as_ref().map(|p| p.stats())
     }
 
     /// The performance model.
@@ -175,7 +194,45 @@ impl TcamDevice {
 
     /// Applies a control action to a specific slice, charging latency per
     /// the performance model.
+    ///
+    /// When a [`FaultPlan`] is installed the op may be transiently rejected
+    /// ([`TcamError::ChannelBusy`] / [`TcamError::Outage`]), have its latency
+    /// spiked, or — worst of all — be *silently dropped*: the device returns
+    /// a plausible `Ok` report without applying anything, exactly like the
+    /// lying firmware the paper measures (§2).
     pub fn apply(&mut self, slice: usize, action: &ControlAction) -> Result<OpReport, TcamError> {
+        let mut spike = 1.0;
+        if let Some(plan) = self.fault.as_mut() {
+            let (is_insert, is_delete) = match action {
+                ControlAction::Insert(_) => (true, false),
+                ControlAction::Delete(_) => (false, true),
+                ControlAction::Modify { .. } => (false, false),
+            };
+            match plan.decide(is_insert, is_delete) {
+                FaultDecision::Normal => {}
+                FaultDecision::Fail => return Err(TcamError::ChannelBusy),
+                FaultDecision::Outage => return Err(TcamError::Outage),
+                FaultDecision::Spike(m) => spike = m,
+                FaultDecision::SilentDrop => {
+                    // Ack with a plausible latency, apply nothing.
+                    let occupancy_before = self.slices[slice].table.len();
+                    let latency = match action {
+                        ControlAction::Insert(_) => {
+                            self.model.insert_latency(occupancy_before, 0)
+                        }
+                        ControlAction::Delete(_) => self.model.delete,
+                        ControlAction::Modify { .. } => self.model.modify,
+                    };
+                    self.slices[slice].busy += latency;
+                    return Ok(OpReport {
+                        latency,
+                        shifts: 0,
+                        occupancy_before,
+                        slice,
+                    });
+                }
+            }
+        }
         let occupancy_before = self.slices[slice].table.len();
         let (latency, shifts) = match action {
             ControlAction::Insert(rule) => {
@@ -222,6 +279,11 @@ impl TcamDevice {
                     (self.model.modify, 0)
                 }
             }
+        };
+        let latency = if spike != 1.0 {
+            latency.mul_f64(spike)
+        } else {
+            latency
         };
         self.slices[slice].busy += latency;
         Ok(OpReport {

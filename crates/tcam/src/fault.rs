@@ -1,0 +1,232 @@
+//! Deterministic fault injection for the TCAM control channel.
+//!
+//! The paper's motivation (§2) is built on firmware that misbehaves: acks
+//! arrive late, latency spikes with occupancy, and switches sometimes
+//! report success for operations they never applied. [`FaultPlan`] turns
+//! those behaviours into a *seeded, reproducible* adversary that a
+//! [`TcamDevice`](crate::TcamDevice) consults before every control-plane
+//! action:
+//!
+//! * **transient write failures** — the op is rejected with
+//!   [`TcamError::ChannelBusy`](crate::TcamError::ChannelBusy); a retry may
+//!   succeed;
+//! * **latency spikes** — the op succeeds but its charged latency is
+//!   multiplied (occupancy-dependent firmware GC pauses);
+//! * **control-channel outages** — a window of consecutive ops all fail
+//!   with [`TcamError::Outage`](crate::TcamError::Outage), modelling a
+//!   wedged agent or management-link flap;
+//! * **silent drops** — the device acks an insert (or delete) with a
+//!   plausible latency but applies nothing, leaving the controller's view
+//!   and the hardware out of sync until a reconciliation audit catches it.
+//!
+//! Every decision is a pure function of the seed and the op sequence, so a
+//! chaos run reproduces byte-for-byte from `HERMES_FAULT_SEED`.
+
+use hermes_util::rng::{Rng, SeedableRng, StdRng};
+
+/// What the fault layer decided for one control-plane action.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultDecision {
+    /// Execute normally.
+    Normal,
+    /// Reject with a transient [`TcamError::ChannelBusy`](crate::TcamError).
+    Fail,
+    /// Ack success without applying the operation.
+    SilentDrop,
+    /// Execute, but multiply the charged latency by the factor.
+    Spike(f64),
+    /// Reject: the control channel is inside an outage window.
+    Outage,
+}
+
+/// Lifetime counters for injected faults (telemetry for chaos runs).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Ops the plan examined.
+    pub ops_seen: u64,
+    /// Transient write failures injected.
+    pub write_failures: u64,
+    /// Ops acked but silently dropped.
+    pub silent_drops: u64,
+    /// Ops whose latency was spiked.
+    pub latency_spikes: u64,
+    /// Ops rejected inside an outage window.
+    pub outage_rejections: u64,
+}
+
+/// A seeded fault schedule for one device.
+///
+/// Probabilities are per-op; the outage schedule is op-count driven (an
+/// outage of `outage_len` ops opens every `outage_period` ops), which keeps
+/// the plan deterministic without needing a clock.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    /// Probability a write (insert/modify) fails transiently.
+    pub write_fail_prob: f64,
+    /// Probability an insert or delete is acked but not applied.
+    pub silent_drop_prob: f64,
+    /// Probability an op's latency is multiplied by `spike_multiplier`.
+    pub latency_spike_prob: f64,
+    /// Latency multiplier applied on a spike.
+    pub spike_multiplier: f64,
+    /// Ops between outage-window starts (`0` disables outages).
+    pub outage_period: u64,
+    /// Consecutive ops rejected once an outage opens.
+    pub outage_len: u64,
+    rng: StdRng,
+    ops: u64,
+    stats: FaultStats,
+}
+
+impl FaultPlan {
+    /// A plan with every fault disabled — useful as a base to tweak.
+    pub fn quiet(seed: u64) -> Self {
+        FaultPlan {
+            write_fail_prob: 0.0,
+            silent_drop_prob: 0.0,
+            latency_spike_prob: 0.0,
+            spike_multiplier: 1.0,
+            outage_period: 0,
+            outage_len: 0,
+            rng: StdRng::seed_from_u64(seed),
+            ops: 0,
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// The standard chaos mix used by tests and the CI smoke run: a few
+    /// percent of everything, plus a short outage window every 200 ops.
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan {
+            write_fail_prob: 0.08,
+            silent_drop_prob: 0.04,
+            latency_spike_prob: 0.05,
+            spike_multiplier: 8.0,
+            outage_period: 200,
+            outage_len: 12,
+            ..Self::quiet(seed)
+        }
+    }
+
+    /// Builds the standard chaos plan from the `HERMES_FAULT_SEED`
+    /// environment variable, or `None` when it is unset/unparsable.
+    pub fn from_env() -> Option<Self> {
+        std::env::var("HERMES_FAULT_SEED")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .map(Self::seeded)
+    }
+
+    /// Injected-fault counters so far.
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    /// `true` while the op counter sits inside an outage window. The op
+    /// counter only advances via [`decide`](Self::decide).
+    pub fn in_outage(&self) -> bool {
+        self.outage_period != 0
+            && self.outage_len != 0
+            && self.ops % self.outage_period >= self.outage_period.saturating_sub(self.outage_len)
+    }
+
+    /// Decides the fate of the next control-plane action. `is_insert` and
+    /// `is_delete` select which faults apply: silent drops hit inserts and
+    /// deletes (the ops whose loss desynchronizes state), transient write
+    /// failures hit everything.
+    pub fn decide(&mut self, is_insert: bool, is_delete: bool) -> FaultDecision {
+        self.stats.ops_seen += 1;
+        let in_outage = self.in_outage();
+        self.ops += 1;
+        // One decision per op from a fixed number of draws keeps the
+        // stream aligned regardless of which branch fires.
+        let roll: f64 = self.rng.gen_range(0.0..1.0);
+        if in_outage {
+            self.stats.outage_rejections += 1;
+            return FaultDecision::Outage;
+        }
+        let mut edge = self.write_fail_prob;
+        if roll < edge {
+            self.stats.write_failures += 1;
+            return FaultDecision::Fail;
+        }
+        edge += self.silent_drop_prob;
+        if roll < edge {
+            if is_insert || is_delete {
+                self.stats.silent_drops += 1;
+                return FaultDecision::SilentDrop;
+            }
+            return FaultDecision::Normal;
+        }
+        edge += self.latency_spike_prob;
+        if roll < edge {
+            self.stats.latency_spikes += 1;
+            return FaultDecision::Spike(self.spike_multiplier);
+        }
+        FaultDecision::Normal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_plan_never_fires() {
+        let mut p = FaultPlan::quiet(7);
+        for _ in 0..1000 {
+            assert_eq!(p.decide(true, false), FaultDecision::Normal);
+        }
+        assert_eq!(p.stats().write_failures, 0);
+        assert_eq!(p.stats().ops_seen, 1000);
+    }
+
+    #[test]
+    fn same_seed_same_decisions() {
+        let mut a = FaultPlan::seeded(42);
+        let mut b = FaultPlan::seeded(42);
+        for i in 0..5000 {
+            assert_eq!(
+                a.decide(i % 3 == 0, i % 3 == 1),
+                b.decide(i % 3 == 0, i % 3 == 1),
+                "decision {i} diverged"
+            );
+        }
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn outage_windows_fire_on_schedule() {
+        let mut p = FaultPlan::quiet(1);
+        p.outage_period = 10;
+        p.outage_len = 3;
+        let mut rejected = 0;
+        for _ in 0..100 {
+            if p.decide(true, false) == FaultDecision::Outage {
+                rejected += 1;
+            }
+        }
+        assert_eq!(rejected, 30, "3 of every 10 ops rejected");
+        assert_eq!(p.stats().outage_rejections, 30);
+    }
+
+    #[test]
+    fn probabilities_are_roughly_honoured() {
+        let mut p = FaultPlan::quiet(9);
+        p.write_fail_prob = 0.2;
+        for _ in 0..10_000 {
+            p.decide(true, false);
+        }
+        let f = p.stats().write_failures as f64 / 10_000.0;
+        assert!((f - 0.2).abs() < 0.02, "observed failure rate {f}");
+    }
+
+    #[test]
+    fn silent_drops_only_hit_inserts_and_deletes() {
+        let mut p = FaultPlan::quiet(3);
+        p.silent_drop_prob = 1.0;
+        assert_eq!(p.decide(true, false), FaultDecision::SilentDrop);
+        assert_eq!(p.decide(false, true), FaultDecision::SilentDrop);
+        assert_eq!(p.decide(false, false), FaultDecision::Normal);
+    }
+}

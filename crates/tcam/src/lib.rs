@@ -10,6 +10,8 @@
 //!   (Pica8 P-3290, Dell 8132F, plus a synthesized HP 5406zl);
 //! * [`device`] — a switch ASIC with TCAM *carving* into slices, the SDK
 //!   capability Hermes relies on (§6);
+//! * [`fault`] — a seeded, deterministic fault injector for the control
+//!   channel (transient failures, latency spikes, outages, silent drops);
 //! * [`time`] — deterministic simulated time used across the workspace.
 //!
 //! ## Example: reproducing a Table 1 measurement
@@ -27,11 +29,13 @@
 #![forbid(unsafe_code)]
 
 pub mod device;
+pub mod fault;
 pub mod perf;
 pub mod table;
 pub mod time;
 
 pub use device::{LookupResult, MissBehavior, OpReport, Slice, TcamDevice};
+pub use fault::{FaultDecision, FaultPlan, FaultStats};
 pub use perf::SwitchModel;
 pub use table::{PlacementStrategy, TableStats, TcamError, TcamTable};
 pub use time::{SimDuration, SimTime};

@@ -44,6 +44,21 @@ pub enum TcamError {
     /// An entry with this rule id already exists (ids must be unique per
     /// table).
     Duplicate(RuleId),
+    /// The control channel transiently rejected the op (injected fault);
+    /// a retry may succeed.
+    ChannelBusy,
+    /// The control channel is inside an outage window (injected fault);
+    /// retries fail until the window closes.
+    Outage,
+}
+
+impl TcamError {
+    /// `true` for errors a retry can clear (channel faults), `false` for
+    /// state errors (full / not-found / duplicate) where retrying is
+    /// pointless.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, TcamError::ChannelBusy | TcamError::Outage)
+    }
 }
 
 impl std::fmt::Display for TcamError {
@@ -52,6 +67,8 @@ impl std::fmt::Display for TcamError {
             TcamError::Full => write!(f, "TCAM table full"),
             TcamError::NotFound(id) => write!(f, "no TCAM entry for rule {id}"),
             TcamError::Duplicate(id) => write!(f, "duplicate TCAM entry for rule {id}"),
+            TcamError::ChannelBusy => write!(f, "TCAM control channel busy (transient)"),
+            TcamError::Outage => write!(f, "TCAM control channel outage"),
         }
     }
 }

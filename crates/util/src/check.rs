@@ -70,10 +70,13 @@ impl Config {
     }
 }
 
+/// The sampling function backing a [`Gen`].
+type SampleFn<T> = Rc<dyn Fn(&mut StdRng, usize) -> T>;
+
 /// A value generator: a sized, seeded sampling function. Combinators
 /// compose by closure; cloning is cheap (`Rc`).
 pub struct Gen<T> {
-    f: Rc<dyn Fn(&mut StdRng, usize) -> T>,
+    f: SampleFn<T>,
 }
 
 impl<T> Clone for Gen<T> {

@@ -78,7 +78,6 @@ fn main() {
     // Lookups behave exactly like one logical table.
     // ---------------------------------------------------------------
     let pkt = PacketHeader::to_dst(5 << 12).to_word();
-    match switch.lookup(pkt) {
-        result => println!("lookup 0.0.80.0 -> {:?}", result.action()),
-    }
+    let result = switch.lookup(pkt);
+    println!("lookup 0.0.80.0 -> {:?}", result.action());
 }

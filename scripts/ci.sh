@@ -22,6 +22,9 @@ print("ok: %d workspace packages, 0 external" % len(meta["packages"]))
 echo "== build (release, offline) =="
 cargo build --release --offline --workspace
 
+echo "== clippy (offline, -D warnings) =="
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
 echo "== tests (offline) =="
 cargo test -q --offline --workspace
 
@@ -34,5 +37,19 @@ for b in bench_tcam bench_rules bench_hermes bench_netsim; do
     HERMES_BENCH_FAST=1 HERMES_BENCH_SAMPLES=2 HERMES_BENCH_WARMUP_MS=1 \
         cargo bench --offline -q -p hermes-bench --bench "$b" >/dev/null
 done
+
+echo "== chaos smoke: fault-injected runs stay green and deterministic =="
+# The oracle chaos properties: random workloads under random fault plans
+# must recover to flat-table equivalence (DESIGN.md §7).
+cargo test -q --offline -p hermes-core --test oracle chaos
+# One full experiment under a pinned fault seed: must exit 0 (no panics
+# reachable from device faults) and reproduce byte-for-byte.
+chaos_out="$(mktemp)" chaos_out2="$(mktemp)"
+HERMES_FAULT_SEED=42 ./target/release/exp_fig12 > "$chaos_out"
+HERMES_FAULT_SEED=42 ./target/release/exp_fig12 > "$chaos_out2"
+cmp "$chaos_out" "$chaos_out2" \
+  || { echo "chaos run not deterministic under HERMES_FAULT_SEED"; exit 1; }
+rm -f "$chaos_out" "$chaos_out2"
+echo "ok: chaos suite + seeded experiment deterministic"
 
 echo "== ci green =="
