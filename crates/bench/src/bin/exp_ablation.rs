@@ -33,6 +33,7 @@ fn main() -> std::process::ExitCode {
 
 fn run() {
     let count = 800 * hermes_bench::scale();
+    hermes_bench::report_meta("count", &(count as u64));
     println!("== Ablations ==\n");
 
     // ------------------------------------------------------------------

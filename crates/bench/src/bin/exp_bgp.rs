@@ -79,6 +79,8 @@ fn main() -> std::process::ExitCode {
 
 fn run() {
     let scale = hermes_bench::scale();
+    hermes_bench::report_meta("duration_s", &(60.0 * scale as f64));
+    hermes_bench::report_meta("prefixes", &800u64);
     let trace = BgpTrace {
         duration_s: 60.0 * scale as f64,
         prefixes: 800,

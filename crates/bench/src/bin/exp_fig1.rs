@@ -25,6 +25,7 @@ fn main() -> std::process::ExitCode {
 
 fn run() {
     let jobs = 300 * hermes_bench::scale();
+    hermes_bench::report_meta("jobs", &(jobs as u64));
     println!("== Figure 1: CDF of Increase Ratio of JCT (Facebook / fat tree) ==");
     println!("({jobs} MapReduce jobs; ratio vs zero-latency switches)\n");
 

@@ -48,6 +48,7 @@ fn main() -> std::process::ExitCode {
 
 fn run() {
     let total = 1500 * hermes_bench::scale();
+    hermes_bench::report_meta("total_rules", &(total as u64));
     println!("== Figure 10: Rule Installation Time — Hermes vs Tango vs ESPRES ==");
     println!("(per-rule installation latency, Pica8 P-3290, {total} rules)");
     for (dc, label) in [(true, "Facebook"), (false, "Geant")] {

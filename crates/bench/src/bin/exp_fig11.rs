@@ -43,6 +43,8 @@ fn main() -> std::process::ExitCode {
 
 fn run() {
     let count = 1000; // the figure plots exactly the first 1000 rules
+    hermes_bench::report_meta("count", &(count as u64));
+    hermes_bench::report_meta("batch_seed", &7u64);
     let model = SwitchModel::pica8_p3290();
     println!("== Figure 11: Time Series of Rule Installation Time (first {count} rules) ==");
     for (dc, label) in [(true, "Facebook"), (false, "Geant")] {

@@ -64,6 +64,7 @@ fn main() -> std::process::ExitCode {
 
 fn run_experiment_body() {
     let count = 3000 * hermes_bench::scale();
+    hermes_bench::report_meta("count", &(count as u64));
     println!("== Figure 12: Hermes-SIMPLE vs threshold (1000 upd/s, 100% overlap) ==\n");
 
     let thresholds = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0];

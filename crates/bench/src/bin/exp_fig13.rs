@@ -78,6 +78,7 @@ fn main() -> std::process::ExitCode {
 
 fn run_experiment_body() {
     let count = 500 * hermes_bench::scale();
+    hermes_bench::report_meta("count", &(count as u64));
     println!("== Figure 13: Guaranteed-insertion latency vs Slack Factor (Dell 8132F) ==");
     let slacks = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0];
     let overlaps = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0];

@@ -14,6 +14,7 @@ fn main() -> std::process::ExitCode {
 
 fn run() {
     println!("== Figure 14: ASIC Overhead vs Performance Guarantee ==\n");
+    hermes_bench::report_meta("models", &vec!["dell_8132f", "hp_5406zl", "pica8_p3290"]);
     let mut api = HermesApi::new();
     let ids = [
         (SwitchId(0), SwitchModel::dell_8132f()),

@@ -53,6 +53,7 @@ fn run() {
         .iter()
         .map(|s| s * hermes_bench::scale())
         .collect();
+    hermes_bench::report_meta("sizes", &sizes.iter().map(|s| *s as u64).collect::<Vec<_>>());
     println!("== Figure 15: Hermes algorithm overheads (measured on this host) ==\n");
 
     println!("-- (b) processing time: insertion vs migration algorithm --");

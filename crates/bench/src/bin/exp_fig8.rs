@@ -31,6 +31,9 @@ fn main() -> std::process::ExitCode {
 
 fn run() {
     let scale = hermes_bench::scale();
+    hermes_bench::report_meta("facebook_jobs", &((300 * scale) as u64));
+    hermes_bench::report_meta("geant_duration_s", &(60.0 * scale as f64));
+    hermes_bench::report_meta("sim_seeds", &vec![21u64, 22]);
     println!("== Figure 8: Rule Installation Time CDFs (TE workload) ==\n");
 
     for workload in ["Facebook", "Geant"] {

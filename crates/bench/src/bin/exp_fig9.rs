@@ -18,6 +18,9 @@ fn main() -> std::process::ExitCode {
 
 fn run() {
     let scale = hermes_bench::scale();
+    hermes_bench::report_meta("facebook_jobs", &((300 * scale) as u64));
+    hermes_bench::report_meta("geant_duration_s", &(60.0 * scale as f64));
+    hermes_bench::report_meta("sim_seeds", &vec![33u64, 34]);
     println!("== Figure 9: Flow Completion Time CDFs ==\n");
 
     // For each raw switch model, Hermes runs *on that same model* so the

@@ -104,6 +104,7 @@ fn main() -> std::process::ExitCode {
 
 fn run_experiment_body() {
     let count = 800 * hermes_bench::scale();
+    hermes_bench::report_meta("count", &(count as u64));
     println!("== §8.6: Prediction-algorithm sensitivity ==\n");
 
     println!("-- raw one-step prediction error (mean abs, synthetic bursty series) --");

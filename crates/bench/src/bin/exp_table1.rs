@@ -67,6 +67,7 @@ fn main() -> std::process::ExitCode {
 fn run() {
     println!("== Table 1: Rule Update Rate vs Occupancy ==\n");
     let probes = 200 * hermes_bench::scale();
+    hermes_bench::report_meta("probes", &(probes as u64));
 
     let cases: [(&SwitchModel, &[(usize, f64)]); 2] = [
         (

@@ -81,6 +81,7 @@ fn main() -> std::process::ExitCode {
 
 fn run() {
     let n = 100 * hermes_bench::scale();
+    hermes_bench::report_meta("n", &(n as u64));
     println!("== §2.1 microbenchmarks: TCAM behaviour ==\n");
 
     println!("-- (1) Insert latency vs occupancy (random priorities) --");

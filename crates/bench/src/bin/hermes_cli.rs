@@ -169,8 +169,24 @@ const USAGE: &str = "usage: hermes_cli <switches|overheads|plan|simulate> [--fla
   plan      --switch <name> --guarantee-ms <ms> [--prefix <cidr>]
   simulate  --switch <name> [--rate <n>] [--count <n>] [--overlap <f>] [--guarantee-ms <ms>]";
 
+/// Strips the uniform `--out` report flag (consumed by
+/// `hermes_bench::run_experiment`, which re-reads argv) so subcommand
+/// parsing only sees its own flags.
+fn strip_out_flag(args: Vec<String>) -> Vec<String> {
+    let mut kept = Vec::with_capacity(args.len());
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--out" {
+            it.next();
+        } else if !a.starts_with("--out=") {
+            kept.push(a);
+        }
+    }
+    kept
+}
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let args = strip_out_flag(std::env::args().skip(1).collect());
     let Some(cmd) = args.first() else {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
@@ -182,27 +198,27 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    // Run the command under a panic guard: whatever goes wrong inside —
-    // bad arithmetic, a fault-injected device, a bug — the operator gets a
-    // one-line error and a nonzero exit, never a backtrace.
-    let result = hermes_bench::catch_panic(|| match cmd.as_str() {
-        "switches" => {
-            cmd_switches();
-            Ok(())
+    // Run the command through the shared harness: telemetry armed from the
+    // environment, a `BENCH_hermes_cli.json` report on success, and a panic
+    // guard — whatever goes wrong inside (bad arithmetic, a fault-injected
+    // device, a bug) the operator gets a one-line error and a nonzero
+    // exit, never a backtrace.
+    hermes_bench::run_experiment("hermes_cli", || {
+        hermes_bench::report_meta("command", &cmd.as_str());
+        let result = match cmd.as_str() {
+            "switches" => {
+                cmd_switches();
+                Ok(())
+            }
+            "overheads" => cmd_overheads(&flags),
+            "plan" => cmd_plan(&flags),
+            "simulate" => cmd_simulate(&flags),
+            other => Err(format!("unknown command '{other}'\n{USAGE}")),
+        };
+        if let Err(e) = result {
+            panic!("{e}");
         }
-        "overheads" => cmd_overheads(&flags),
-        "plan" => cmd_plan(&flags),
-        "simulate" => cmd_simulate(&flags),
-        other => Err(format!("unknown command '{other}'\n{USAGE}")),
     })
-    .and_then(|r| r);
-    match result {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
-        }
-    }
 }
 
 #[cfg(test)]
@@ -231,6 +247,19 @@ mod tests {
     fn parse_flags_rejects_bare_values_and_dangling_flags() {
         assert!(parse_flags(&["oops".to_string()]).is_err());
         assert!(parse_flags(&["--switch".to_string()]).is_err());
+    }
+
+    #[test]
+    fn strip_out_flag_removes_both_forms() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(
+            strip_out_flag(args(&["simulate", "--out", "r.json", "--rate", "5"])),
+            args(&["simulate", "--rate", "5"])
+        );
+        assert_eq!(
+            strip_out_flag(args(&["--out=r.json", "switches"])),
+            args(&["switches"])
+        );
     }
 
     #[test]

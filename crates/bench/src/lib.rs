@@ -372,6 +372,17 @@ mod tests {
     fn scale_defaults_to_one() {
         assert!(scale() >= 1);
     }
+
+    #[test]
+    fn out_flag_parsing() {
+        let p = |v: &[&str]| out_path_from_args(v.iter().map(|s| s.to_string()));
+        assert_eq!(p(&[]), None);
+        assert_eq!(p(&["--out", "x.json"]), Some("x.json".into()));
+        assert_eq!(p(&["--out=y.json"]), Some("y.json".into()));
+        // Later occurrences win; unrelated flags pass through untouched.
+        assert_eq!(p(&["--foo", "--out", "a", "--out=b"]), Some("b".into()));
+        assert_eq!(p(&["--out"]), None, "dangling flag is ignored");
+    }
 }
 
 /// Standard Varys run over the Facebook workload on a fat tree.
@@ -465,13 +476,85 @@ pub fn catch_panic<T>(body: impl FnOnce() -> T) -> Result<T, String> {
 
 /// Wraps an experiment body for a binary's `main`: success exits 0, any
 /// panic prints `<name>: error: <message>` on stderr and exits nonzero.
+///
+/// This is also the telemetry entry point for every `exp_*` binary and the
+/// CLI (DESIGN.md "Observability"): it arms `hermes_telemetry` from the
+/// environment (`HERMES_TRACE`, `HERMES_TRACE_BUF`), stamps the standard
+/// report metadata (scale, fault seed), and on success emits the
+/// `BENCH_<exp>.json` report — to the path given by a uniform `--out`
+/// flag, or to stdout when tracing is enabled without one.
 pub fn run_experiment(name: &str, body: impl FnOnce()) -> std::process::ExitCode {
+    hermes_telemetry::init_from_env();
+    hermes_telemetry::reset();
+    report_meta("scale", &(scale() as u64));
+    if let Ok(seed) = std::env::var("HERMES_FAULT_SEED") {
+        hermes_telemetry::set_meta("fault_seed", hermes_util::json::Json::Str(seed));
+    }
+    let out = out_path_from_args(std::env::args().skip(1));
     match catch_panic(body) {
-        Ok(()) => std::process::ExitCode::SUCCESS,
+        Ok(()) => {
+            emit_report(name, out.as_deref());
+            std::process::ExitCode::SUCCESS
+        }
         Err(e) => {
             eprintln!("{name}: error: {e}");
             std::process::ExitCode::FAILURE
         }
+    }
+}
+
+/// Registers one experiment-specific report metadata entry (seed, config
+/// knobs…). Thin wrapper over [`hermes_telemetry::set_meta`] so binaries
+/// only need the `hermes_bench` import they already have.
+pub fn report_meta<T: hermes_util::json::ToJson>(key: &str, value: &T) {
+    hermes_telemetry::set_meta(key, value.to_json());
+}
+
+/// Parses the uniform `--out <path>` / `--out=<path>` flag shared by every
+/// experiment binary. Later occurrences win; all other arguments are left
+/// for the binary's own parsing.
+fn out_path_from_args(args: impl Iterator<Item = String>) -> Option<String> {
+    let mut out = None;
+    let mut args = args.peekable();
+    while let Some(a) = args.next() {
+        if a == "--out" {
+            if let Some(v) = args.next() {
+                out = Some(v);
+            }
+        } else if let Some(v) = a.strip_prefix("--out=") {
+            out = Some(v.to_string());
+        }
+    }
+    out
+}
+
+/// Emits the telemetry report for a finished experiment.
+///
+/// * `--out <path>` given: the report is written there (a directory gets
+///   `BENCH_<exp>.json` inside it), whether or not tracing is enabled —
+///   a disabled run still yields a valid, mostly-empty document.
+/// * no `--out`, tracing enabled: the report prints to stdout after the
+///   experiment's own output.
+/// * no `--out`, tracing disabled: nothing is emitted (today's behavior).
+fn emit_report(name: &str, out: Option<&str>) {
+    let exp = name.strip_prefix("exp_").unwrap_or(name);
+    if out.is_none() && !hermes_telemetry::enabled() {
+        return;
+    }
+    let doc = hermes_telemetry::report(exp);
+    match out {
+        Some(path) => {
+            let p = std::path::Path::new(path);
+            let file = if p.is_dir() {
+                p.join(format!("BENCH_{exp}.json"))
+            } else {
+                p.to_path_buf()
+            };
+            if let Err(e) = std::fs::write(&file, doc.to_string()) {
+                eprintln!("warning: could not write {}: {e}", file.display());
+            }
+        }
+        None => println!("{}", doc.to_string()),
     }
 }
 

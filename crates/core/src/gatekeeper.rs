@@ -103,6 +103,26 @@ impl Route {
     pub fn breaks_guarantee(&self) -> bool {
         matches!(self, Route::MainShadowFull)
     }
+
+    /// The telemetry counter tallying this route (DESIGN.md
+    /// "Observability": `gatekeeper.route_<decision>`).
+    pub fn metric_name(&self) -> &'static str {
+        match self {
+            Route::Shadow => "gatekeeper.route_shadow",
+            Route::MainUnmatched => "gatekeeper.route_main_unmatched",
+            Route::MainLowPriority => "gatekeeper.route_main_low_priority",
+            Route::MainOverRate => "gatekeeper.route_main_over_rate",
+            Route::MainTooFragmented => "gatekeeper.route_main_too_fragmented",
+            Route::MainShadowFull => "gatekeeper.route_main_shadow_full",
+            Route::Redundant => "gatekeeper.route_redundant",
+            Route::Deferred => "gatekeeper.route_deferred",
+        }
+    }
+
+    /// Bumps this route's telemetry counter (no-op while disabled).
+    pub fn record(&self) {
+        hermes_telemetry::counter(self.metric_name(), 1);
+    }
 }
 
 /// The Gate Keeper: predicate + token bucket.

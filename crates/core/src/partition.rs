@@ -96,6 +96,10 @@ pub fn partition_new_rule_bounded(
     // Step 1 (lines 2-4): the overlap set O.
     let overlaps = main.overlapping_above(&rule.key, rule.priority);
     if overlaps.is_empty() {
+        if hermes_telemetry::enabled() {
+            hermes_telemetry::counter("partition.calls", 1);
+            hermes_telemetry::observe("partition.pieces", 1);
+        }
         return Ok(PartitionOutcome {
             pieces: vec![rule.key],
             cut_against: Vec::new(),
@@ -135,6 +139,11 @@ pub fn partition_new_rule_bounded(
 
     // Step 4 (line 8): the mapping set M is materialized by the caller from
     // `cut_against`.
+    if hermes_telemetry::enabled() {
+        hermes_telemetry::counter("partition.calls", 1);
+        hermes_telemetry::counter("partition.cuts", overlaps.len() as u64);
+        hermes_telemetry::observe("partition.pieces", pieces.len() as u64);
+    }
     Ok(PartitionOutcome {
         pieces,
         cut_against: overlaps.iter().map(|r| r.id).collect(),

@@ -181,9 +181,15 @@ impl RecoveryState {
         }
     }
 
-    /// Jittered backoff before retry `attempt` (1-based).
+    /// Jittered backoff before retry `attempt` (1-based). The returned
+    /// span is charged against the latency guarantee by the caller.
     pub fn backoff(&mut self, attempt: u32) -> SimDuration {
-        self.policy.backoff(attempt, &mut self.rng)
+        let b = self.policy.backoff(attempt, &mut self.rng);
+        if hermes_telemetry::enabled() {
+            hermes_telemetry::counter("recovery.retries", 1);
+            hermes_telemetry::observe("recovery.backoff_ns", b.as_nanos());
+        }
+        b
     }
 
     /// Currently in degraded mode?
@@ -196,7 +202,9 @@ impl RecoveryState {
     pub fn on_success(&mut self, now: SimTime) {
         self.consecutive_failures = 0;
         if let Some(since) = self.degraded_since.take() {
-            self.stats.degraded_ns += now.since(since).as_nanos();
+            let episode = now.since(since).as_nanos();
+            self.stats.degraded_ns += episode;
+            hermes_telemetry::counter("recovery.degraded_ns", episode);
         }
     }
 
@@ -205,15 +213,18 @@ impl RecoveryState {
     pub fn on_permanent_failure(&mut self, now: SimTime) {
         self.stats.permanent_failures += 1;
         self.consecutive_failures += 1;
+        hermes_telemetry::counter("recovery.permanent_failures", 1);
         if self.consecutive_failures >= self.degraded_threshold && self.degraded_since.is_none() {
             self.degraded_since = Some(now);
             self.stats.degraded_entries += 1;
+            hermes_telemetry::counter("recovery.degraded_entries", 1);
         }
     }
 
     /// Queues an admission while degraded.
     pub fn defer(&mut self, rule: Rule) {
         self.stats.deferred += 1;
+        hermes_telemetry::counter("recovery.deferred", 1);
         self.deferred.push(rule);
     }
 

@@ -575,6 +575,7 @@ impl HermesSwitch {
         if self.recovery.is_degraded() {
             let guaranteed = self.gate.qualifies(&rule);
             self.recovery.defer(rule);
+            Route::Deferred.record();
             return Ok(ActionReport {
                 latency: SimDuration::from_us(10.0),
                 detail: ReportDetail::Insert {
@@ -647,6 +648,7 @@ impl HermesSwitch {
                 self.shadow.insert(rule.id, entry);
                 self.shadow_order.push(rule.id);
                 self.prio_add(rule.priority);
+                route.record();
                 Ok(ActionReport {
                     latency: SimDuration::from_us(10.0),
                     detail: ReportDetail::Insert {
@@ -711,6 +713,8 @@ impl HermesSwitch {
                 self.shadow.insert(rule.id, entry);
                 self.shadow_order.push(rule.id);
                 self.prio_add(rule.priority);
+                route.record();
+                hermes_telemetry::observe("gatekeeper.shadow_insert_ns", latency.as_nanos());
                 Ok(ActionReport {
                     latency,
                     detail: ReportDetail::Insert {
@@ -751,6 +755,7 @@ impl HermesSwitch {
         route: Route,
         guaranteed: bool,
     ) -> Result<ActionReport, HermesError> {
+        route.record();
         let rep = self.dev_insert(MAIN, rule).map_err(|e| match e {
             TcamError::Full => HermesError::DeviceFull,
             e => HermesError::Device(e),
@@ -1151,17 +1156,35 @@ impl HermesSwitch {
     /// degraded episode automatically).
     pub fn tick(&mut self, now: SimTime) -> Option<MigrationReport> {
         self.clock = self.clock.max(now);
+        if hermes_telemetry::enabled() {
+            hermes_telemetry::gauge(
+                "recovery.journal_depth",
+                self.recovery.pending_gc.len() as f64,
+            );
+            hermes_telemetry::gauge(
+                "gatekeeper.deferred_depth",
+                self.recovery.deferred.len() as f64,
+            );
+        }
         self.replay_journal();
         self.flush_deferred(now);
         let r_p = self.stats.expected_partitions();
-        if self
+        let migrated = if self
             .manager
             .on_tick(now, self.shadow_len(), self.shadow_capacity(), r_p)
         {
             Some(self.migrate(now))
         } else {
             None
+        };
+        if hermes_telemetry::enabled() {
+            hermes_telemetry::series(
+                "manager.shadow_occupancy",
+                now.as_nanos(),
+                self.shadow_len() as f64,
+            );
         }
+        migrated
     }
 
     /// Drains the degraded-mode admission queue through the live insert
@@ -1252,6 +1275,18 @@ impl HermesSwitch {
         self.manager.migration_started(now, report.duration);
         self.stats.migrations += 1;
         self.stats.rules_migrated += report.rules_migrated as u64;
+        if hermes_telemetry::enabled() {
+            hermes_telemetry::counter("manager.migrations", 1);
+            hermes_telemetry::counter("manager.entries_saved", report.entries_saved as u64);
+            hermes_telemetry::observe("manager.migration_batch", report.rules_migrated as u64);
+            hermes_telemetry::observe("manager.migration_ns", report.duration.as_nanos());
+            hermes_telemetry::span(
+                "manager",
+                "migrate",
+                now.as_nanos(),
+                report.duration.as_nanos(),
+            );
+        }
         report
     }
 
@@ -1321,6 +1356,16 @@ impl HermesSwitch {
         self.recovery.stats.reinstalled += report.reinstalled as u64;
         self.recovery.stats.orphans_removed += report.orphans_removed as u64;
         self.recovery.stats.actions_fixed += report.actions_fixed as u64;
+        if hermes_telemetry::enabled() {
+            hermes_telemetry::counter("recovery.audits", 1);
+            hermes_telemetry::counter("recovery.audit_diffs", report.diffs() as u64);
+            hermes_telemetry::span(
+                "recovery",
+                "audit",
+                now.as_nanos(),
+                report.duration.as_nanos(),
+            );
+        }
         report
     }
 

@@ -41,19 +41,16 @@ impl Samples {
 
     fn ensure_sorted(&mut self) {
         if !self.sorted {
-            self.values.sort_by(|a, b| a.total_cmp(b));
+            hermes_util::stats::sort_samples(&mut self.values);
             self.sorted = true;
         }
     }
 
-    /// The p-quantile (`0.0 ..= 1.0`) by nearest-rank.
+    /// The p-quantile (`0.0 ..= 1.0`) by nearest-rank (shared estimator,
+    /// [`hermes_util::stats::quantile_sorted`]).
     pub fn percentile(&mut self, p: f64) -> f64 {
-        if self.values.is_empty() {
-            return f64::NAN;
-        }
         self.ensure_sorted();
-        let rank = ((p.clamp(0.0, 1.0)) * (self.values.len() - 1) as f64).round() as usize;
-        self.values[rank]
+        hermes_util::stats::quantile_sorted(&self.values, p)
     }
 
     /// Median.

@@ -529,6 +529,10 @@ impl Varys {
             if op.violated {
                 self.metrics.violations += 1;
             }
+            if hermes_telemetry::enabled() {
+                hermes_telemetry::counter("netsim.rule_installs", 1);
+                hermes_telemetry::observe("netsim.rit_ns", done.since(self.now).as_nanos());
+            }
             rules.push((sw, rule.id));
         }
         if let Some(old) = self.flow_rules.insert(fid, rules) {
@@ -552,6 +556,10 @@ impl Varys {
         let flow = self.flows.remove(id).expect("validated above");
         let fct = self.now.since(flow.started).as_secs();
         self.metrics.fct_s.push(fct);
+        if hermes_telemetry::enabled() {
+            hermes_telemetry::counter("netsim.flows_completed", 1);
+            hermes_telemetry::observe("netsim.fct_ns", self.now.since(flow.started).as_nanos());
+        }
         // Fig. 9(b) plots the FCT of flows belonging to *short jobs*
         // (total job size under 1 GB).
         if let Some(js) = self.jobs.get(&flow.job) {
@@ -588,6 +596,7 @@ impl Varys {
 
     /// The proactive TE SDNApp: move the biggest flows off congested links.
     fn on_te_tick(&mut self) {
+        let span = hermes_telemetry::span_enter("netsim", "te_tick", self.now.as_nanos());
         let util = self.flows.link_utilization(&self.topo);
         // Congested links, most loaded first.
         let mut congested: Vec<(f64, LinkId)> = util
@@ -643,6 +652,17 @@ impl Varys {
             self.reroute(fid, src, dst, new_path);
             rerouted += 1;
         }
+        if hermes_telemetry::enabled() {
+            hermes_telemetry::counter("netsim.reroutes", rerouted as u64);
+            hermes_telemetry::series(
+                "netsim.active_flows",
+                self.now.as_nanos(),
+                self.flows.len() as f64,
+            );
+        }
+        // The TE pass itself consumes no simulated time; the span still
+        // records the tick (and its nesting) in the rollups.
+        span.end(self.now.as_nanos());
         let next = self.now + SimDuration::from_secs(self.config.te_interval_s);
         self.push(next, EventKind::TeTick);
     }
@@ -678,6 +698,10 @@ impl Varys {
             self.metrics.installs += 1;
             if op.violated {
                 self.metrics.violations += 1;
+            }
+            if hermes_telemetry::enabled() {
+                hermes_telemetry::counter("netsim.rule_installs", 1);
+                hermes_telemetry::observe("netsim.rit_ns", done.since(self.now).as_nanos());
             }
             new_rules.push((sw, rule.id));
         }

@@ -210,10 +210,20 @@ impl TcamDevice {
             };
             match plan.decide(is_insert, is_delete) {
                 FaultDecision::Normal => {}
-                FaultDecision::Fail => return Err(TcamError::ChannelBusy),
-                FaultDecision::Outage => return Err(TcamError::Outage),
-                FaultDecision::Spike(m) => spike = m,
+                FaultDecision::Fail => {
+                    hermes_telemetry::counter("tcam.fault_fail", 1);
+                    return Err(TcamError::ChannelBusy);
+                }
+                FaultDecision::Outage => {
+                    hermes_telemetry::counter("tcam.fault_outage", 1);
+                    return Err(TcamError::Outage);
+                }
+                FaultDecision::Spike(m) => {
+                    hermes_telemetry::counter("tcam.fault_spike", 1);
+                    spike = m;
+                }
                 FaultDecision::SilentDrop => {
+                    hermes_telemetry::counter("tcam.fault_silent_drop", 1);
                     // Ack with a plausible latency, apply nothing.
                     let occupancy_before = self.slices[slice].table.len();
                     let latency = match action {
@@ -286,6 +296,11 @@ impl TcamDevice {
             latency
         };
         self.slices[slice].busy += latency;
+        if hermes_telemetry::enabled() {
+            hermes_telemetry::counter("tcam.ops", 1);
+            hermes_telemetry::counter("tcam.shifts", shifts as u64);
+            hermes_telemetry::observe("tcam.op_ns", latency.as_nanos());
+        }
         Ok(OpReport {
             latency,
             shifts,

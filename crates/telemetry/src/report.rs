@@ -1,0 +1,105 @@
+//! The `BENCH_<exp>.json` report writer.
+//!
+//! Every experiment binary emits one report document per run (via
+//! `hermes_bench::run_experiment`), versioned under [`SCHEMA`]. The layout
+//! is schema-stable: every top-level key is always present, in a fixed
+//! order, so perf trajectories can be diffed across commits. All content
+//! is a pure function of the run's seeds — the only environmental field is
+//! the git revision, which is constant across repeat runs of one build.
+
+use crate::metrics::Registry;
+use crate::trace::Tracer;
+use hermes_util::json::{Json, ToJson};
+
+/// Report schema identifier; bump on any layout change.
+pub const SCHEMA: &str = "hermes-bench-report/1";
+
+/// Resolves the git revision stamped into reports: `HERMES_GIT_REV` if
+/// set (pinning for reproducible archives), else `git rev-parse HEAD`,
+/// else `"unknown"`.
+pub fn git_rev() -> String {
+    if let Ok(rev) = std::env::var("HERMES_GIT_REV") {
+        return rev;
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Assembles the full report document from a run's telemetry state.
+///
+/// `meta` is the experiment's own key/value context (seed, scale, config
+/// knobs) in registration order.
+pub fn build(
+    experiment: &str,
+    enabled: bool,
+    meta: &[(String, Json)],
+    registry: &Registry,
+    tracer: &Tracer,
+) -> Json {
+    let (counters, gauges, histograms, series) = registry.to_json_parts();
+    let (spans, trace) = tracer.to_json_parts();
+    Json::obj([
+        ("schema", SCHEMA.to_json()),
+        ("experiment", experiment.to_json()),
+        ("git_rev", git_rev().to_json()),
+        ("telemetry_enabled", enabled.to_json()),
+        (
+            "meta",
+            Json::obj(meta.iter().map(|(k, v)| (k.clone(), v.clone()))),
+        ),
+        ("counters", counters),
+        ("gauges", gauges),
+        ("histograms", histograms),
+        ("series", series),
+        ("spans", spans),
+        ("trace", trace),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_layout_is_schema_stable() {
+        let reg = Registry::default();
+        let tr = Tracer::default();
+        let doc = build("unit", false, &[("seed".into(), 7u64.to_json())], &reg, &tr);
+        for key in [
+            "schema",
+            "experiment",
+            "git_rev",
+            "telemetry_enabled",
+            "meta",
+            "counters",
+            "gauges",
+            "histograms",
+            "series",
+            "spans",
+            "trace",
+        ] {
+            assert!(doc.get(key).is_some(), "missing key {key}");
+        }
+        assert_eq!(doc.get("schema").and_then(Json::as_str), Some(SCHEMA));
+        assert_eq!(
+            doc.get("meta").and_then(|m| m.get("seed")).and_then(Json::as_f64),
+            Some(7.0)
+        );
+    }
+
+    #[test]
+    fn git_rev_env_override_wins() {
+        // Process-wide env mutation is safe here: this is the only test in
+        // the crate touching HERMES_GIT_REV.
+        std::env::set_var("HERMES_GIT_REV", "deadbeef");
+        assert_eq!(git_rev(), "deadbeef");
+        std::env::remove_var("HERMES_GIT_REV");
+    }
+}

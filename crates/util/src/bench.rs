@@ -49,8 +49,8 @@ fn fmt_ns(ns: f64) -> String {
 
 impl Stats {
     fn from_samples(name: &str, iters: u64, mut ns: Vec<f64>) -> Stats {
-        ns.sort_by(f64::total_cmp);
-        let pct = |p: f64| ns[((p * (ns.len() - 1) as f64).round() as usize).min(ns.len() - 1)];
+        crate::stats::sort_samples(&mut ns);
+        let pct = |p: f64| crate::stats::quantile_sorted(&ns, p);
         Stats {
             name: name.to_string(),
             samples: ns.len(),

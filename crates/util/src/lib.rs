@@ -15,6 +15,8 @@
 //!   halving the generation size, and `HERMES_CHECK_*` env overrides.
 //! * [`bench`] — a wall-clock timer harness with warmup and percentile
 //!   reporting for the `crates/bench/benches/*` targets.
+//! * [`stats`] — the shared nearest-rank quantile used by both the bench
+//!   harness and the netsim metric distributions.
 //!
 //! Policy (see README.md "Hermetic build"): this workspace takes **no**
 //! external crate dependencies. Anything new must live here or be
@@ -27,3 +29,4 @@ pub mod bench;
 pub mod check;
 pub mod json;
 pub mod rng;
+pub mod stats;

@@ -5,5 +5,6 @@ pub use hermes_core as core;
 pub use hermes_netsim as netsim;
 pub use hermes_rules as rules;
 pub use hermes_tcam as tcam;
+pub use hermes_telemetry as telemetry;
 pub use hermes_util as util;
 pub use hermes_workloads as workloads;

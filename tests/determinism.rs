@@ -49,6 +49,93 @@ fn identical_seeds_produce_byte_identical_json() {
     }
 }
 
+/// Serializes the telemetry tests: `set_enabled` flips a process-global
+/// flag, so two tests toggling it concurrently would see each other's
+/// captures truncated mid-run.
+static TELEMETRY_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// Drives a seeded MicroBench stream through a `HermesSwitch` (ticks,
+/// migrations, a post-quiescence audit) with telemetry recording, and
+/// returns the serialized `hermes-bench-report/1` document.
+fn telemetry_capture(fault_seed: Option<u64>) -> String {
+    use hermes::core::prelude::*;
+    use hermes::tcam::{FaultPlan, SimDuration, SwitchModel};
+    use hermes::workloads::microbench::MicroBench;
+
+    hermes::telemetry::reset();
+    hermes::telemetry::set_meta("workload", Json::Str("microbench".into()));
+    let mut sw = HermesSwitch::new(SwitchModel::dell_8132f(), HermesConfig::default())
+        .expect("default guarantee feasible on dell_8132f");
+    sw.install_fault_plan(fault_seed.map(FaultPlan::seeded));
+    let stream = MicroBench {
+        count: 400,
+        arrival_rate: 400.0,
+        overlap_rate: 0.3,
+        seed: 7,
+        ..Default::default()
+    }
+    .generate();
+    let mut last = hermes::tcam::SimTime::ZERO;
+    for (i, ta) in stream.iter().enumerate() {
+        let _ = sw.submit(&ta.action, ta.at);
+        last = ta.at;
+        if i % 16 == 15 {
+            sw.tick(ta.at);
+        }
+        if i % 64 == 63 {
+            sw.migrate(ta.at);
+        }
+    }
+    // Quiescence: clear faults and let the audit repair/verify.
+    sw.install_fault_plan(None);
+    for k in 1..=4u32 {
+        sw.audit(last + SimDuration::from_ms(5.0 * f64::from(k)));
+    }
+    hermes::telemetry::report("determinism").to_string()
+}
+
+#[test]
+fn telemetry_report_is_byte_identical_across_runs() {
+    let _guard = TELEMETRY_LOCK.lock().unwrap();
+    hermes::telemetry::set_enabled(true);
+    let a = telemetry_capture(None);
+    let b = telemetry_capture(None);
+    hermes::telemetry::set_enabled(false);
+    assert!(a.starts_with('{'));
+    assert_eq!(a, b, "telemetry report must be a pure function of the seeds");
+
+    let parsed = Json::parse(&a).expect("self-produced report parses");
+    assert_eq!(
+        parsed.get("schema").and_then(Json::as_str),
+        Some("hermes-bench-report/1")
+    );
+    // The switch pipeline alone must light up the core subsystems.
+    let Some(Json::Obj(counters)) = parsed.get("counters") else {
+        panic!("report has no counters object");
+    };
+    for prefix in ["tcam.", "gatekeeper.", "manager.", "recovery."] {
+        assert!(
+            counters.iter().any(|(k, _)| k.starts_with(prefix)),
+            "no {prefix} counters in report"
+        );
+    }
+}
+
+#[test]
+fn telemetry_report_is_deterministic_under_fault_plan() {
+    let _guard = TELEMETRY_LOCK.lock().unwrap();
+    hermes::telemetry::set_enabled(true);
+    let a = telemetry_capture(Some(0xFA17));
+    let b = telemetry_capture(Some(0xFA17));
+    let clean = telemetry_capture(None);
+    hermes::telemetry::set_enabled(false);
+    assert_eq!(
+        a, b,
+        "same HERMES_FAULT_SEED must reproduce the telemetry byte-for-byte"
+    );
+    assert_ne!(a, clean, "an armed fault plan must reach the telemetry");
+}
+
 #[test]
 fn different_seeds_produce_different_json() {
     let a = gravity_run(2, 9);
