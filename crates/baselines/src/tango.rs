@@ -20,7 +20,7 @@ use crate::plane::{BatchOutcome, ControlPlane, OpOutcome};
 use hermes_rules::merge::minimize_keys;
 use hermes_rules::prelude::*;
 use hermes_tcam::{PlacementStrategy, SimDuration, SimTime, SwitchModel, TcamDevice};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Physical ids for aggregated entries live above this bit.
 const AGG_BASE: u64 = 1 << 61;
@@ -31,9 +31,9 @@ pub struct TangoSwitch {
     device: TcamDevice,
     label: String,
     /// physical entry id → logical member rules (for aggregates).
-    members: HashMap<RuleId, Vec<Rule>>,
+    members: BTreeMap<RuleId, Vec<Rule>>,
     /// logical id → physical entry id.
-    locate: HashMap<RuleId, RuleId>,
+    locate: BTreeMap<RuleId, RuleId>,
     next_agg: u64,
 }
 
@@ -44,8 +44,8 @@ impl TangoSwitch {
         TangoSwitch {
             device: TcamDevice::monolithic(model),
             label,
-            members: HashMap::new(),
-            locate: HashMap::new(),
+            members: BTreeMap::new(),
+            locate: BTreeMap::new(),
             next_agg: AGG_BASE,
         }
     }
@@ -59,7 +59,7 @@ impl TangoSwitch {
     /// group's keys. Returns `(physical rules to write, members per
     /// physical rule)`.
     fn aggregate(&mut self, inserts: &[Rule]) -> Vec<(Rule, Vec<Rule>)> {
-        let mut groups: HashMap<(u32, Action), Vec<Rule>> = HashMap::new();
+        let mut groups: BTreeMap<(u32, Action), Vec<Rule>> = BTreeMap::new();
         for r in inserts {
             groups.entry((r.priority.0, r.action)).or_default().push(*r);
         }
@@ -67,7 +67,7 @@ impl TangoSwitch {
         let mut keys: Vec<(u32, Action)> = groups.keys().copied().collect();
         keys.sort_by_key(|(p, _)| *p);
         for gk in keys {
-            let group = groups.remove(&gk).expect("key from map");
+            let group = groups.remove(&gk).expect("INVARIANT: key came from groups.keys() above");
             if group.len() == 1 {
                 out.push((group[0], vec![group[0]]));
                 continue;
@@ -86,7 +86,7 @@ impl TangoSwitch {
                 let idx = minimized
                     .iter()
                     .position(|k| k.contains(&r.key))
-                    .expect("minimized set covers the group");
+                    .expect("INVARIANT: minimize() returns a cover of every member key");
                 buckets[idx].push(*r);
             }
             for (key, members) in minimized.into_iter().zip(buckets) {

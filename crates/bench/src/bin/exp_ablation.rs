@@ -9,6 +9,8 @@
 //! 3. hardware shadow (Hermes) vs software shadow (ShadowSwitch \[26\]) —
 //!    control-plane RIT vs data-plane slow-path exposure.
 
+#![forbid(unsafe_code)]
+
 use hermes_baselines::{ControlPlane, HermesPlane, ShadowSwitch};
 use hermes_bench::{drive_stream, Table};
 use hermes_core::config::{HermesConfig, MigrationMode};
@@ -50,7 +52,7 @@ fn run() {
             rate_limit: Some(f64::INFINITY),
             ..Default::default()
         };
-        let mut sw = HermesSwitch::new(SwitchModel::pica8_p3290(), config).expect("feasible");
+        let mut sw = HermesSwitch::new(SwitchModel::pica8_p3290(), config).expect("INVARIANT: fixed experiment config is feasible for this model");
         let mut total_pause = SimDuration::ZERO;
         let mut worst_pause = SimDuration::ZERO;
         let mut migrations = 0u64;
@@ -93,7 +95,7 @@ fn run() {
             rate_limit: Some(f64::INFINITY),
             ..Default::default()
         };
-        let mut sw = HermesSwitch::new(SwitchModel::pica8_p3290(), config).expect("feasible");
+        let mut sw = HermesSwitch::new(SwitchModel::pica8_p3290(), config).expect("INVARIANT: fixed experiment config is feasible for this model");
         let mut next_tick = SimTime::ZERO;
         let mut lat_sum = 0.0;
         let mut n = 0u64;
@@ -133,7 +135,7 @@ fn run() {
             rate_limit: Some(f64::INFINITY),
             ..Default::default()
         };
-        let plane = HermesPlane::with_config(SwitchModel::pica8_p3290(), config).expect("feasible");
+        let plane = HermesPlane::with_config(SwitchModel::pica8_p3290(), config).expect("INVARIANT: fixed experiment config is feasible for this model");
         let mut r = drive_stream(plane, &workload, SimDuration::from_ms(100.0));
         t.row(&[
             "Hermes".into(),

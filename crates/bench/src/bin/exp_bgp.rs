@@ -9,6 +9,8 @@
 //! bursts — and "the benefits of employing Hermes are significant and
 //! nontrivial" on installation times.
 
+#![forbid(unsafe_code)]
+
 use hermes_baselines::{ControlPlane, CpQueue, HermesPlane, RawSwitch};
 use hermes_bench::{print_summary, Table};
 use hermes_bgp::prelude::*;
@@ -61,7 +63,7 @@ fn drive<P: ControlPlane>(plane: P, actions: &[(SimTime, ControlAction)]) -> Bgp
             next_tick += tick;
         }
         let (start, outcome) = q.submit(std::slice::from_ref(action), *at);
-        let op = outcome.ops.last().expect("one op");
+        let op = outcome.ops.last().expect("INVARIANT: submit of one action reports at least one op");
         if action.is_insert() {
             run.rit.push((start + op.completed_at).since(*at).as_ms());
             run.inserts += 1;
@@ -101,7 +103,7 @@ fn run() {
         ..Default::default()
     };
     let mut hermes = drive(
-        HermesPlane::with_config(model.clone(), hermes_cfg).expect("feasible"),
+        HermesPlane::with_config(model.clone(), hermes_cfg).expect("INVARIANT: fixed experiment config is feasible for this model"),
         &actions,
     );
     print_summary("Hermes RIT (ms)", &mut hermes.rit);
@@ -132,7 +134,7 @@ fn run() {
             ..Default::default()
         };
         let mut r = drive(
-            HermesPlane::with_config(model.clone(), cfg).expect("ok"),
+            HermesPlane::with_config(model.clone(), cfg).expect("INVARIANT: fixed experiment config is feasible for this model"),
             &actions,
         );
         t.row(&[
@@ -160,7 +162,7 @@ fn run() {
             ..Default::default()
         };
         let r = drive(
-            HermesPlane::with_config(model.clone(), cfg).expect("ok"),
+            HermesPlane::with_config(model.clone(), cfg).expect("INVARIANT: fixed experiment config is feasible for this model"),
             &actions,
         );
         t.row(&[

@@ -7,6 +7,8 @@
 //! long jobs (the paper reports ~1.5–2× vs ~1.05–1.25× medians on the raw
 //! switch); Hermes pushes the ratio toward 1; the baselines land between.
 
+#![forbid(unsafe_code)]
+
 use hermes_bench::{print_cdf, run_varys_facebook, Table};
 use hermes_core::config::HermesConfig;
 use hermes_netsim::metrics::Samples;

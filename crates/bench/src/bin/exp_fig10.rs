@@ -6,6 +6,8 @@
 //! outperforms ESPRES at the tail (rewriting helps on top of reordering),
 //! with a larger gap on the data-center trace than on Geant.
 
+#![forbid(unsafe_code)]
+
 use hermes_baselines::{EspresSwitch, HermesPlane, RawSwitch, TangoSwitch};
 use hermes_bench::{drive_batches, print_cdf, print_summary, te_batches, StreamResult};
 use hermes_core::config::HermesConfig;
@@ -30,7 +32,7 @@ fn run_all(dc: bool, total_rules: usize) -> Vec<(String, StreamResult)> {
         (
             "Hermes".into(),
             drive_batches(
-                HermesPlane::with_config(model.clone(), HermesConfig::default()).expect("feasible"),
+                HermesPlane::with_config(model.clone(), HermesConfig::default()).expect("INVARIANT: fixed experiment config is feasible for this model"),
                 &batches,
                 tick,
             ),
@@ -61,7 +63,7 @@ fn run() {
             .iter_mut()
             .find(|(n, _)| n == "Hermes")
             .map(|(_, r)| r.exec_ms.median())
-            .expect("hermes run");
+            .expect("INVARIANT: the Hermes series is pushed above");
         for (name, r) in &mut results {
             if name == "Hermes" {
                 continue;

@@ -5,6 +5,8 @@
 //! installation times grow as the table fills (diverging after a few
 //! hundred rules), while Hermes stays flat under its bound.
 
+#![forbid(unsafe_code)]
+
 use hermes_baselines::{ControlPlane, CpQueue, EspresSwitch, HermesPlane, TangoSwitch};
 use hermes_bench::te_batches;
 use hermes_core::config::HermesConfig;
@@ -23,7 +25,7 @@ fn series<P: ControlPlane>(plane: P, batches: &[(SimTime, Vec<ControlAction>)]) 
             next_tick += tick;
         }
         let (_, outcome) = q.submit(actions, *at);
-        let insert_ids: std::collections::HashSet<_> = actions
+        let insert_ids: std::collections::BTreeSet<_> = actions
             .iter()
             .filter(|a| a.is_insert())
             .map(|a| a.rule_id())
@@ -52,7 +54,7 @@ fn run() {
         let tango = series(TangoSwitch::new(model.clone()), &batches);
         let espres = series(EspresSwitch::new(model.clone()), &batches);
         let hermes = series(
-            HermesPlane::with_config(model.clone(), HermesConfig::default()).expect("feasible"),
+            HermesPlane::with_config(model.clone(), HermesConfig::default()).expect("INVARIANT: fixed experiment config is feasible for this model"),
             &batches,
         );
         println!("\n--- ({label}) trace ---");

@@ -9,6 +9,8 @@
 //!   setting Hermes-SIMPLE migrates about twice as often as predictive
 //!   Hermes with 100% slack, i.e. "double the overheads" (§8.5).
 
+#![forbid(unsafe_code)]
+
 use hermes_baselines::HermesPlane;
 use hermes_bench::{drive_stream, Table};
 use hermes_core::config::{HermesConfig, MigrationTrigger};
@@ -42,8 +44,8 @@ fn run(model: &SwitchModel, trigger: MigrationTrigger, count: usize) -> Outcome 
         ..Default::default()
     };
     let stream = workload(count).generate();
-    let duration_s = stream.last().expect("non-empty").at.as_secs();
-    let plane = HermesPlane::with_config(model.clone(), config).expect("feasible");
+    let duration_s = stream.last().expect("INVARIANT: workload generators emit at least one update").at.as_secs();
+    let plane = HermesPlane::with_config(model.clone(), config).expect("INVARIANT: fixed experiment config is feasible for this model");
     // Fine-grained manager wake-ups: at 1000 updates/s a 100 ms prediction
     // interval would dominate the results with sampling noise.
     let mut result = drive_stream(plane, &stream, SimDuration::from_ms(25.0));

@@ -14,6 +14,8 @@
 //! operating points into the sustainable envelope (50 and 200 updates/s)
 //! where the slack mechanism, not raw overload, determines the outcome.
 
+#![forbid(unsafe_code)]
+
 use hermes_baselines::{ControlPlane, HermesPlane};
 use hermes_bench::Table;
 use hermes_core::config::{HermesConfig, MigrationTrigger};
@@ -42,7 +44,7 @@ fn run(rate: f64, overlap: f64, slack: f64, count: usize) -> (f64, f64) {
         ..Default::default()
     }
     .generate();
-    let mut plane = HermesPlane::with_config(SwitchModel::dell_8132f(), config).expect("feasible");
+    let mut plane = HermesPlane::with_config(SwitchModel::dell_8132f(), config).expect("INVARIANT: fixed experiment config is feasible for this model");
     let tick = SimDuration::from_ms(25.0);
     let mut next_tick = SimTime::ZERO + tick;
     let mut shadow_lat = Samples::new();

@@ -4,6 +4,8 @@
 //! insertion guarantee on each switch, straight from the `QoSOverheads`
 //! API (§7). Paper headline: at 5 ms the overhead stays under 5%.
 
+#![forbid(unsafe_code)]
+
 use hermes_bench::Table;
 use hermes_core::prelude::*;
 use hermes_tcam::{SimDuration, SwitchModel};

@@ -5,6 +5,8 @@
 //! Reproduction targets (§8.2): Hermes improves the median RIT by roughly
 //! 80–94% across switches, with only minor variation left in its RITs.
 
+#![forbid(unsafe_code)]
+
 use hermes_bench::{
     export_json, print_cdf, print_summary, run_varys_facebook, run_varys_geant, Table,
 };
@@ -54,7 +56,7 @@ fn run() {
             .iter_mut()
             .find(|(n, _)| n == "Hermes")
             .map(|(_, s)| s.median())
-            .expect("hermes run");
+            .expect("INVARIANT: the Hermes series is pushed above");
         let mut t = Table::new(&["Baseline switch", "median RIT (ms)", "Hermes improvement"]);
         for (name, s) in &mut rits {
             if name == "Hermes" {

@@ -6,6 +6,8 @@
 //! short jobs — where transfer and compute times cannot hide control
 //! latency — the p95 improvement approaches the RIT-level gains (~80%).
 
+#![forbid(unsafe_code)]
+
 use hermes_bench::{print_cdf, print_summary, run_varys_facebook, run_varys_geant, Table};
 use hermes_core::config::HermesConfig;
 use hermes_netsim::metrics::Samples;
@@ -55,11 +57,11 @@ fn run() {
             hermes_sim.metrics.fct_short_s.clone(),
         ));
 
-        let hermes_median = all.last_mut().map(|(_, s, _)| s.median()).expect("hermes");
+        let hermes_median = all.last_mut().map(|(_, s, _)| s.median()).expect("INVARIANT: the Hermes series is pushed above");
         let hermes_short_p95 = all
             .last_mut()
             .map(|(_, _, s)| s.percentile(0.95))
-            .expect("hermes");
+            .expect("INVARIANT: the Hermes series is pushed above");
 
         let mut t = Table::new(&[
             "Switch",

@@ -9,6 +9,8 @@
 //! the alternatives (the paper's quoted range spans its workload sweep;
 //! here the comparison is at the burstiest setting).
 
+#![forbid(unsafe_code)]
+
 use hermes_baselines::{ControlPlane, HermesPlane};
 use hermes_bench::Table;
 use hermes_core::config::{HermesConfig, MigrationTrigger};
@@ -39,7 +41,7 @@ fn run(kind: PredictorKind, corrector: Corrector, count: usize) -> (f64, f64, f6
         ..Default::default()
     }
     .generate();
-    let mut plane = HermesPlane::with_config(SwitchModel::pica8_p3290(), config).expect("feasible");
+    let mut plane = HermesPlane::with_config(SwitchModel::pica8_p3290(), config).expect("INVARIANT: fixed experiment config is feasible for this model");
     let tick = SimDuration::from_ms(25.0);
     let mut next_tick = SimTime::ZERO + tick;
     let mut lat = Samples::new();
@@ -151,7 +153,7 @@ fn run_experiment_body() {
     }
     t.print();
 
-    let (best_label, best_mean) = best.expect("ran something");
+    let (best_label, best_mean) = best.expect("INVARIANT: the sweep loop runs at least once");
     println!("\nbest configuration: {best_label} (mean RIT {best_mean:.3} ms)");
     for (label, mean) in &results {
         if *label != best_label {

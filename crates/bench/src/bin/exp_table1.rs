@@ -9,6 +9,8 @@
 //! Paper's measured values: Pica8 P-3290 @ {50:1266, 200:114, 1000:23,
 //! 2000:12} updates/s; Dell 8132F @ {50:970, 250:494, 500:42, 750:29}.
 
+#![forbid(unsafe_code)]
+
 use hermes_bench::Table;
 use hermes_rules::prelude::*;
 use hermes_tcam::{SimDuration, SwitchModel, TcamDevice};
@@ -28,7 +30,7 @@ fn measured_update_rate(model: &SwitchModel, occupancy: usize, probes: usize) ->
             Priority(rng.gen_range(1..10_000)),
             Action::Forward(1),
         );
-        dev.apply(0, &ControlAction::Insert(rule)).expect("fill");
+        dev.apply(0, &ControlAction::Insert(rule)).expect("INVARIANT: fault-free device with capacity sized for the fill");
         live.push(i as u64);
     }
     // Probe: delete a random live rule, insert a replacement at random
@@ -40,7 +42,7 @@ fn measured_update_rate(model: &SwitchModel, occupancy: usize, probes: usize) ->
         let victim = RuleId(live.swap_remove(slot));
         busy += dev
             .apply(0, &ControlAction::Delete(victim))
-            .expect("del")
+            .expect("INVARIANT: deleting a rule installed above")
             .latency;
         let rule = Rule::new(
             next_id,
@@ -51,7 +53,7 @@ fn measured_update_rate(model: &SwitchModel, occupancy: usize, probes: usize) ->
         live.push(next_id);
         busy += dev
             .apply(0, &ControlAction::Insert(rule))
-            .expect("ins")
+            .expect("INVARIANT: fault-free device with a free slot from the delete")
             .latency;
     }
     // The measurement study counts insert-update throughput; the paired

@@ -7,6 +7,8 @@
 //! 4. deletion is fast and occupancy-independent;
 //! 5. action modification is constant time.
 
+#![forbid(unsafe_code)]
+
 use hermes_bench::Table;
 use hermes_rules::prelude::*;
 use hermes_tcam::{SimDuration, SwitchModel, TcamDevice};
@@ -36,7 +38,7 @@ fn probe_insert(
             0,
             &ControlAction::Insert(rule(i as u64, i as u32, rng.gen_range(1..10_000))),
         )
-        .expect("fill");
+        .expect("INVARIANT: fault-free device with capacity sized for the fill");
     }
     let mut total = SimDuration::ZERO;
     for p in 0..n {
@@ -49,9 +51,9 @@ fn probe_insert(
         let r = rule(id, (occupancy + p) as u32, prio);
         total += dev
             .apply(0, &ControlAction::Insert(r))
-            .expect("probe")
+            .expect("INVARIANT: fault-free device with one reserved probe slot")
             .latency;
-        dev.apply(0, &ControlAction::Delete(r.id)).expect("cleanup");
+        dev.apply(0, &ControlAction::Delete(r.id)).expect("INVARIANT: deleting the probe rule installed above");
     }
     total / n as u64
 }
@@ -69,7 +71,7 @@ fn ordered_install(model: &SwitchModel, n: usize, ascending: bool) -> SimDuratio
         };
         total += dev
             .apply(0, &ControlAction::Insert(rule(i as u64, i as u32, prio)))
-            .expect("install")
+            .expect("INVARIANT: fault-free device with capacity sized for the fill")
             .latency;
     }
     total
@@ -152,11 +154,11 @@ fn run() {
                     0,
                     &ControlAction::Insert(rule(i as u64, i as u32, 5 + i as u32)),
                 )
-                .expect("fill");
+                .expect("INVARIANT: fault-free device with capacity sized for the fill");
             }
             let d = dev
                 .apply(0, &ControlAction::Delete(RuleId(0)))
-                .expect("del")
+                .expect("INVARIANT: deleting a rule installed above")
                 .latency;
             cells.push(format!("{:.3}", d.as_ms()));
         }
@@ -167,7 +169,7 @@ fn run() {
                     0,
                     &ControlAction::Insert(rule(i as u64, i as u32, 5 + i as u32)),
                 )
-                .expect("fill");
+                .expect("INVARIANT: fault-free device with capacity sized for the fill");
             }
             let d = dev
                 .apply(
@@ -178,7 +180,7 @@ fn run() {
                         priority: None,
                     },
                 )
-                .expect("mod")
+                .expect("INVARIANT: modifying a rule installed above")
                 .latency;
             cells.push(format!("{:.3}", d.as_ms()));
         }

@@ -12,6 +12,8 @@
 //!
 //! Argument parsing is deliberately dependency-free (`--key value` pairs).
 
+#![forbid(unsafe_code)]
+
 use hermes_baselines::HermesPlane;
 use hermes_bench::{drive_stream, print_summary, Table};
 use hermes_core::config::{HermesConfig, RulePredicate};
@@ -19,12 +21,12 @@ use hermes_core::prelude::*;
 use hermes_rules::prelude::*;
 use hermes_tcam::{SimDuration, SwitchModel};
 use hermes_workloads::microbench::MicroBench;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::process::ExitCode;
 
 /// Parses `--key value` pairs after the subcommand.
-fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
-    let mut out = HashMap::new();
+fn parse_flags(args: &[String]) -> Result<BTreeMap<String, String>, String> {
+    let mut out = BTreeMap::new();
     let mut it = args.iter();
     while let Some(k) = it.next() {
         let Some(key) = k.strip_prefix("--") else {
@@ -61,7 +63,7 @@ fn cmd_switches() {
     t.print();
 }
 
-fn cmd_overheads(flags: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_overheads(flags: &BTreeMap<String, String>) -> Result<(), String> {
     let model = model_by_name(flags.get("switch").ok_or("--switch required")?)?;
     let mut t = Table::new(&[
         "Guarantee (ms)",
@@ -85,7 +87,7 @@ fn cmd_overheads(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_plan(flags: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_plan(flags: &BTreeMap<String, String>) -> Result<(), String> {
     let model = model_by_name(flags.get("switch").ok_or("--switch required")?)?;
     let g_ms: f64 = flags
         .get("guarantee-ms")
@@ -114,7 +116,7 @@ fn cmd_plan(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_simulate(flags: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_simulate(flags: &BTreeMap<String, String>) -> Result<(), String> {
     let model = model_by_name(flags.get("switch").ok_or("--switch required")?)?;
     let rate: f64 = flags
         .get("rate")
@@ -216,6 +218,7 @@ fn main() -> ExitCode {
             other => Err(format!("unknown command '{other}'\n{USAGE}")),
         };
         if let Err(e) = result {
+            // hermes-lint: allow(R2, reason = "run_experiment's catch guard turns this into the CLI's one-line error and nonzero exit")
             panic!("{e}");
         }
     })
@@ -225,7 +228,7 @@ fn main() -> ExitCode {
 mod tests {
     use super::*;
 
-    fn flags(pairs: &[(&str, &str)]) -> HashMap<String, String> {
+    fn flags(pairs: &[(&str, &str)]) -> BTreeMap<String, String> {
         pairs
             .iter()
             .map(|(k, v)| (k.to_string(), v.to_string()))

@@ -69,7 +69,7 @@ pub fn drive_stream<P: ControlPlane>(
             next_tick += tick;
         }
         let (start, outcome) = q.submit(std::slice::from_ref(&ta.action), ta.at);
-        let op = outcome.ops.last().expect("one op per action");
+        let op = outcome.ops.last().expect("INVARIANT: submit of one action reports at least one op");
         result
             .rit_ms
             .push((start + op.completed_at).since(ta.at).as_ms());
@@ -211,7 +211,7 @@ pub fn drive_batches<P: ControlPlane>(
         let (start, outcome) = q.submit(actions, *at);
         // Only insertions count as RIT samples (§8.1.2 defines RIT over
         // rule installations; the teardown deletes are cheap bookkeeping).
-        let insert_ids: std::collections::HashSet<_> = actions
+        let insert_ids: std::collections::BTreeSet<_> = actions
             .iter()
             .filter(|a| a.is_insert())
             .map(|a| a.rule_id())

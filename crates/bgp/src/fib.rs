@@ -10,12 +10,12 @@
 use crate::rib::FibDelta;
 use hermes_rules::prefix::Ipv4Prefix;
 use hermes_rules::prelude::*;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Compiles FIB deltas into TCAM control actions.
 #[derive(Clone, Debug, Default)]
 pub struct Fib {
-    installed: HashMap<Ipv4Prefix, RuleId>,
+    installed: BTreeMap<Ipv4Prefix, RuleId>,
     next_id: u64,
 }
 
@@ -57,10 +57,12 @@ impl Fib {
             FibDelta::Replace {
                 prefix, new_port, ..
             } => {
+                // INVARIANT: Rib emits Replace only for a prefix whose
+                // Add it already emitted, and compile installed it then.
                 let id = *self
                     .installed
                     .get(&prefix)
-                    .expect("replace of prefix that was never added");
+                    .expect("INVARIANT: replace of prefix that was never added");
                 ControlAction::Modify {
                     id,
                     action: Some(Action::Forward(new_port)),
@@ -68,10 +70,12 @@ impl Fib {
                 }
             }
             FibDelta::Remove { prefix } => {
+                // INVARIANT: Rib emits Remove only for a prefix whose
+                // Add it already emitted, and compile installed it then.
                 let id = self
                     .installed
                     .remove(&prefix)
-                    .expect("remove of prefix that was never added");
+                    .expect("INVARIANT: remove of prefix that was never added");
                 ControlAction::Delete(id)
             }
         }

@@ -9,7 +9,7 @@
 //! that survive it.
 
 use hermes_rules::prefix::Ipv4Prefix;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A BGP peer (session) identifier.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -109,8 +109,8 @@ pub enum FibDelta {
 /// The RIB: all learned paths plus the current best per prefix.
 #[derive(Clone, Debug, Default)]
 pub struct Rib {
-    paths: HashMap<Ipv4Prefix, Vec<BgpRoute>>,
-    best: HashMap<Ipv4Prefix, BgpRoute>,
+    paths: BTreeMap<Ipv4Prefix, Vec<BgpRoute>>,
+    best: BTreeMap<Ipv4Prefix, BgpRoute>,
     /// Updates processed.
     pub updates_processed: u64,
     /// Updates that changed the FIB.

@@ -19,7 +19,7 @@
 use crate::config::{HermesConfig, RulePredicate};
 use crate::switch::{HermesError, HermesSwitch};
 use hermes_tcam::{SimDuration, SwitchModel};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Identifies a switch under management.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -27,7 +27,7 @@ pub struct SwitchId(pub u32);
 
 /// Identifies a configured QoS (shadow table) — the "file descriptor"
 /// returned by `CreateTCAMQoS`.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ShadowId(pub u32);
 
 /// The result of configuring a guarantee.
@@ -72,9 +72,9 @@ impl std::error::Error for ApiError {}
 /// The management plane: registered switches and their Hermes agents.
 #[derive(Debug, Default)]
 pub struct HermesApi {
-    models: HashMap<SwitchId, SwitchModel>,
-    agents: HashMap<SwitchId, HermesSwitch>,
-    handles: HashMap<ShadowId, SwitchId>,
+    models: BTreeMap<SwitchId, SwitchModel>,
+    agents: BTreeMap<SwitchId, HermesSwitch>,
+    handles: BTreeMap<ShadowId, SwitchId>,
     next_shadow: u32,
 }
 
@@ -145,13 +145,13 @@ impl HermesApi {
             .handles
             .get(&shadow)
             .ok_or(ApiError::UnknownShadow(shadow))?;
-        // Infallible: `handles` entries are only created by `create_qos`,
+        // INVARIANT: `handles` entries are only created by `create_qos`,
         // which requires the switch to exist in `models`, and models are
         // never removed.
         let model = self
             .models
             .get(&switch)
-            .expect("handle implies model")
+            .expect("INVARIANT: handle implies model")
             .clone();
         let predicate = self
             .agents

@@ -129,7 +129,7 @@ impl RuleManager {
                 shadow_len as f64 >= fraction * shadow_cap as f64 && shadow_len > 0
             }
             MigrationTrigger::Predictive { .. } => {
-                // Infallible: `RuleManager::new` constructs `predictor` as
+                // INVARIANT: `RuleManager::new` constructs `predictor` as
                 // `Some` exactly when the trigger is `Predictive`, and
                 // neither field is reassigned afterwards.
                 let predictor = self.predictor.as_mut().expect("predictive trigger");

@@ -68,7 +68,7 @@ impl PartitionOutcome {
 /// assert_eq!(outcome.cut_against, vec![RuleId(1)]);
 /// ```
 pub fn partition_new_rule(rule: &Rule, main: &OverlapIndex) -> PartitionOutcome {
-    // Infallible: the only error is `OverBudget`, and a working set can
+    // INVARIANT: the only error is `OverBudget`, and a working set can
     // never exceed a `usize::MAX` limit.
     partition_new_rule_bounded(rule, main, usize::MAX).expect("unbounded partition")
 }

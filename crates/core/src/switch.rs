@@ -39,7 +39,7 @@ use hermes_tcam::{
     FaultPlan, FaultStats, LookupResult, MissBehavior, OpReport, SimDuration, SimTime, SwitchModel,
     TcamDevice, TcamError,
 };
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Slice index of the shadow table.
 pub const SHADOW: usize = 0;
@@ -198,11 +198,11 @@ pub struct HermesSwitch {
     /// Logical rules resident in the main table, with original priorities.
     main_index: OverlapIndex,
     /// Logical rules resident in the shadow table.
-    shadow: HashMap<RuleId, ShadowEntry>,
+    shadow: BTreeMap<RuleId, ShadowEntry>,
     /// Shadow insertion order (FIFO semantics + migration order).
     shadow_order: Vec<RuleId>,
     /// main rule id → shadow rules cut against it (the reverse of `M`).
-    blockers: HashMap<RuleId, Vec<RuleId>>,
+    blockers: BTreeMap<RuleId, Vec<RuleId>>,
     /// Priority histogram over all logical rules (for the low-priority
     /// bypass check).
     prio_counts: BTreeMap<u32, usize>,
@@ -271,9 +271,9 @@ impl HermesSwitch {
             gate,
             manager,
             main_index: OverlapIndex::new(),
-            shadow: HashMap::new(),
+            shadow: BTreeMap::new(),
             shadow_order: Vec::new(),
-            blockers: HashMap::new(),
+            blockers: BTreeMap::new(),
             prio_counts: BTreeMap::new(),
             next_phys: PHYS_BASE,
             stats: HermesStats::default(),
@@ -806,8 +806,10 @@ impl HermesSwitch {
             })
             .map(|e| e.original.id)
             .collect();
-        // HashMap iteration order is not deterministic across processes;
-        // the op sequence must be (fault plans and latencies depend on it).
+        // The op sequence must be deterministic (fault plans and latencies
+        // depend on it). BTreeMap iteration is already RuleId-sorted; the
+        // explicit sort documents the requirement and keeps it true even
+        // if the container changes again.
         affected.sort_unstable_by_key(|id| id.0);
         let mut latency = SimDuration::ZERO;
         for id in affected {
@@ -1125,7 +1127,7 @@ impl HermesSwitch {
                 }
             }
         } else {
-            // Infallible: `current` came from get(), the deferred and
+            // INVARIANT: `current` came from get(), the deferred and
             // shadow branches returned above, so the rule is main-resident.
             let mut rule = self.main_index.get(id).expect("checked contains");
             rule.action = new_action;
@@ -1319,7 +1321,7 @@ impl HermesSwitch {
 
         // Expected physical state of the shadow slice: the union of every
         // resident rule's pieces, carrying the owner's priority and action.
-        let mut expected_shadow: HashMap<RuleId, Rule> = HashMap::new();
+        let mut expected_shadow: BTreeMap<RuleId, Rule> = BTreeMap::new();
         for e in self.shadow.values() {
             for (pid, key) in &e.pieces {
                 expected_shadow.insert(
@@ -1334,7 +1336,7 @@ impl HermesSwitch {
         }
         let evict = self.reconcile_slice(SHADOW, &expected_shadow, &mut report);
 
-        let expected_main: HashMap<RuleId, Rule> =
+        let expected_main: BTreeMap<RuleId, Rule> =
             self.main_index.iter().map(|r| (r.id, r)).collect();
         // Main reinstalls hit `Full` only when the table is genuinely out
         // of space; there is no eviction target, so the list is empty.
@@ -1375,11 +1377,11 @@ impl HermesSwitch {
     fn reconcile_slice(
         &mut self,
         slice: usize,
-        expected: &HashMap<RuleId, Rule>,
+        expected: &BTreeMap<RuleId, Rule>,
         report: &mut AuditReport,
     ) -> Vec<RuleId> {
         let actual: Vec<Rule> = self.device.slice(slice).table.entries().to_vec();
-        let mut healthy: HashSet<RuleId> = HashSet::new();
+        let mut healthy: BTreeSet<RuleId> = BTreeSet::new();
         // Pass 1: orphans and drifted entries.
         for dev_rule in &actual {
             match expected.get(&dev_rule.id) {

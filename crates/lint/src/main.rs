@@ -1,0 +1,135 @@
+//! The `hermes-lint` driver.
+//!
+//! ```text
+//! cargo run -p hermes-lint -- --workspace [--json <path|->] [--root <dir>]
+//! ```
+//!
+//! Scans the workspace for violations of the determinism, panic-policy,
+//! hermeticity, telemetry-registry and experiment-contract invariants
+//! (DESIGN.md §9). Exit status: 0 clean, 1 findings, 2 usage or I/O
+//! error. `--json` additionally writes the `hermes-lint-report/1`
+//! document (`-` for stdout).
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut workspace = false;
+    let mut json: Option<String> = None;
+    let mut root: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--workspace" => workspace = true,
+            "--json" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => json = Some(p.clone()),
+                    None => return usage("--json needs a path (or `-` for stdout)"),
+                }
+            }
+            "--root" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => root = Some(PathBuf::from(p)),
+                    None => return usage("--root needs a directory"),
+                }
+            }
+            other => {
+                if let Some(p) = other.strip_prefix("--json=") {
+                    json = Some(p.to_string());
+                } else if let Some(p) = other.strip_prefix("--root=") {
+                    root = Some(PathBuf::from(p));
+                } else {
+                    return usage(&format!("unknown argument `{other}`"));
+                }
+            }
+        }
+        i += 1;
+    }
+    if !workspace {
+        return usage("pass --workspace to scan the workspace");
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => match find_workspace_root() {
+            Some(r) => r,
+            None => {
+                eprintln!("hermes-lint: error: could not locate the workspace root");
+                return ExitCode::from(2);
+            }
+        },
+    };
+
+    let files = match hermes_lint::engine::load_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("hermes-lint: error: reading {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let outcome = hermes_lint::engine::lint_tree(&files);
+
+    // With `--json -` the report owns stdout; humans read stderr.
+    let json_on_stdout = json.as_deref() == Some("-");
+    let human = |s: String| {
+        if json_on_stdout {
+            eprintln!("{s}");
+        } else {
+            println!("{s}");
+        }
+    };
+    for f in &outcome.findings {
+        human(format!("{f}"));
+    }
+    human(format!(
+        "hermes-lint: {} files scanned, {} finding(s), {} suppression(s)",
+        outcome.files_scanned,
+        outcome.findings.len(),
+        outcome.suppressions.len()
+    ));
+
+    if let Some(path) = json {
+        let doc = hermes_lint::report::build(&outcome).to_string();
+        if path == "-" {
+            println!("{doc}");
+        } else if let Err(e) = std::fs::write(&path, doc) {
+            eprintln!("hermes-lint: error: writing {path}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+
+    if outcome.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("hermes-lint: error: {msg}");
+    eprintln!("usage: hermes-lint --workspace [--json <path|->] [--root <dir>]");
+    ExitCode::from(2)
+}
+
+/// Walks up from the current directory to the first `Cargo.toml` that
+/// declares a `[workspace]`; falls back to this crate's compile-time
+/// location (two levels above `crates/lint`).
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok();
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(PathBuf::from);
+    }
+    let fallback = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    fallback.canonicalize().ok()
+}

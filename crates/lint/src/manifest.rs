@@ -1,0 +1,206 @@
+//! R4 — hermeticity checks over `Cargo.toml` and `Cargo.lock`.
+//!
+//! The workspace policy (README "Hermetic build") is zero external
+//! crates: every dependency in every manifest must be a workspace path
+//! dep (`path = "…"` or `workspace = true`), and the lockfile must not
+//! record any package with a registry/git `source`. This replaces the
+//! python `cargo metadata` guard that used to live in `scripts/ci.sh`.
+
+use crate::{Diagnostic, Rule};
+
+/// Is this `[section]` header a dependency table?
+fn is_dep_section(header: &str) -> bool {
+    header == "dependencies"
+        || header == "dev-dependencies"
+        || header == "build-dependencies"
+        || header == "workspace.dependencies"
+        || (header.starts_with("target.") && header.ends_with("dependencies"))
+}
+
+/// Checks one `Cargo.toml`. Line-based: precise enough for this
+/// workspace's plain manifests, and failure-closed — anything in a
+/// dependency table that is not visibly a path/workspace dep is flagged.
+pub fn check_cargo_toml(path: &str, text: &str) -> Vec<Diagnostic> {
+    let mut findings = Vec::new();
+    let mut section = String::new();
+    // `[dependencies.foo]` sub-table accumulation: (name, header line,
+    // saw a path/workspace key).
+    let mut subtable: Option<(String, usize, bool)> = None;
+
+    let flush_subtable =
+        |sub: &mut Option<(String, usize, bool)>, findings: &mut Vec<Diagnostic>| {
+            if let Some((name, line, ok)) = sub.take() {
+                if !ok {
+                    findings.push(external_dep(path, line, &name));
+                }
+            }
+        };
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') {
+            flush_subtable(&mut subtable, &mut findings);
+            section = line.trim_matches(['[', ']']).trim().to_string();
+            // `[dependencies.foo]` / `[workspace.dependencies.foo]`.
+            for dep_table in ["dependencies.", "dev-dependencies.", "build-dependencies."] {
+                if let Some(name) = section
+                    .strip_prefix("workspace.")
+                    .unwrap_or(&section)
+                    .strip_prefix(dep_table)
+                {
+                    subtable = Some((name.to_string(), line_no, false));
+                }
+            }
+            continue;
+        }
+        if let Some((_, _, ok)) = &mut subtable {
+            if line.starts_with("path") || line.contains("workspace = true") {
+                *ok = true;
+            }
+            continue;
+        }
+        if !is_dep_section(&section) {
+            continue;
+        }
+        // A dep entry: `name = <spec>`.
+        let Some((name, spec)) = line.split_once('=') else {
+            continue;
+        };
+        let (name, spec) = (name.trim(), spec.trim());
+        let hermetic = spec.contains("path =")
+            || spec.contains("path=")
+            || spec.contains("workspace = true")
+            || spec.contains("workspace=true")
+            // `name.workspace = true` arrives as name `foo.workspace`.
+            || name.ends_with(".workspace") && spec == "true";
+        if !hermetic {
+            findings.push(external_dep(path, line_no, name));
+        }
+    }
+    flush_subtable(&mut subtable, &mut findings);
+    findings
+}
+
+fn external_dep(path: &str, line: usize, name: &str) -> Diagnostic {
+    Diagnostic {
+        file: path.to_string(),
+        line,
+        col: 1,
+        rule: Rule::Hermeticity,
+        message: format!(
+            "dependency `{name}` is not a workspace path dep: the build is hermetic — \
+             vendor the code into crates/util or a new in-tree crate instead"
+        ),
+    }
+}
+
+/// Checks `Cargo.lock`: every `[[package]]` must be source-less (a
+/// workspace member). A `source` key means a registry or git package.
+pub fn check_cargo_lock(path: &str, text: &str) -> Vec<Diagnostic> {
+    let mut findings = Vec::new();
+    let mut current: Option<(String, usize)> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line == "[[package]]" {
+            current = None;
+        } else if let Some(name) = line.strip_prefix("name = ") {
+            current = Some((name.trim_matches('"').to_string(), line_no));
+        } else if line.starts_with("source = ") {
+            let (name, at) = current
+                .clone()
+                .unwrap_or_else(|| ("<unknown>".to_string(), line_no));
+            findings.push(Diagnostic {
+                file: path.to_string(),
+                line: at,
+                col: 1,
+                rule: Rule::Hermeticity,
+                message: format!(
+                    "Cargo.lock records external package `{name}`: the hermetic build \
+                     allows only workspace members"
+                ),
+            });
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workspace_and_path_deps_pass() {
+        let toml = r#"
+[package]
+name = "hermes-core"
+
+[dependencies]
+hermes-util.workspace = true
+hermes-rules = { workspace = true }
+hermes-tcam = { path = "../tcam" }
+
+[dev-dependencies]
+hermes-workloads.workspace = true
+"#;
+        assert!(check_cargo_toml("crates/core/Cargo.toml", toml).is_empty());
+    }
+
+    #[test]
+    fn registry_and_git_deps_flagged() {
+        let toml = r#"
+[dependencies]
+serde = "1.0"
+rand = { version = "0.8", features = ["small_rng"] }
+foo = { git = "https://example.com/foo" }
+"#;
+        let f = check_cargo_toml("crates/x/Cargo.toml", toml);
+        assert_eq!(f.len(), 3);
+        assert!(f.iter().all(|d| d.rule == Rule::Hermeticity));
+    }
+
+    #[test]
+    fn dep_subtables_checked() {
+        let bad = "[dependencies.serde]\nversion = \"1.0\"\n";
+        let good = "[dependencies.hermes-util]\npath = \"../util\"\n";
+        assert_eq!(check_cargo_toml("c/Cargo.toml", bad).len(), 1);
+        assert!(check_cargo_toml("c/Cargo.toml", good).is_empty());
+    }
+
+    #[test]
+    fn workspace_dependency_table_must_be_paths() {
+        let toml = "[workspace.dependencies]\nhermes-util = { path = \"crates/util\" }\nserde = \"1\"\n";
+        let f = check_cargo_toml("Cargo.toml", toml);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("serde"));
+    }
+
+    #[test]
+    fn non_dep_sections_ignored() {
+        let toml = "[package]\nversion = \"0.1\"\n\n[features]\ndefault = []\n\n[profile.release]\nlto = true\n";
+        assert!(check_cargo_toml("Cargo.toml", toml).is_empty());
+    }
+
+    #[test]
+    fn lockfile_external_source_flagged() {
+        let lock = r#"
+version = 3
+
+[[package]]
+name = "hermes-util"
+version = "0.1.0"
+
+[[package]]
+name = "rand"
+version = "0.8.5"
+source = "registry+https://github.com/rust-lang/crates.io-index"
+"#;
+        let f = check_cargo_lock("Cargo.lock", lock);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("rand"));
+    }
+}

@@ -1,0 +1,114 @@
+//! The machine-readable `hermes-lint-report/1` document.
+//!
+//! Built with the in-tree `hermes_util` JSON writer. Key order is fixed
+//! and findings/suppressions are pre-sorted by the engine, so the report
+//! is byte-deterministic for a given tree — the same contract the
+//! telemetry `hermes-bench-report/1` documents keep.
+
+use crate::{LintOutcome, ALL_RULES};
+use hermes_util::json::Json;
+
+/// Schema identifier stamped into every report.
+pub const SCHEMA: &str = "hermes-lint-report/1";
+
+/// Renders the outcome as the versioned report document.
+pub fn build(outcome: &LintOutcome) -> Json {
+    let rules = ALL_RULES
+        .iter()
+        .map(|r| {
+            Json::obj([
+                ("id", Json::Str(r.id().to_string())),
+                ("name", Json::Str(r.name().to_string())),
+                ("description", Json::Str(r.description().to_string())),
+                (
+                    "findings",
+                    Json::Int(
+                        outcome.findings.iter().filter(|f| f.rule == *r).count() as i128
+                    ),
+                ),
+            ])
+        })
+        .collect();
+    let findings = outcome
+        .findings
+        .iter()
+        .map(|f| {
+            Json::obj([
+                ("file", Json::Str(f.file.clone())),
+                ("line", Json::Int(f.line as i128)),
+                ("col", Json::Int(f.col as i128)),
+                ("rule", Json::Str(f.rule.id().to_string())),
+                ("message", Json::Str(f.message.clone())),
+            ])
+        })
+        .collect();
+    let suppressions = outcome
+        .suppressions
+        .iter()
+        .map(|s| {
+            Json::obj([
+                ("file", Json::Str(s.file.clone())),
+                ("line", Json::Int(s.line as i128)),
+                ("rule", Json::Str(s.rule.id().to_string())),
+                ("reason", Json::Str(s.reason.clone())),
+                ("file_scope", Json::Bool(s.file_scope)),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("schema", Json::Str(SCHEMA.to_string())),
+        ("files_scanned", Json::Int(outcome.files_scanned as i128)),
+        ("clean", Json::Bool(outcome.is_clean())),
+        ("rules", Json::Arr(rules)),
+        ("findings", Json::Arr(findings)),
+        ("suppressions", Json::Arr(suppressions)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AppliedSuppression, Diagnostic, Rule};
+
+    fn sample() -> LintOutcome {
+        LintOutcome {
+            findings: vec![Diagnostic {
+                file: "crates/x/src/lib.rs".into(),
+                line: 3,
+                col: 7,
+                rule: Rule::Determinism,
+                message: "nondeterministic primitive `HashMap`".into(),
+            }],
+            suppressions: vec![AppliedSuppression {
+                file: "crates/y/src/lib.rs".into(),
+                line: 9,
+                rule: Rule::PanicPolicy,
+                reason: "index bounded".into(),
+                file_scope: false,
+            }],
+            files_scanned: 2,
+        }
+    }
+
+    #[test]
+    fn report_has_schema_and_counts() {
+        let doc = build(&sample());
+        assert_eq!(doc.get("schema").unwrap().as_str(), Some(SCHEMA));
+        assert_eq!(doc.get("files_scanned").unwrap().as_f64(), Some(2.0));
+        assert_eq!(doc.get("clean"), Some(&Json::Bool(false)));
+        let rules = doc.get("rules").unwrap().as_arr().unwrap();
+        assert_eq!(rules.len(), ALL_RULES.len());
+        // R1 counted one finding.
+        assert_eq!(rules[0].get("findings").unwrap().as_f64(), Some(1.0));
+        assert_eq!(rules[1].get("findings").unwrap().as_f64(), Some(0.0));
+    }
+
+    #[test]
+    fn report_round_trips_and_is_deterministic() {
+        let doc = build(&sample());
+        let text = doc.to_string();
+        assert_eq!(text, build(&sample()).to_string());
+        let parsed = Json::parse(&text).expect("valid JSON");
+        assert_eq!(parsed, doc);
+    }
+}

@@ -8,7 +8,7 @@
 
 use crate::topology::{LinkId, Topology};
 use hermes_tcam::SimTime;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 /// Flow identifier.
 pub type FlowId = usize;
@@ -106,7 +106,7 @@ impl FlowTable {
         // Residual capacity and unfrozen flow count per link.
         let mut residual: Vec<f64> = topo.links.iter().map(|l| l.capacity_bps).collect();
         let mut link_flows: Vec<Vec<FlowId>> = vec![Vec::new(); topo.links.len()];
-        let mut unfrozen: HashMap<FlowId, ()> = HashMap::new();
+        let mut unfrozen: BTreeMap<FlowId, ()> = BTreeMap::new();
         for f in self.flows.values() {
             for &l in &f.path {
                 link_flows[l].push(f.id);
@@ -115,7 +115,7 @@ impl FlowTable {
                 unfrozen.insert(f.id, ());
             }
         }
-        let mut rates: HashMap<FlowId, f64> = HashMap::new();
+        let mut rates: BTreeMap<FlowId, f64> = BTreeMap::new();
         // Flows with empty paths (same-host transfers) run at a nominal
         // local rate.
         for f in self.flows.values() {

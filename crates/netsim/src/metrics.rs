@@ -72,7 +72,7 @@ impl Samples {
             return f64::NAN;
         }
         self.ensure_sorted();
-        *self.values.last().expect("non-empty")
+        *self.values.last().expect("INVARIANT: emptiness checked at function entry")
     }
 
     /// Renders the CDF as `points` (value, cumulative-fraction) pairs —

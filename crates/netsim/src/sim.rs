@@ -27,7 +27,7 @@ use hermes_workloads::gravity::TimedFlow;
 use hermes_util::rng::rngs::StdRng;
 use hermes_util::rng::SeedableRng;
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 
 /// Which control plane runs on every switch.
 #[derive(Clone, Debug)]
@@ -61,8 +61,11 @@ impl SwitchKind {
         match self {
             SwitchKind::Ideal => Box::new(RawSwitch::new(SwitchModel::ideal())),
             SwitchKind::Raw(m) => Box::new(RawSwitch::new(m.clone())),
+            // INVARIANT: scenario constructors pair each Hermes config
+            // with a model that admits it; an infeasible pair is a bug in
+            // the experiment definition, not a runtime input.
             SwitchKind::Hermes(m, c) => Box::new(
-                HermesPlane::with_config(m.clone(), c.clone()).expect("feasible Hermes config"),
+                HermesPlane::with_config(m.clone(), c.clone()).expect("INVARIANT: feasible Hermes config"),
             ),
             SwitchKind::Tango(m) => Box::new(TangoSwitch::new(m.clone())),
             SwitchKind::Espres(m) => Box::new(EspresSwitch::new(m.clone())),
@@ -180,7 +183,7 @@ pub struct Varys {
     flow_rules: BTreeMap<FlowId, Vec<(NodeId, RuleId)>>,
     /// Arrival instants of flows still waiting for rule installation.
     flow_arrivals: BTreeMap<FlowId, SimTime>,
-    rerouting: HashSet<FlowId>,
+    rerouting: BTreeSet<FlowId>,
     next_flow: FlowId,
     next_rule: u64,
     rng: StdRng,
@@ -211,7 +214,7 @@ impl Varys {
             jobs: BTreeMap::new(),
             flow_rules: BTreeMap::new(),
             flow_arrivals: BTreeMap::new(),
-            rerouting: HashSet::new(),
+            rerouting: BTreeSet::new(),
             next_flow: 0,
             next_rule: 0,
             rng,
@@ -249,7 +252,7 @@ impl Varys {
                 self.next_rule += 1;
                 actions.push(ControlAction::Insert(rule));
             }
-            let q = self.planes.get_mut(&sw).expect("switch plane");
+            let q = self.planes.get_mut(&sw).expect("INVARIANT: planes has a queue for every topology node");
             q.plane_mut().apply_batch(&actions, SimTime::ZERO);
             // Drain Hermes's shadow so the workload starts clean, then
             // reset time-dependent state (admission bucket, busy windows)
@@ -403,7 +406,7 @@ impl Varys {
         let changed = self.flows.allocate_max_min(&self.topo);
         for id in changed {
             let (version, eta) = {
-                let f = self.flows.get(id).expect("changed flow exists");
+                let f = self.flows.get(id).expect("INVARIANT: allocate_max_min returns ids of live flows");
                 let eta = if f.rate_bps > 0.0 {
                     // +2 ns guard: `from_secs` rounds to integer nanoseconds
                     // and rounding *down* would leave a few bytes unfinished
@@ -517,9 +520,9 @@ impl Varys {
                 Action::Forward((sw % 48) as u32),
             );
             self.next_rule += 1;
-            let q = self.planes.get_mut(&sw).expect("switch plane");
+            let q = self.planes.get_mut(&sw).expect("INVARIANT: planes has a queue for every topology node");
             let (start, outcome) = q.submit(&[ControlAction::Insert(rule)], self.now);
-            let op = outcome.ops.last().expect("one op");
+            let op = outcome.ops.last().expect("INVARIANT: submit of one action reports at least one op");
             let done = start + op.completed_at;
             if done > ready {
                 ready = done;
@@ -537,7 +540,7 @@ impl Varys {
         }
         if let Some(old) = self.flow_rules.insert(fid, rules) {
             for (sw, rid) in old {
-                let q = self.planes.get_mut(&sw).expect("switch plane");
+                let q = self.planes.get_mut(&sw).expect("INVARIANT: planes has a queue for every topology node");
                 q.submit(&[ControlAction::Delete(rid)], ready);
             }
         }
@@ -553,7 +556,7 @@ impl Varys {
         if !valid {
             return; // stale event
         }
-        let flow = self.flows.remove(id).expect("validated above");
+        let flow = self.flows.remove(id).expect("INVARIANT: flow presence validated above");
         let fct = self.now.since(flow.started).as_secs();
         self.metrics.fct_s.push(fct);
         if hermes_telemetry::enabled() {
@@ -572,7 +575,7 @@ impl Varys {
         // flow's critical path).
         if let Some(rules) = self.flow_rules.remove(&id) {
             for (sw, rid) in rules {
-                let q = self.planes.get_mut(&sw).expect("switch plane");
+                let q = self.planes.get_mut(&sw).expect("INVARIANT: planes has a queue for every topology node");
                 q.submit(&[ControlAction::Delete(rid)], self.now);
             }
         }
@@ -687,9 +690,9 @@ impl Varys {
                 Action::Forward((sw % 48) as u32),
             );
             self.next_rule += 1;
-            let q = self.planes.get_mut(&sw).expect("switch plane");
+            let q = self.planes.get_mut(&sw).expect("INVARIANT: planes has a queue for every topology node");
             let (start, outcome) = q.submit(&[ControlAction::Insert(rule)], self.now);
-            let op = outcome.ops.last().expect("one op");
+            let op = outcome.ops.last().expect("INVARIANT: submit of one action reports at least one op");
             let done = start + op.completed_at;
             if done > ready {
                 ready = done;
@@ -711,7 +714,7 @@ impl Varys {
         let old = self.flow_rules.insert(fid, new_rules);
         if let Some(old_rules) = old {
             for (sw, rid) in old_rules {
-                let q = self.planes.get_mut(&sw).expect("switch plane");
+                let q = self.planes.get_mut(&sw).expect("INVARIANT: planes has a queue for every topology node");
                 q.submit(&[ControlAction::Delete(rid)], ready);
             }
         }

@@ -17,7 +17,7 @@
 
 use crate::key::TernaryKey;
 use crate::rule::Rule;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Merges a set of ternary keys (assumed to share action and priority) into
 /// a minimal-or-smaller equivalent set by repeated pairwise adjacency
@@ -97,7 +97,7 @@ pub fn optimize_ruleset(rules: Vec<Rule>) -> Vec<Rule> {
     }
 
     // Passes 2+3: group by (priority, action) and minimize each group's keys.
-    let mut groups: HashMap<(u32, crate::rule::Action), Vec<Rule>> = HashMap::new();
+    let mut groups: BTreeMap<(u32, crate::rule::Action), Vec<Rule>> = BTreeMap::new();
     for rule in kept {
         groups
             .entry((rule.priority.0, rule.action))
@@ -108,7 +108,7 @@ pub fn optimize_ruleset(rules: Vec<Rule>) -> Vec<Rule> {
     let mut group_keys: Vec<(u32, crate::rule::Action)> = groups.keys().copied().collect();
     group_keys.sort_by_key(|(p, _)| std::cmp::Reverse(*p));
     for gk in group_keys {
-        let members = groups.remove(&gk).expect("key from map");
+        let members = groups.remove(&gk).expect("INVARIANT: key came from groups.keys() above");
         let representative = members[0];
         let keys: Vec<TernaryKey> = members.iter().map(|r| r.key).collect();
         for key in minimize_keys(keys) {

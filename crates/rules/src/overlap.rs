@@ -16,7 +16,7 @@ use crate::fields::FlowMatch;
 use crate::key::TernaryKey;
 use crate::prefix::Ipv4Prefix;
 use crate::rule::{Priority, Rule, RuleId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::trie::PrefixTrie;
 
@@ -28,7 +28,7 @@ pub struct OverlapIndex {
     /// Rules whose destination mask is non-contiguous.
     fallback: Vec<Rule>,
     /// Locator for removal: id → (dst prefix or None for fallback).
-    by_id: HashMap<RuleId, Option<Ipv4Prefix>>,
+    by_id: BTreeMap<RuleId, Option<Ipv4Prefix>>,
 }
 
 impl OverlapIndex {

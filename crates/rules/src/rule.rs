@@ -52,7 +52,7 @@ impl fmt::Debug for Priority {
 }
 
 /// The forwarding action attached to a rule.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Action {
     /// Forward out of the given port.
     Forward(u32),

@@ -273,7 +273,7 @@ impl TcamDevice {
                     if let Some(a) = action {
                         new_rule.action = *a;
                     }
-                    new_rule.priority = priority.expect("checked is_some");
+                    new_rule.priority = priority.expect("INVARIANT: the Modify arm runs only when priority.is_some()");
                     let OpShifts {
                         shifts,
                         occupancy_before,

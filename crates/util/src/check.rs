@@ -152,6 +152,8 @@ pub fn weighted<T: 'static>(choices: Vec<(u32, Gen<T>)>) -> Gen<T> {
             }
             x -= *w as u64;
         }
+        // INVARIANT: total > 0 is asserted above, so choices is
+        // non-empty; x only underflows past the loop by rounding.
         choices.last().unwrap().1.generate(rng, size)
     })
 }
@@ -250,6 +252,7 @@ where
             shown.truncate(4096);
             shown.push_str("… (truncated)");
         }
+        // hermes-lint: allow(R2, reason = "this panic is the product: it is how a failed property reaches the test harness")
         panic!(
             "\n[hermes-check] property '{name}' failed at case {case}/{cases} \
              (seed {case_seed}, size {size}, minimized to size {min_size})\n\

@@ -315,6 +315,8 @@ impl<'a> Parser<'a> {
                     // Consume one UTF-8 scalar.
                     let rest = &self.bytes[self.pos..];
                     let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid utf-8"))?;
+                    // INVARIANT: the Some(_) arm means rest is
+                    // non-empty, and from_utf8 succeeded just above.
                     let c = s.chars().next().unwrap();
                     out.push(c);
                     self.pos += c.len_utf8();
@@ -339,6 +341,8 @@ impl<'a> Parser<'a> {
                 _ => break,
             }
         }
+        // INVARIANT: every byte consumed by the number scanner is
+        // ASCII (digits, sign, dot, exponent), so the slice is UTF-8.
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
         if !is_float {
             if let Ok(i) = text.parse::<i128>() {

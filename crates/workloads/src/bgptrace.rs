@@ -77,7 +77,7 @@ impl BgpTrace {
             .map(|i| {
                 let len = *[16u8, 19, 20, 22, 24, 24, 24]
                     .get(rng.gen_range(0..7usize))
-                    .expect("index in range");
+                    .expect("INVARIANT: gen_range(0..7) indexes a 7-element array");
                 // Spread pools over 1.0.0.0/8 .. 223.0.0.0/8 unicast space.
                 let octet1 = 1 + (i as u32 * 7919) % 222;
                 let rest = rng.gen::<u32>() & 0x00ff_ffff;
@@ -198,7 +198,7 @@ impl BgpTrace {
         if updates.is_empty() {
             return 0.0;
         }
-        let end = updates.last().expect("non-empty").at.as_secs().ceil() as usize;
+        let end = updates.last().expect("INVARIANT: emptiness checked above").at.as_secs().ceil() as usize;
         let mut counts = vec![0usize; end + 1];
         for u in updates {
             counts[u.at.as_secs() as usize] += 1;

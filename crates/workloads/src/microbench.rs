@@ -98,7 +98,7 @@ impl MicroBench {
                     // A wider, lower-priority cover of an existing rule.
                     let &(existing, existing_prio) = overlappable
                         .get(rng.gen_range(0..overlappable.len()))
-                        .expect("non-empty");
+                        .expect("INVARIANT: overlappable emptiness checked in the branch guard");
                     let wider_len = existing.len().saturating_sub(rng.gen_range(2..=6)).max(4);
                     let wider = Ipv4Prefix::new(existing.addr(), wider_len);
                     let lower = match self.priorities {

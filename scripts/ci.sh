@@ -8,19 +8,36 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== guard: Cargo.lock contains only workspace packages =="
-cargo metadata --offline --format-version 1 \
-  | python3 -c '
-import json, sys
-meta = json.load(sys.stdin)
-external = [p["name"] for p in meta["packages"] if p["source"] is not None]
-if external:
-    sys.exit("non-workspace dependencies found: %s" % ", ".join(sorted(set(external))))
-print("ok: %d workspace packages, 0 external" % len(meta["packages"]))
-'
-
 echo "== build (release, offline) =="
 cargo build --release --offline --workspace
+
+echo "== hermes-lint: workspace invariants (incl. R4 hermeticity guard) =="
+# R4 subsumes the old `cargo metadata | python3` lockfile guard: every
+# Cargo.toml dependency must be a workspace path dep and Cargo.lock must
+# record no external package. R1/R2/R3/R5/R6 enforce determinism,
+# panic-policy, forbid(unsafe_code), the telemetry registry, and the
+# exp_* binary contract (DESIGN.md §9).
+cargo run --release --offline -q -p hermes-lint -- --workspace
+
+echo "== hermes-lint: JSON report is schema-valid =="
+lint_json="$(mktemp)"
+cargo run --release --offline -q -p hermes-lint -- --workspace --json "$lint_json" >/dev/null
+python3 - "$lint_json" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "hermes-lint-report/1", doc.get("schema")
+required = ["schema", "files_scanned", "clean", "rules", "findings", "suppressions"]
+missing = [k for k in required if k not in doc]
+assert not missing, "missing report keys: %s" % missing
+assert doc["clean"] is True and doc["findings"] == []
+assert doc["files_scanned"] > 50, doc["files_scanned"]
+assert [r["id"] for r in doc["rules"]] == ["R1", "R2", "R3", "R4", "R5", "R6", "S1"]
+bare = [s for s in doc["suppressions"] if not s["reason"].strip()]
+assert not bare, "suppressions without reasons: %s" % bare
+print("ok: clean over %d files, %d reasoned suppression(s)"
+      % (doc["files_scanned"], len(doc["suppressions"])))
+PY
+rm -f "$lint_json"
 
 echo "== clippy (offline, -D warnings) =="
 cargo clippy --offline --workspace --all-targets -- -D warnings

@@ -1,4 +1,7 @@
 //! Umbrella crate re-exporting the Hermes reproduction workspace.
+
+#![forbid(unsafe_code)]
+
 pub use hermes_baselines as baselines;
 pub use hermes_bgp as bgp;
 pub use hermes_core as core;

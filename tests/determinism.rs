@@ -137,6 +137,26 @@ fn telemetry_report_is_deterministic_under_fault_plan() {
 }
 
 #[test]
+fn lint_report_is_byte_identical_across_runs() {
+    // The static-analysis pass is part of the reproducibility story too:
+    // the hermes-lint-report/1 document over the same tree must be a pure
+    // function of the sources — no wall clock, no hash-order, no paths
+    // that depend on the invocation directory.
+    let root = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let files = hermes_lint::engine::load_workspace(&root).expect("workspace readable");
+    let a = hermes_lint::report::build(&hermes_lint::engine::lint_tree(&files)).to_string();
+    let b = hermes_lint::report::build(&hermes_lint::engine::lint_tree(&files)).to_string();
+    assert_eq!(a, b, "lint report must be byte-deterministic");
+
+    let parsed = Json::parse(&a).expect("self-produced report parses");
+    assert_eq!(
+        parsed.get("schema").and_then(Json::as_str),
+        Some("hermes-lint-report/1")
+    );
+    assert_eq!(parsed.get("clean"), Some(&Json::Bool(true)));
+}
+
+#[test]
 fn different_seeds_produce_different_json() {
     let a = gravity_run(2, 9);
     let c = gravity_run(3, 10);
