@@ -211,18 +211,54 @@ impl ControlPlane for HermesPlane {
 
     fn apply_batch(&mut self, actions: &[ControlAction], now: SimTime) -> BatchOutcome {
         let mut out = BatchOutcome::default();
-        for action in actions {
-            let (exec, violated) = match self.switch.submit(action, now + out.total) {
-                Ok(rep) => (rep.latency, rep.violated()),
-                Err(_) => (SimDuration::from_us(50.0), false),
-            };
-            out.total += exec;
-            out.ops.push(OpOutcome {
-                id: action.rule_id(),
-                exec,
-                completed_at: out.total,
-                violated,
-            });
+        let mut i = 0;
+        while i < actions.len() {
+            // Maximal runs of ≥2 consecutive inserts ride the batched
+            // admission pipeline (one handshake, one coalesced shift
+            // plan); singletons and non-insert actions take the per-op
+            // path unchanged.
+            let run_end = i + actions[i..]
+                .iter()
+                .take_while(|a| matches!(a, ControlAction::Insert(_)))
+                .count();
+            if run_end - i >= 2 {
+                let rules: Vec<Rule> = actions[i..run_end]
+                    .iter()
+                    .filter_map(|a| match a {
+                        ControlAction::Insert(r) => Some(*r),
+                        _ => None,
+                    })
+                    .collect();
+                let reports = self.switch.admit_batch(&rules, now + out.total);
+                for (rule, rep) in rules.iter().zip(reports) {
+                    let (exec, violated) = match rep {
+                        Ok(rep) => (rep.latency, rep.violated()),
+                        Err(_) => (SimDuration::from_us(50.0), false),
+                    };
+                    out.total += exec;
+                    out.ops.push(OpOutcome {
+                        id: rule.id,
+                        exec,
+                        completed_at: out.total,
+                        violated,
+                    });
+                }
+                i = run_end;
+            } else {
+                let action = &actions[i];
+                let (exec, violated) = match self.switch.submit(action, now + out.total) {
+                    Ok(rep) => (rep.latency, rep.violated()),
+                    Err(_) => (SimDuration::from_us(50.0), false),
+                };
+                out.total += exec;
+                out.ops.push(OpOutcome {
+                    id: action.rule_id(),
+                    exec,
+                    completed_at: out.total,
+                    violated,
+                });
+                i += 1;
+            }
         }
         out
     }
@@ -347,6 +383,39 @@ mod tests {
         assert!(!out.violated);
         assert!(out.exec <= SimDuration::from_ms(5.0));
         assert_eq!(plane.occupancy(), 1);
+    }
+
+    #[test]
+    fn hermes_plane_batches_insert_runs() {
+        let mk = || {
+            HermesPlane::with_config(SwitchModel::pica8_p3290(), HermesConfig::default()).unwrap()
+        };
+        let actions: Vec<ControlAction> = (0..10)
+            .map(|i| ControlAction::Insert(rule(i, &format!("10.{i}.0.0/16"), 100 + i as u32)))
+            .collect();
+        let mut grouped = mk();
+        let out = grouped.apply_batch(&actions, SimTime::ZERO);
+        assert_eq!(out.ops.len(), 10);
+        for (op, action) in out.ops.iter().zip(&actions) {
+            assert_eq!(op.id, action.rule_id(), "submission order preserved");
+        }
+        for w in out.ops.windows(2) {
+            assert!(w[1].completed_at > w[0].completed_at);
+        }
+        assert_eq!(grouped.occupancy(), 10);
+        // The same actions one at a time pay ten handshakes.
+        let mut singly = mk();
+        let mut singly_total = SimDuration::ZERO;
+        for a in &actions {
+            singly_total += singly.apply(a, SimTime::ZERO + singly_total).exec;
+        }
+        assert!(
+            out.total < singly_total,
+            "batched run must be cheaper: {} vs {}",
+            out.total,
+            singly_total
+        );
+        assert_eq!(grouped.occupancy(), singly.occupancy());
     }
 
     #[test]

@@ -1,0 +1,153 @@
+//! Fixture tests for `scripts/perfgate.py` — the CI perf-regression gate.
+//!
+//! The gate compares only the `counters` object of each BENCH report,
+//! exact-match. These tests drive the script with synthetic fixtures to
+//! pin its verdicts: identical counters pass; a drifted value, a missing
+//! key, an untracked key, or a missing fresh report all fail.
+//!
+//! The script is python3 + stdlib; when the interpreter is absent the
+//! tests skip (printed to stderr) rather than fail, so `cargo test`
+//! stays green on bare build hosts. CI always has python3 (ci.sh uses it
+//! unconditionally), so the gate itself is still exercised there.
+
+#![forbid(unsafe_code)]
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn repo_root() -> PathBuf {
+    // crates/bench -> workspace root
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("INVARIANT: crate lives two levels below the workspace root")
+        .to_path_buf()
+}
+
+fn python3() -> Option<&'static str> {
+    if Command::new("python3").arg("--version").output().is_ok() {
+        Some("python3")
+    } else {
+        eprintln!("perfgate tests skipped: python3 not on PATH");
+        None
+    }
+}
+
+/// A minimal hermes-bench-report/1 document with the given counters.
+fn report(counters: &[(&str, u64)]) -> String {
+    let body: Vec<String> = counters
+        .iter()
+        .map(|(k, v)| format!("\"{k}\": {v}"))
+        .collect();
+    format!(
+        "{{\"schema\": \"hermes-bench-report/1\", \"experiment\": \"x\", \
+         \"counters\": {{{}}}}}",
+        body.join(", ")
+    )
+}
+
+struct Fixture {
+    dir: PathBuf,
+}
+
+impl Fixture {
+    fn new(name: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("hermes_perfgate_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(dir.join("base")).expect("INVARIANT: temp dir is writable");
+        std::fs::create_dir_all(dir.join("fresh")).expect("INVARIANT: temp dir is writable");
+        Fixture { dir }
+    }
+
+    fn write(&self, side: &str, file: &str, content: &str) {
+        std::fs::write(self.dir.join(side).join(file), content)
+            .expect("INVARIANT: temp dir is writable");
+    }
+
+    /// Runs the gate; returns (exit_code, stdout).
+    fn run(&self, py: &str) -> (i32, String) {
+        let root = repo_root();
+        let out = Command::new(py)
+            .arg(root.join("scripts/perfgate.py"))
+            .arg(self.dir.join("base"))
+            .arg(self.dir.join("fresh"))
+            .output()
+            .expect("INVARIANT: python3 probed on PATH before running fixtures");
+        (
+            out.status.code().unwrap_or(-1),
+            String::from_utf8_lossy(&out.stdout).into_owned(),
+        )
+    }
+}
+
+impl Drop for Fixture {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+#[test]
+fn matching_counters_pass() {
+    let Some(py) = python3() else { return };
+    let f = Fixture::new("pass");
+    let doc = report(&[("tcam.batch_shifts", 42), ("tcam.batch_ops", 7)]);
+    f.write("base", "BENCH_a.json", &doc);
+    f.write("fresh", "BENCH_a.json", &doc);
+    let (code, out) = f.run(py);
+    assert_eq!(code, 0, "identical counters must pass the gate:\n{out}");
+    assert!(out.contains("ok   BENCH_a.json"), "{out}");
+}
+
+#[test]
+fn drifted_counter_fails_with_delta() {
+    let Some(py) = python3() else { return };
+    let f = Fixture::new("drift");
+    f.write("base", "BENCH_a.json", &report(&[("tcam.batch_shifts", 42)]));
+    f.write("fresh", "BENCH_a.json", &report(&[("tcam.batch_shifts", 50)]));
+    let (code, out) = f.run(py);
+    assert_ne!(code, 0, "a drifted counter must fail the gate:\n{out}");
+    assert!(out.contains("DRIFT"), "verdict column names the drift:\n{out}");
+    assert!(out.contains("+8"), "delta column shows the regression:\n{out}");
+}
+
+#[test]
+fn missing_and_untracked_counters_fail() {
+    let Some(py) = python3() else { return };
+    let f = Fixture::new("keys");
+    f.write("base", "BENCH_a.json", &report(&[("a.x", 1), ("a.gone", 2)]));
+    f.write("fresh", "BENCH_a.json", &report(&[("a.x", 1), ("a.new", 3)]));
+    let (code, out) = f.run(py);
+    assert_ne!(code, 0, "key-set changes must fail the gate:\n{out}");
+    assert!(out.contains("MISSING"), "baseline-only key flagged:\n{out}");
+    assert!(out.contains("UNTRACKED"), "fresh-only key flagged:\n{out}");
+}
+
+#[test]
+fn missing_fresh_report_fails() {
+    let Some(py) = python3() else { return };
+    let f = Fixture::new("nofresh");
+    f.write("base", "BENCH_a.json", &report(&[("a.x", 1)]));
+    let (code, out) = f.run(py);
+    assert_ne!(code, 0, "an unproduced report must fail the gate:\n{out}");
+    assert!(out.contains("fresh report not produced"), "{out}");
+}
+
+#[test]
+fn committed_baselines_are_wellformed() {
+    let Some(py) = python3() else { return };
+    // The real committed baselines gate CI; running them against
+    // themselves must pass (guards against hand-edited/corrupt files).
+    let root = repo_root();
+    let baselines = root.join("bench_baselines");
+    let out = Command::new(py)
+        .arg(root.join("scripts/perfgate.py"))
+        .arg(&baselines)
+        .arg(&baselines)
+        .output()
+        .expect("INVARIANT: python3 probed on PATH before running fixtures");
+    assert!(
+        out.status.success(),
+        "committed baselines must self-compare clean:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}

@@ -118,6 +118,10 @@ pub struct HermesConfig {
     /// Consecutive retry-exhausted device ops before the Gate Keeper
     /// enters degraded mode and queues admissions.
     pub degraded_threshold: u32,
+    /// Drain the shadow table in one planned device transaction per slice
+    /// (batched control channel: one handshake, one coalesced shift plan).
+    /// Disable for the legacy per-rule migration path (ablation).
+    pub batched_migration: bool,
 }
 
 impl Default for HermesConfig {
@@ -134,6 +138,7 @@ impl Default for HermesConfig {
             low_priority_bypass: true,
             retry: RetryPolicy::default(),
             degraded_threshold: 2,
+            batched_migration: true,
         }
     }
 }

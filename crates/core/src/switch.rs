@@ -36,8 +36,8 @@ use crate::recovery::{AuditReport, RecoveryState, RecoveryStats};
 use hermes_rules::overlap::OverlapIndex;
 use hermes_rules::prelude::*;
 use hermes_tcam::{
-    FaultPlan, FaultStats, LookupResult, MissBehavior, OpReport, SimDuration, SimTime, SwitchModel,
-    TcamDevice, TcamError,
+    BatchOpReport, FaultPlan, FaultStats, LookupResult, MissBehavior, OpReport, SimDuration,
+    SimTime, SwitchModel, TcamDevice, TcamError, TcamOp,
 };
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -186,6 +186,20 @@ struct ShadowEntry {
     pieces: Vec<(RuleId, TernaryKey)>,
     /// Main rules it was cut against.
     cut_against: Vec<RuleId>,
+}
+
+/// A shadow-bound rule whose pieces have been planned (physical ids
+/// allocated, keys cut) but not yet written — the unit of work the batched
+/// admission path accumulates between device transactions.
+#[derive(Clone, Debug)]
+struct PlannedShadow {
+    /// Position in the submitted batch (indexes the results vector).
+    idx: usize,
+    rule: Rule,
+    pieces: Vec<(RuleId, TernaryKey)>,
+    cut_against: Vec<RuleId>,
+    intact: bool,
+    guaranteed: bool,
 }
 
 /// The Hermes agent for one switch.
@@ -468,6 +482,40 @@ impl HermesSwitch {
                 }
                 // State errors (full / not-found / duplicate): retrying
                 // cannot change the answer.
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// One batched device transaction with retry, mirroring
+    /// [`dev_apply`](Self::dev_apply): transient failures back off
+    /// exponentially up to the policy's attempt budget, with the backoff
+    /// charged into the returned report's latency. The device batch is
+    /// atomic — a rejected transaction applied nothing — so retrying the
+    /// identical op sequence is always safe.
+    fn dev_apply_batch(&mut self, slice: usize, ops: &[TcamOp]) -> Result<BatchOpReport, TcamError> {
+        let mut penalty = SimDuration::ZERO;
+        let mut attempt = 1u32;
+        loop {
+            match self.device.apply_batch(slice, ops) {
+                Ok(mut rep) => {
+                    self.recovery.on_success(self.clock);
+                    rep.latency += penalty;
+                    return Ok(rep);
+                }
+                Err(e) if e.is_transient() => {
+                    self.recovery.stats.transient_failures += 1;
+                    if attempt >= self.recovery.policy.max_attempts {
+                        self.recovery.on_permanent_failure(self.clock);
+                        return Err(e);
+                    }
+                    self.recovery.stats.retries += 1;
+                    penalty += self.recovery.backoff(attempt);
+                    attempt += 1;
+                }
+                // Validation errors (full / not-found / duplicate): the
+                // answer cannot change on retry; the caller picks the
+                // fallback (per-op path or abort).
                 Err(e) => return Err(e),
             }
         }
@@ -785,6 +833,300 @@ impl HermesSwitch {
                 violated,
             },
         })
+    }
+
+    /// Inserts a whole slice of rules as a batched control-plane pipeline:
+    /// one Gate Keeper admission pass over the slice, then every run of
+    /// consecutive shadow-bound rules pushed through a *single* device
+    /// transaction (one handshake, one coalesced shift plan). Returns one
+    /// outcome per rule, in submission order.
+    ///
+    /// Semantics match [`insert`](Self::insert) called once per rule, with
+    /// two documented deviations inherent to batching:
+    ///
+    /// * the token bucket and low-priority bypass see the batch's single
+    ///   arrival instant and a pre-batch `lowest_live_priority` snapshot
+    ///   (see [`GateKeeper::admit_batch`]);
+    /// * the shared transaction's latency is split evenly across the
+    ///   batch's shadow-bound rules, and the migration trigger is
+    ///   evaluated once after the batch rather than after every rule.
+    ///
+    /// Correctness is *not* relaxed: a rule routed to the main table mid-
+    /// batch first flushes the pending shadow transaction, so the Fig. 6
+    /// re-cut always runs against fully installed pieces and the
+    /// shadow-first lookup invariant holds at every device-op boundary.
+    pub fn admit_batch(
+        &mut self,
+        rules: &[Rule],
+        now: SimTime,
+    ) -> Vec<Result<ActionReport, HermesError>> {
+        self.clock = self.clock.max(now);
+        let mut results: Vec<Option<Result<ActionReport, HermesError>>> =
+            (0..rules.len()).map(|_| None).collect();
+
+        // Phase 0: validation and degraded-mode deferral, in order.
+        let mut admitted: Vec<(usize, Rule)> = Vec::new();
+        let mut seen: BTreeSet<RuleId> = BTreeSet::new();
+        for (i, rule) in rules.iter().enumerate() {
+            if rule.id.0 >= PHYS_BASE {
+                results[i] = Some(Err(HermesError::IdOutOfRange(rule.id)));
+                continue;
+            }
+            if self.contains(rule.id) || !seen.insert(rule.id) {
+                results[i] = Some(Err(HermesError::Duplicate(rule.id)));
+                continue;
+            }
+            if self.recovery.is_degraded() {
+                let guaranteed = self.gate.qualifies(rule);
+                self.recovery.defer(*rule);
+                Route::Deferred.record();
+                results[i] = Some(Ok(ActionReport {
+                    latency: SimDuration::from_us(10.0),
+                    detail: ReportDetail::Insert {
+                        route: Route::Deferred,
+                        pieces: 0,
+                        guaranteed,
+                        violated: false,
+                    },
+                }));
+                continue;
+            }
+            admitted.push((i, *rule));
+        }
+
+        // Phase 1: one Gate Keeper pass over the admitted slice.
+        let lowest = self.lowest_live_priority();
+        let admitted_rules: Vec<Rule> = admitted.iter().map(|(_, r)| *r).collect();
+        let routes = self.gate.admit_batch(&admitted_rules, now, lowest);
+
+        // Phase 2: route each rule, accumulating consecutive shadow-bound
+        // installs into one pending transaction. Any main-table landing
+        // flushes the pending batch first (see the doc comment).
+        let mut pending: Vec<PlannedShadow> = Vec::new();
+        let mut pending_ops: Vec<TcamOp> = Vec::new();
+        let mut pending_pieces = 0usize;
+        for ((idx, rule), route) in admitted.into_iter().zip(routes) {
+            self.stats.inserts += 1;
+            self.manager.record_arrival();
+            let guaranteed = self.gate.qualifies(&rule);
+            if let Some(route) = route {
+                self.flush_shadow_batch(&mut pending, &mut pending_ops, &mut results);
+                pending_pieces = 0;
+                results[idx] = Some(self.insert_to_main(rule, route, guaranteed));
+                continue;
+            }
+            let limit = self.config.max_partitions;
+            let outcome = match partition_new_rule_bounded(&rule, &self.main_index, limit) {
+                Ok(o) => o,
+                Err(_) => {
+                    self.flush_shadow_batch(&mut pending, &mut pending_ops, &mut results);
+                    pending_pieces = 0;
+                    results[idx] =
+                        Some(self.insert_to_main(rule, Route::MainTooFragmented, guaranteed));
+                    continue;
+                }
+            };
+            // Capacity and guarantee estimates must count the pieces
+            // already planned but not yet written.
+            let shadow_free = self
+                .device
+                .slice(SHADOW)
+                .table
+                .free()
+                .saturating_sub(pending_pieces);
+            let mut route = self.gate.post_route(outcome.pieces.len(), shadow_free);
+            if route == Route::Shadow && outcome.pieces.len() > 1 {
+                let mut est = SimDuration::ZERO;
+                let occ = self.shadow_len() + pending_pieces;
+                for j in 0..outcome.pieces.len() {
+                    est += self.device.model().worst_insert_latency(occ + j);
+                }
+                if est > self.config.guarantee {
+                    route = Route::MainTooFragmented;
+                }
+            }
+            match route {
+                Route::Redundant => {
+                    // Installs nothing (Fig. 5(a)) — pure bookkeeping, no
+                    // flush needed.
+                    self.stats.redundant_inserts += 1;
+                    let entry = ShadowEntry {
+                        original: rule,
+                        pieces: Vec::new(),
+                        cut_against: outcome.cut_against.clone(),
+                    };
+                    self.register_blockers(rule.id, &outcome.cut_against);
+                    self.shadow.insert(rule.id, entry);
+                    self.shadow_order.push(rule.id);
+                    self.prio_add(rule.priority);
+                    Route::Redundant.record();
+                    results[idx] = Some(Ok(ActionReport {
+                        latency: SimDuration::from_us(10.0),
+                        detail: ReportDetail::Insert {
+                            route: Route::Redundant,
+                            pieces: 0,
+                            guaranteed,
+                            violated: false,
+                        },
+                    }));
+                }
+                Route::Shadow => {
+                    let intact = outcome.is_intact(&rule.key);
+                    let mut piece_ids = Vec::with_capacity(outcome.pieces.len());
+                    for key in &outcome.pieces {
+                        let pid = self.alloc_phys();
+                        piece_ids.push((pid, *key));
+                        pending_ops.push(TcamOp::Insert(Rule {
+                            id: pid,
+                            key: *key,
+                            ..rule
+                        }));
+                    }
+                    pending_pieces += piece_ids.len();
+                    pending.push(PlannedShadow {
+                        idx,
+                        rule,
+                        pieces: piece_ids,
+                        cut_against: outcome.cut_against,
+                        intact,
+                        guaranteed,
+                    });
+                }
+                other => {
+                    self.flush_shadow_batch(&mut pending, &mut pending_ops, &mut results);
+                    pending_pieces = 0;
+                    results[idx] = Some(self.insert_to_main(rule, other, guaranteed));
+                }
+            }
+        }
+        self.flush_shadow_batch(&mut pending, &mut pending_ops, &mut results);
+
+        // Phase 3: one migration-trigger check for the whole batch (the
+        // per-insert check of `insert_live`, amortized).
+        let emergency = matches!(self.config.trigger, MigrationTrigger::Predictive { .. })
+            && self.shadow_len() as f64 >= 0.9 * self.shadow_capacity() as f64;
+        if (self
+            .manager
+            .wants_migration_inline(self.shadow_len(), self.shadow_capacity())
+            || emergency)
+            && !self.manager.is_busy(now)
+        {
+            self.migrate(now);
+        }
+        results
+            .into_iter()
+            .map(|r| {
+                r.expect("INVARIANT: every submitted rule is resolved by one admit_batch phase")
+            })
+            .collect()
+    }
+
+    /// Writes one pending shadow transaction and completes each planned
+    /// rule's bookkeeping. The shared handshake's latency is split evenly
+    /// across the batch; if the transaction is rejected whole, each rule
+    /// falls back to its own per-piece install so one unplaceable rule
+    /// cannot sink its batch-mates.
+    fn flush_shadow_batch(
+        &mut self,
+        pending: &mut Vec<PlannedShadow>,
+        ops: &mut Vec<TcamOp>,
+        results: &mut [Option<Result<ActionReport, HermesError>>],
+    ) {
+        if pending.is_empty() {
+            return;
+        }
+        let planned = std::mem::take(pending);
+        let ops = std::mem::take(ops);
+        match self.dev_apply_batch(SHADOW, &ops) {
+            Ok(rep) => {
+                let share = rep.latency.mul_f64(1.0 / planned.len() as f64);
+                for p in planned {
+                    let idx = p.idx;
+                    results[idx] = Some(self.commit_shadow_rule(p, share));
+                }
+            }
+            Err(_) => {
+                for p in planned {
+                    let idx = p.idx;
+                    results[idx] = Some(self.install_shadow_rule_singly(p));
+                }
+            }
+        }
+    }
+
+    /// Bookkeeping for one shadow rule whose pieces are physically
+    /// installed (shared by the batched and per-op fallback paths).
+    fn commit_shadow_rule(
+        &mut self,
+        p: PlannedShadow,
+        latency: SimDuration,
+    ) -> Result<ActionReport, HermesError> {
+        self.stats.shadow_inserts += 1;
+        self.stats.pieces_written += p.pieces.len() as u64;
+        if !p.intact {
+            self.stats.rules_cut += 1;
+        }
+        let violated = p.guaranteed && latency > self.config.guarantee;
+        if violated {
+            self.stats.violations += 1;
+        }
+        let pieces = p.pieces.len();
+        let entry = ShadowEntry {
+            original: p.rule,
+            pieces: p.pieces,
+            cut_against: p.cut_against.clone(),
+        };
+        self.register_blockers(p.rule.id, &p.cut_against);
+        self.shadow.insert(p.rule.id, entry);
+        self.shadow_order.push(p.rule.id);
+        self.prio_add(p.rule.priority);
+        Route::Shadow.record();
+        hermes_telemetry::observe("gatekeeper.shadow_insert_ns", latency.as_nanos());
+        Ok(ActionReport {
+            latency,
+            detail: ReportDetail::Insert {
+                route: Route::Shadow,
+                pieces,
+                guaranteed: p.guaranteed,
+                violated,
+            },
+        })
+    }
+
+    /// Per-op fallback for one planned shadow rule (reusing its allocated
+    /// physical ids): install each piece individually, rolling back the
+    /// partial transaction on failure — a replica of the `insert_live`
+    /// shadow arm.
+    fn install_shadow_rule_singly(
+        &mut self,
+        p: PlannedShadow,
+    ) -> Result<ActionReport, HermesError> {
+        let mut latency = SimDuration::ZERO;
+        let mut installed: Vec<(RuleId, TernaryKey)> = Vec::with_capacity(p.pieces.len());
+        for (pid, key) in &p.pieces {
+            let phys = Rule {
+                id: *pid,
+                key: *key,
+                ..p.rule
+            };
+            match self.dev_apply(SHADOW, &ControlAction::Insert(phys)) {
+                Ok(rep) => {
+                    latency += rep.latency;
+                    installed.push((*pid, *key));
+                }
+                Err(e) => {
+                    for (pid, _) in &installed {
+                        self.dev_delete_or_journal(SHADOW, *pid);
+                    }
+                    self.recovery.stats.rollbacks += 1;
+                    return Err(match e {
+                        TcamError::Full => HermesError::DeviceFull,
+                        e => HermesError::Device(e),
+                    });
+                }
+            }
+        }
+        self.commit_shadow_rule(p, latency)
     }
 
     /// Narrows every shadow-resident rule of *strictly lower* priority
@@ -1227,6 +1569,91 @@ impl HermesSwitch {
     /// order so remaining (higher-priority) shadow rules never need
     /// re-cutting mid-flight.
     pub fn migrate(&mut self, now: SimTime) -> MigrationReport {
+        if self.config.batched_migration {
+            self.migrate_batched(now)
+        } else {
+            self.migrate_per_rule(now)
+        }
+    }
+
+    /// The batched migration pass: the whole shadow drain planned up front
+    /// ([`RuleManager::plan_migration_batch`]) and pushed through two
+    /// device transactions — one main-table insert batch (step 3 for every
+    /// rule at once, make-before-break held batch-wise), then one shadow
+    /// piece-delete batch (step 4). Falls back to the per-rule path when
+    /// the insert batch cannot apply atomically (main table full, or a
+    /// stale duplicate needing per-rule self-healing), and aborts the pass
+    /// wholesale on a transient channel failure — the rejected batch moved
+    /// nothing, so the cut invariant is untouched.
+    fn migrate_batched(&mut self, now: SimTime) -> MigrationReport {
+        let mut report = MigrationReport::default();
+        if self.shadow_order.is_empty() {
+            return report;
+        }
+        let items: Vec<(Rule, Vec<RuleId>)> = self
+            .shadow_order
+            .iter()
+            .map(|id| {
+                let e = &self.shadow[id];
+                (e.original, e.pieces.iter().map(|(pid, _)| *pid).collect())
+            })
+            .collect();
+        let plan = self.manager.plan_migration_batch(&items);
+        let insert_ops: Vec<TcamOp> = plan.inserts.iter().copied().map(TcamOp::Insert).collect();
+        match self.dev_apply_batch(MAIN, &insert_ops) {
+            Ok(rep) => {
+                report.duration += rep.latency;
+                report.entries_written += rep.report.inserts;
+            }
+            // Main full or a stale duplicate: the batch rejects whole, but
+            // the per-rule path can still make partial progress (and
+            // self-heal stale duplicates) — retarget the pass there.
+            Err(TcamError::Full) | Err(TcamError::Duplicate(_)) => {
+                return self.migrate_per_rule(now);
+            }
+            // Channel dead even after retries: abort the whole pass. The
+            // atomic batch applied nothing, so every rule simply stays in
+            // the shadow — make-before-break means nothing was broken.
+            Err(_) => return self.finish_migration(now, report),
+        }
+        for id in &plan.order {
+            let Some(entry) = self.shadow.remove(id) else {
+                continue;
+            };
+            self.main_index.insert(entry.original);
+            self.unregister_blockers(*id, &entry.cut_against);
+            report.entries_saved += entry.pieces.len().saturating_sub(1);
+            report.rules_migrated += 1;
+        }
+        self.shadow_order.clear();
+        let delete_ops: Vec<TcamOp> = plan
+            .piece_deletes
+            .iter()
+            .copied()
+            .map(TcamOp::Delete)
+            .collect();
+        match self.dev_apply_batch(SHADOW, &delete_ops) {
+            Ok(rep) => {
+                report.duration += rep.latency;
+                report.pieces_deleted += rep.report.deletes;
+            }
+            // The delete batch rejects whole on its first bad op (e.g. a
+            // silently-dropped piece surfacing as NotFound): release each
+            // piece individually instead, where NotFound is success and a
+            // channel refusal journals the delete for idempotent replay.
+            Err(_) => {
+                for pid in &plan.piece_deletes {
+                    report.duration += self.dev_delete_or_journal(SHADOW, *pid);
+                    report.pieces_deleted += 1;
+                }
+            }
+        }
+        self.finish_migration(now, report)
+    }
+
+    /// The legacy one-op-per-rule migration pass (ablation baseline, and
+    /// the fallback when a batched pass cannot apply atomically).
+    fn migrate_per_rule(&mut self, now: SimTime) -> MigrationReport {
         let mut report = MigrationReport::default();
         if self.shadow_order.is_empty() {
             return report;
@@ -1271,6 +1698,12 @@ impl HermesSwitch {
             self.shadow_order.retain(|r| *r != id);
             report.rules_migrated += 1;
         }
+        self.finish_migration(now, report)
+    }
+
+    /// Shared migration epilogue: pause accounting, the busy window, stats
+    /// and telemetry.
+    fn finish_migration(&mut self, now: SimTime, mut report: MigrationReport) -> MigrationReport {
         if self.config.mode == MigrationMode::PauseAndSwap {
             report.pipeline_paused = report.duration;
         }
@@ -1380,7 +1813,7 @@ impl HermesSwitch {
         expected: &BTreeMap<RuleId, Rule>,
         report: &mut AuditReport,
     ) -> Vec<RuleId> {
-        let actual: Vec<Rule> = self.device.slice(slice).table.entries().to_vec();
+        let actual: Vec<Rule> = self.device.slice(slice).table.entries();
         let mut healthy: BTreeSet<RuleId> = BTreeSet::new();
         // Pass 1: orphans and drifted entries.
         for dev_rule in &actual {

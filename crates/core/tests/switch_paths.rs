@@ -254,6 +254,142 @@ fn priority_change_preserves_logical_identity_and_semantics() {
 }
 
 #[test]
+fn admit_batch_matches_sequential_inserts() {
+    let mut batched = switch();
+    let mut seq = switch();
+    let now = SimTime::ZERO;
+    // A main-resident blocker so one batch member gets cut.
+    for sw in [&mut batched, &mut seq] {
+        sw.insert(rule(1, "10.0.0.0/26", 50, 1), now).unwrap();
+        sw.migrate(now);
+    }
+    let batch = vec![
+        rule(2, "10.0.0.0/24", 5, 2), // cut against rule 1
+        rule(3, "11.0.0.0/8", 6, 3),  // intact
+        rule(4, "12.0.0.0/8", 7, 4),  // intact
+    ];
+    let breps = batched.admit_batch(&batch, now);
+    let sreps: Vec<_> = batch.iter().map(|r| seq.insert(*r, now)).collect();
+    let mut btotal = SimDuration::ZERO;
+    let mut stotal = SimDuration::ZERO;
+    for (b, s) in breps.iter().zip(&sreps) {
+        let b = b.as_ref().unwrap();
+        let s = s.as_ref().unwrap();
+        assert_eq!(b.route(), s.route(), "routes diverge");
+        btotal += b.latency;
+        stotal += s.latency;
+    }
+    assert!(
+        btotal < stotal,
+        "batch must amortize the handshake: {btotal} vs {stotal}"
+    );
+    assert_eq!(batched.logical_len(), seq.logical_len());
+    assert_eq!(batched.shadow_len(), seq.shadow_len());
+    assert_eq!(batched.main_len(), seq.main_len());
+    for addr in ["10.0.0.5", "10.0.0.200", "11.1.2.3", "12.1.2.3", "9.9.9.9"] {
+        assert_eq!(
+            batched.peek(pkt(addr)).rule().map(|r| (r.id, r.action)),
+            seq.peek(pkt(addr)).rule().map(|r| (r.id, r.action)),
+            "lookup diverged at {addr}"
+        );
+    }
+}
+
+#[test]
+fn admit_batch_validates_per_slot() {
+    let mut sw = switch();
+    let now = SimTime::ZERO;
+    sw.insert(rule(1, "10.0.0.0/8", 5, 1), now).unwrap();
+    let batch = vec![
+        rule(1, "11.0.0.0/8", 5, 1),       // already installed
+        rule(2, "12.0.0.0/8", 6, 1),       // fine
+        rule(2, "13.0.0.0/8", 7, 1),       // intra-batch duplicate
+        rule(1 << 62, "14.0.0.0/8", 8, 1), // id out of the logical range
+    ];
+    let reps = sw.admit_batch(&batch, now);
+    assert_eq!(reps[0], Err(HermesError::Duplicate(RuleId(1))));
+    assert!(reps[1].is_ok());
+    assert_eq!(reps[2], Err(HermesError::Duplicate(RuleId(2))));
+    assert!(matches!(reps[3], Err(HermesError::IdOutOfRange(_))));
+    assert_eq!(sw.logical_len(), 2);
+}
+
+#[test]
+fn admit_batch_flushes_before_main_landings() {
+    // A mid-batch rule routed to the main table must see the earlier
+    // shadow-bound rules fully installed (the Fig. 6 re-cut depends on
+    // it). MainUnmatched via a narrowed predicate provides the divert.
+    let mut sw = switch();
+    sw.set_predicate(RulePredicate::DstWithin("10.0.0.0/8".parse().unwrap()));
+    let now = SimTime::ZERO;
+    let batch = vec![
+        rule(1, "10.1.0.0/24", 5, 1),  // shadow-bound
+        rule(2, "10.1.0.0/26", 50, 2), // shadow-bound, higher priority
+        rule(3, "42.0.0.0/8", 99, 3),  // unmatched → main, flushes first
+        rule(4, "10.2.0.0/16", 7, 4),  // second shadow transaction
+    ];
+    let reps = sw.admit_batch(&batch, now);
+    assert_eq!(reps[0].as_ref().unwrap().route(), Some(Route::Shadow));
+    assert_eq!(reps[2].as_ref().unwrap().route(), Some(Route::MainUnmatched));
+    assert_eq!(reps[3].as_ref().unwrap().route(), Some(Route::Shadow));
+    assert_eq!(sw.logical_len(), 4);
+    // Overlap region answers with the higher-priority rule 2.
+    assert_eq!(sw.peek(pkt("10.1.0.5")).rule().unwrap().id, RuleId(2));
+    assert_eq!(sw.peek(pkt("10.1.0.200")).rule().unwrap().id, RuleId(1));
+    assert_eq!(sw.peek(pkt("42.1.2.3")).rule().unwrap().id, RuleId(3));
+}
+
+#[test]
+fn batched_migration_matches_per_rule_pass() {
+    let mk = |batched: bool| {
+        let config = HermesConfig {
+            rate_limit: Some(f64::INFINITY),
+            low_priority_bypass: false,
+            batched_migration: batched,
+            ..Default::default()
+        };
+        HermesSwitch::new(SwitchModel::pica8_p3290(), config).unwrap()
+    };
+    let mut fast = mk(true);
+    let mut slow = mk(false);
+    let now = SimTime::ZERO;
+    for sw in [&mut fast, &mut slow] {
+        // A blocker in main, then a spread of shadow residents (one cut).
+        sw.insert(rule(1, "10.0.0.0/26", 50, 1), now).unwrap();
+        sw.migrate(now);
+        sw.insert(rule(2, "10.0.0.0/24", 5, 2), now).unwrap();
+        for i in 0..6u64 {
+            sw.insert(
+                rule(10 + i, &format!("2{i}.0.0.0/8"), 20 + i as u32, 3),
+                now,
+            )
+            .unwrap();
+        }
+    }
+    let frep = fast.migrate(now);
+    let srep = slow.migrate(now);
+    assert_eq!(frep.rules_migrated, srep.rules_migrated);
+    assert_eq!(frep.entries_written, srep.entries_written);
+    assert_eq!(frep.pieces_deleted, srep.pieces_deleted);
+    assert_eq!(frep.entries_saved, srep.entries_saved);
+    assert!(
+        frep.duration < srep.duration,
+        "batched drain must amortize the handshake: {} vs {}",
+        frep.duration,
+        srep.duration
+    );
+    assert_eq!(fast.shadow_len(), 0);
+    assert_eq!(fast.main_len(), slow.main_len());
+    for addr in ["10.0.0.5", "10.0.0.200", "20.1.2.3", "25.1.2.3", "9.9.9.9"] {
+        assert_eq!(
+            fast.peek(pkt(addr)).rule().map(|r| (r.id, r.action)),
+            slow.peek(pkt(addr)).rule().map(|r| (r.id, r.action)),
+            "lookup diverged at {addr}"
+        );
+    }
+}
+
+#[test]
 fn migration_report_accounts_for_optimization() {
     let mut sw = switch();
     let now = SimTime::ZERO;

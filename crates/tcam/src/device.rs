@@ -13,7 +13,7 @@
 
 use crate::fault::{FaultDecision, FaultPlan, FaultStats};
 use crate::perf::SwitchModel;
-use crate::table::{OpShifts, TcamError, TcamTable};
+use crate::table::{BatchReport, OpShifts, TcamError, TcamOp, TcamTable};
 use crate::time::SimDuration;
 use hermes_rules::prelude::*;
 
@@ -52,6 +52,17 @@ pub struct OpReport {
     /// Slice occupancy before the action.
     pub occupancy_before: usize,
     /// Which slice the action was applied to.
+    pub slice: usize,
+}
+
+/// Outcome of one batched control-plane transaction against a device.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BatchOpReport {
+    /// Simulated latency charged for the whole transaction (one handshake).
+    pub latency: SimDuration,
+    /// The table-level accounting (coalesced shifts, per-kind tallies).
+    pub report: BatchReport,
+    /// Which slice the transaction was applied to.
     pub slice: usize,
 }
 
@@ -309,6 +320,113 @@ impl TcamDevice {
         })
     }
 
+    /// Applies a whole [`TcamOp`] sequence to a slice as one control-plane
+    /// transaction: one driver/ASIC handshake, one coalesced shift plan,
+    /// one fault decision. The batch is atomic — a validation error (or an
+    /// injected channel fault) leaves the slice untouched.
+    ///
+    /// Under an installed [`FaultPlan`] the whole transaction is subject
+    /// to a *single* fault decision: a transient failure rejects the batch,
+    /// a latency spike multiplies the batch latency, and a silent drop acks
+    /// the batch with a plausible latency while applying none of it (the
+    /// audit/reconcile sweep is what eventually heals that, same as for
+    /// single ops).
+    pub fn apply_batch(
+        &mut self,
+        slice: usize,
+        ops: &[TcamOp],
+    ) -> Result<BatchOpReport, TcamError> {
+        if ops.is_empty() {
+            return Ok(BatchOpReport {
+                latency: SimDuration::ZERO,
+                report: BatchReport {
+                    occupancy_before: self.slices[slice].table.len(),
+                    ..BatchReport::default()
+                },
+                slice,
+            });
+        }
+        let mut spike = 1.0;
+        if let Some(plan) = self.fault.as_mut() {
+            let any_insert = ops.iter().any(|o| matches!(o, TcamOp::Insert(_)));
+            let any_delete = ops.iter().any(|o| matches!(o, TcamOp::Delete(_)));
+            match plan.decide(any_insert, any_delete) {
+                FaultDecision::Normal => {}
+                FaultDecision::Fail => {
+                    hermes_telemetry::counter("tcam.fault_fail", 1);
+                    return Err(TcamError::ChannelBusy);
+                }
+                FaultDecision::Outage => {
+                    hermes_telemetry::counter("tcam.fault_outage", 1);
+                    return Err(TcamError::Outage);
+                }
+                FaultDecision::Spike(m) => {
+                    hermes_telemetry::counter("tcam.fault_spike", 1);
+                    spike = m;
+                }
+                FaultDecision::SilentDrop => {
+                    hermes_telemetry::counter("tcam.fault_silent_drop", 1);
+                    // Ack the whole batch plausibly, apply nothing.
+                    let occupancy_before = self.slices[slice].table.len();
+                    let (mut ins, mut del, mut modi) = (0usize, 0usize, 0usize);
+                    for op in ops {
+                        match op {
+                            TcamOp::Insert(_) => ins += 1,
+                            TcamOp::Delete(_) => del += 1,
+                            TcamOp::ModifyAction { .. } | TcamOp::ModifyKey { .. } => modi += 1,
+                        }
+                    }
+                    let latency = self
+                        .model
+                        .batch_latency(occupancy_before, 0, ins, del, modi);
+                    self.slices[slice].busy += latency;
+                    return Ok(BatchOpReport {
+                        latency,
+                        report: BatchReport {
+                            inserts: ins,
+                            deletes: del,
+                            modifies: modi,
+                            occupancy_before,
+                            ..BatchReport::default()
+                        },
+                        slice,
+                    });
+                }
+            }
+        }
+        let report = self.slices[slice].table.apply_batch(ops)?;
+        let latency = self.model.batch_latency(
+            report.occupancy_before,
+            report.shifts,
+            report.inserts,
+            report.deletes,
+            report.modifies,
+        );
+        let latency = if spike != 1.0 {
+            latency.mul_f64(spike)
+        } else {
+            latency
+        };
+        self.slices[slice].busy += latency;
+        if hermes_telemetry::enabled() {
+            hermes_telemetry::counter("tcam.ops", ops.len() as u64);
+            hermes_telemetry::counter("tcam.shifts", report.shifts as u64);
+            hermes_telemetry::counter("tcam.batch_ops", 1);
+            hermes_telemetry::counter("tcam.batch_entries", ops.len() as u64);
+            hermes_telemetry::counter("tcam.batch_shifts", report.shifts as u64);
+            hermes_telemetry::counter(
+                "tcam.batch_saved_shifts",
+                report.naive_shifts.saturating_sub(report.shifts) as u64,
+            );
+            hermes_telemetry::observe("tcam.batch_ns", latency.as_nanos());
+        }
+        Ok(BatchOpReport {
+            latency,
+            report,
+            slice,
+        })
+    }
+
     /// Packet lookup through the slice pipeline.
     pub fn lookup(&mut self, packet: u128) -> LookupResult {
         for i in 0..self.slices.len() {
@@ -514,6 +632,58 @@ mod tests {
         assert_eq!(rep.shifts, 49);
         assert_eq!(dev.slice(0).table.entries()[0].id, RuleId(49));
         assert!(rep.latency > dev.model().delete);
+    }
+
+    #[test]
+    fn batched_apply_amortizes_handshake() {
+        let mut dev = TcamDevice::monolithic(SwitchModel::pica8_p3290());
+        for i in 0..100u64 {
+            dev.apply(
+                0,
+                &ControlAction::Insert(rule(i, "10.0.0.0/8", 1000 - i as u32, 1)),
+            )
+            .unwrap();
+        }
+        let ops: Vec<TcamOp> = (0..10u64)
+            .map(|i| TcamOp::Insert(rule(500 + i, "10.0.0.0/8", 5000 + i as u32, 1)))
+            .collect();
+        // Cost the same inserts singly against a copy of the device.
+        let mut singly_dev = dev.clone();
+        let mut singly = SimDuration::ZERO;
+        for op in &ops {
+            if let TcamOp::Insert(r) = op {
+                singly += singly_dev.apply(0, &ControlAction::Insert(*r)).unwrap().latency;
+            }
+        }
+        let rep = dev.apply_batch(0, &ops).unwrap();
+        assert_eq!(rep.report.inserts, 10);
+        assert!(rep.latency < singly, "{} not < {}", rep.latency, singly);
+        assert_eq!(
+            dev.slice(0).table.entries(),
+            singly_dev.slice(0).table.entries(),
+            "batched and per-op paths must converge on the same table"
+        );
+    }
+
+    #[test]
+    fn batched_apply_is_atomic_on_error() {
+        let mut dev = TcamDevice::monolithic(SwitchModel::pica8_p3290());
+        dev.apply(0, &ControlAction::Insert(rule(1, "10.0.0.0/8", 5, 1)))
+            .unwrap();
+        let busy_before = dev.slice(0).busy;
+        let ops = vec![
+            TcamOp::Insert(rule(2, "11.0.0.0/8", 6, 1)),
+            TcamOp::Delete(RuleId(77)),
+        ];
+        assert_eq!(
+            dev.apply_batch(0, &ops),
+            Err(TcamError::NotFound(RuleId(77)))
+        );
+        assert_eq!(dev.slice(0).table.len(), 1);
+        assert_eq!(dev.slice(0).busy, busy_before, "failed batch charges nothing");
+        // Empty batch is a free no-op.
+        let rep = dev.apply_batch(0, &[]).unwrap();
+        assert_eq!(rep.latency, SimDuration::ZERO);
     }
 
     #[test]

@@ -34,8 +34,8 @@ pub mod perf;
 pub mod table;
 pub mod time;
 
-pub use device::{LookupResult, MissBehavior, OpReport, Slice, TcamDevice};
+pub use device::{BatchOpReport, LookupResult, MissBehavior, OpReport, Slice, TcamDevice};
 pub use fault::{FaultDecision, FaultPlan, FaultStats};
 pub use perf::SwitchModel;
-pub use table::{PlacementStrategy, TableStats, TcamError, TcamTable};
+pub use table::{BatchReport, PlacementStrategy, TableStats, TcamError, TcamOp, TcamTable};
 pub use time::{SimDuration, SimTime};

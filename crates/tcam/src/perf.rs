@@ -213,6 +213,30 @@ impl SwitchModel {
         Some(((budget / per).floor() as usize).min(self.capacity))
     }
 
+    /// Latency of a *batched* control-plane transaction: one driver/ASIC
+    /// handshake (`base`) amortized over the whole batch, plus the
+    /// coalesced shift work and the per-entry write costs. This is where
+    /// batching wins — `k` single ops pay `k·base`, a batch pays it once.
+    pub fn batch_latency(
+        &self,
+        occupancy_before: usize,
+        shifts: usize,
+        inserts: usize,
+        deletes: usize,
+        modifies: usize,
+    ) -> SimDuration {
+        let mut t = self.base;
+        if shifts > 0 {
+            t += self.per_shift_cost(occupancy_before).mul_f64(shifts as f64);
+        }
+        // Each written entry still costs a word write: model inserts as
+        // modify-priced writes (the shift work is billed separately).
+        t += self.modify.mul_f64(inserts as f64);
+        t += self.delete.mul_f64(deletes as f64);
+        t += self.modify.mul_f64(modifies as f64);
+        t
+    }
+
     /// Mean sustainable update rate at the given occupancy (inverse of
     /// [`mean_update_latency`](Self::mean_update_latency)), in updates/s.
     pub fn update_rate(&self, occupancy: usize) -> f64 {
@@ -326,6 +350,24 @@ mod tests {
         let m = SwitchModel::ideal();
         assert_eq!(m.mean_update_latency(1000), SimDuration::ZERO);
         assert_eq!(m.insert_latency(1000, 500), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn batch_latency_amortizes_base_cost() {
+        let m = SwitchModel::pica8_p3290();
+        // k inserts singly: k bases + per-insert shift work.
+        let k = 20usize;
+        let occ = 500usize;
+        let shifts_each = 100usize;
+        let singly: SimDuration = (0..k)
+            .map(|_| m.insert_latency(occ, shifts_each))
+            .fold(SimDuration::ZERO, |a, b| a + b);
+        // Same total shift work as one batch: one base, k modify-priced
+        // entry writes.
+        let batched = m.batch_latency(occ, shifts_each * k, k, 0, 0);
+        assert!(batched < singly, "batched {batched} not < singly {singly}");
+        // Zero-work batch still pays the handshake.
+        assert_eq!(m.batch_latency(occ, 0, 0, 0, 0), m.base);
     }
 
     #[test]

@@ -11,8 +11,53 @@
 //! [`TcamTable`] models the entry list plus the shift accounting. It does
 //! not know about latency — the [`perf`](crate::perf) module converts shift
 //! counts into simulated time per switch model.
+//!
+//! ## Storage layout (indexed table)
+//!
+//! Entries live in fixed-fanout *blocks* (a chunked vector), each block
+//! holding a contiguous run of the priority order. A control action touches
+//! one block (`O(block)` memmove) instead of the whole table, a per-id
+//! `BTreeMap` resolves ids in `O(log n)` instead of a linear scan, and the
+//! block boundaries double as the bookkeeping sites for the gap-aware
+//! placement policy below. The *modeled* shift counts are unchanged from
+//! the dense layout: with zero slack the formulas reproduce the classic
+//! PackedLow/PackedHigh/Balanced costs exactly.
+//!
+//! ## Gap-aware placement (configurable slack)
+//!
+//! Real switch agents deliberately leave free entries interspersed with
+//! used ones so an insertion only shifts until the nearest hole, not until
+//! the end of the table. [`TcamTable::set_slack`] configures the number of
+//! free slots [`TcamTable::rebuild_layout`] reserves per block; with slack
+//! enabled, deletions leave their slot behind as a local gap and insertions
+//! shift only to the nearest gap in the strategy's preferred direction.
+//! Slack defaults to 0 (the dense legacy layout).
+//!
+//! ## Batched updates
+//!
+//! [`TcamTable::apply_batch`] validates a whole [`TcamOp`] sequence
+//! atomically, plans the final layout once, and charges one *coalesced*
+//! shift plan: an entry disturbed by several ops in the batch moves (and is
+//! billed) once, which is where batched control channels get their speedup.
 
 use hermes_rules::prelude::*;
+use std::collections::BTreeMap;
+
+/// Target block size for the chunked entry storage; blocks split at twice
+/// this length.
+const BLOCK_TARGET: usize = 512;
+/// Maximum block length before a split.
+const BLOCK_MAX: usize = 2 * BLOCK_TARGET;
+/// Chunk size [`TcamTable::rebuild_layout`] uses when slack is configured:
+/// gaps are only usable at block boundaries, so a sparse layout keeps
+/// blocks short to place free slots close to any insertion point.
+const GAP_CHUNK: usize = 64;
+/// Below this table-plus-batch size, `apply_batch` also computes the exact
+/// sequential per-op cost on a scratch copy and charges the minimum — a
+/// hard guarantee that a batch is never billed worse than its ops applied
+/// singly. Above it, the closed-form coalesced plan is used alone (the
+/// scratch replay would dominate the runtime it is modeling).
+const NAIVE_CLAMP_LIMIT: usize = 8192;
 
 /// How the switch software packs entries into the physical TCAM, which
 /// determines how many entries move per insertion. Real switches differ
@@ -84,7 +129,7 @@ pub struct TableStats {
     pub deletes: u64,
     /// Number of successful in-place modifications.
     pub modifies: u64,
-    /// Total entries shifted across all insertions.
+    /// Total entries shifted across all insertions (and layout rebuilds).
     pub total_shifts: u64,
     /// Number of lookups served.
     pub lookups: u64,
@@ -98,6 +143,103 @@ pub struct OpShifts {
     pub shifts: usize,
     /// Occupancy *before* the operation (the latency model keys off this).
     pub occupancy_before: usize,
+}
+
+/// One entry in a batched update sequence (see
+/// [`TcamTable::apply_batch`]). Sequential semantics: each op observes the
+/// effect of the ops before it in the slice, so `[Delete(x), Insert(x')]`
+/// is a replace and `[Insert(y), Delete(y)]` nets to nothing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TcamOp {
+    /// Install a new entry.
+    Insert(Rule),
+    /// Remove the entry with this id.
+    Delete(RuleId),
+    /// Rewrite an entry's action in place.
+    ModifyAction {
+        /// Target entry.
+        id: RuleId,
+        /// Replacement action.
+        action: Action,
+    },
+    /// Rewrite an entry's match key in place (same priority).
+    ModifyKey {
+        /// Target entry.
+        id: RuleId,
+        /// Replacement key.
+        key: TernaryKey,
+    },
+}
+
+impl TcamOp {
+    /// The id the op targets.
+    pub fn id(&self) -> RuleId {
+        match self {
+            TcamOp::Insert(r) => r.id,
+            TcamOp::Delete(id) => *id,
+            TcamOp::ModifyAction { id, .. } | TcamOp::ModifyKey { id, .. } => *id,
+        }
+    }
+}
+
+/// The outcome of a successful [`TcamTable::apply_batch`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BatchReport {
+    /// Entries physically moved under the coalesced plan (each disturbed
+    /// entry billed once). This is what the latency model charges.
+    pub shifts: usize,
+    /// Modeled cost of the same ops applied singly (exact when the table
+    /// is small enough for a scratch replay, a dense-layout estimate
+    /// otherwise) — `shifts` is never charged above the exact figure.
+    pub naive_shifts: usize,
+    /// Net new entries written (inserts surviving the batch).
+    pub inserts: usize,
+    /// Pre-existing entries removed.
+    pub deletes: usize,
+    /// In-place modifications applied.
+    pub modifies: usize,
+    /// Occupancy before the batch.
+    pub occupancy_before: usize,
+}
+
+/// Sort key for the priority order: `rp` is the bitwise complement of the
+/// priority (so higher priorities sort first and [`Priority::NONE`] sorts
+/// last) and `seq` breaks ties FIFO.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct EntryKey {
+    rp: u32,
+    seq: u64,
+}
+
+impl EntryKey {
+    fn new(priority: Priority, seq: u64) -> Self {
+        EntryKey {
+            rp: !priority.0,
+            seq,
+        }
+    }
+}
+
+/// A contiguous run of the priority order plus the free slots reserved
+/// inside its address range (gap-aware placement).
+#[derive(Clone, Debug, Default)]
+struct Block {
+    keys: Vec<EntryKey>,
+    rules: Vec<Rule>,
+    gaps: usize,
+}
+
+impl Block {
+    fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    fn last_key(&self) -> EntryKey {
+        *self
+            .keys
+            .last()
+            .expect("INVARIANT: TcamTable never keeps an empty block")
+    }
 }
 
 /// A priority-ordered TCAM table with bounded capacity.
@@ -124,9 +266,15 @@ pub struct OpShifts {
 /// ```
 #[derive(Clone, Debug)]
 pub struct TcamTable {
-    entries: Vec<Rule>,
+    blocks: Vec<Block>,
+    /// Per-id index: id → its sort key (locates the entry in `O(log n)`).
+    by_id: BTreeMap<RuleId, EntryKey>,
+    next_seq: u64,
+    len: usize,
     capacity: usize,
     strategy: PlacementStrategy,
+    /// Free slots `rebuild_layout` reserves per block; 0 = dense layout.
+    slack: usize,
     stats: TableStats,
 }
 
@@ -134,21 +282,25 @@ impl TcamTable {
     /// An empty table with the given capacity and placement strategy.
     pub fn new(capacity: usize, strategy: PlacementStrategy) -> Self {
         TcamTable {
-            entries: Vec::with_capacity(capacity.min(4096)),
+            blocks: Vec::new(),
+            by_id: BTreeMap::new(),
+            next_seq: 0,
+            len: 0,
             capacity,
             strategy,
+            slack: 0,
             stats: TableStats::default(),
         }
     }
 
     /// Current number of entries.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.len
     }
 
     /// `true` when the table holds no entries.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len == 0
     }
 
     /// Maximum number of entries.
@@ -156,9 +308,10 @@ impl TcamTable {
         self.capacity
     }
 
-    /// Remaining free entries.
+    /// Remaining free entries (reserved gaps included — they still accept
+    /// insertions, just cheaply).
     pub fn free(&self) -> usize {
-        self.capacity - self.entries.len()
+        self.capacity - self.len
     }
 
     /// Occupancy as a fraction of capacity in `[0, 1]`.
@@ -166,7 +319,7 @@ impl TcamTable {
         if self.capacity == 0 {
             return 1.0;
         }
-        self.entries.len() as f64 / self.capacity as f64
+        self.len as f64 / self.capacity as f64
     }
 
     /// Lifetime counters.
@@ -179,36 +332,217 @@ impl TcamTable {
         self.strategy
     }
 
-    /// The entries in match order (highest precedence first).
-    pub fn entries(&self) -> &[Rule] {
-        &self.entries
+    /// The configured per-block slack (0 = dense legacy layout).
+    pub fn slack(&self) -> usize {
+        self.slack
     }
 
-    /// Looks up a rule by id.
+    /// Configures the gap-aware placement slack: the number of free slots
+    /// [`rebuild_layout`](Self::rebuild_layout) reserves per block, and
+    /// whether deletions leave their slot behind as a reusable gap. Takes
+    /// effect for subsequent operations; call `rebuild_layout` to
+    /// redistribute existing entries.
+    pub fn set_slack(&mut self, slack: usize) {
+        self.slack = slack;
+    }
+
+    /// Total free slots currently reserved as in-place gaps.
+    pub fn gap_slots(&self) -> usize {
+        self.blocks.iter().map(|b| b.gaps).sum()
+    }
+
+    /// The entries in match order (highest precedence first). `O(n)` copy;
+    /// meant for audits, oracles and tests — use [`iter`](Self::iter) to
+    /// walk without copying.
+    pub fn entries(&self) -> Vec<Rule> {
+        self.iter().copied().collect()
+    }
+
+    /// Iterates the entries in match order without copying.
+    pub fn iter(&self) -> impl Iterator<Item = &Rule> {
+        self.blocks.iter().flat_map(|b| b.rules.iter())
+    }
+
+    /// Looks up a rule by id via the per-id index (`O(log n)`).
     pub fn get(&self, id: RuleId) -> Option<&Rule> {
-        self.entries.iter().find(|r| r.id == id)
+        let key = *self.by_id.get(&id)?;
+        let (bi, wi) = self.locate(key)?;
+        Some(&self.blocks[bi].rules[wi])
     }
 
     /// `true` when an entry with this id exists.
     pub fn contains(&self, id: RuleId) -> bool {
-        self.get(id).is_some()
+        self.by_id.contains_key(&id)
     }
 
-    /// The position a new rule of priority `p` would occupy: after every
-    /// entry with priority `>= p` (FIFO among equals).
-    fn insert_position(&self, p: Priority) -> usize {
-        self.entries.partition_point(|r| r.priority >= p)
-    }
-
-    /// How many entries must physically move for an insertion at `pos`.
-    fn shifts_for(&self, pos: usize) -> usize {
-        let below = self.entries.len() - pos;
-        let above = pos;
-        match self.strategy {
-            PlacementStrategy::PackedLow => below,
-            PlacementStrategy::PackedHigh => above,
-            PlacementStrategy::Balanced => below.min(above),
+    /// Index of the block containing `key`, plus the offset within it.
+    fn locate(&self, key: EntryKey) -> Option<(usize, usize)> {
+        let bi = self.blocks.partition_point(|b| b.last_key() < key);
+        if bi == self.blocks.len() {
+            return None;
         }
+        let wi = self.blocks[bi].keys.binary_search(&key).ok()?;
+        Some((bi, wi))
+    }
+
+    /// Where a new entry with `key` would land: `(block, offset, global)`.
+    /// For an empty table returns `(0, 0, 0)`.
+    fn insertion_point(&self, key: EntryKey) -> (usize, usize, usize) {
+        if self.blocks.is_empty() {
+            return (0, 0, 0);
+        }
+        let mut bi = self.blocks.partition_point(|b| b.last_key() < key);
+        if bi == self.blocks.len() {
+            // Past the end: append to the final block.
+            bi -= 1;
+        }
+        let wi = self.blocks[bi].keys.partition_point(|k| *k < key);
+        let before: usize = self.blocks[..bi].iter().map(Block::len).sum();
+        (bi, wi, before + wi)
+    }
+
+    /// Physical insert with no shift accounting (the caller has already
+    /// planned and billed the move).
+    fn raw_insert(&mut self, bi: usize, wi: usize, key: EntryKey, rule: Rule) {
+        if self.blocks.is_empty() {
+            self.blocks.push(Block::default());
+        }
+        self.blocks[bi].keys.insert(wi, key);
+        self.blocks[bi].rules.insert(wi, rule);
+        self.by_id.insert(rule.id, key);
+        self.len += 1;
+        if self.blocks[bi].len() > BLOCK_MAX {
+            self.split_block(bi);
+        }
+    }
+
+    /// Splits an oversized block in half, dividing its reserved gaps.
+    fn split_block(&mut self, bi: usize) {
+        let half = self.blocks[bi].len() / 2;
+        let keys = self.blocks[bi].keys.split_off(half);
+        let rules = self.blocks[bi].rules.split_off(half);
+        let gaps = self.blocks[bi].gaps / 2;
+        self.blocks[bi].gaps -= gaps;
+        self.blocks.insert(bi + 1, Block { keys, rules, gaps });
+    }
+
+    /// Physical removal with no shift accounting. In slack mode the freed
+    /// slot stays behind as a reusable gap.
+    fn raw_remove(&mut self, bi: usize, wi: usize) -> Rule {
+        self.blocks[bi].keys.remove(wi);
+        let rule = self.blocks[bi].rules.remove(wi);
+        self.by_id.remove(&rule.id);
+        self.len -= 1;
+        if self.slack > 0 {
+            self.blocks[bi].gaps += 1;
+        }
+        if self.blocks[bi].keys.is_empty() {
+            // Fold the emptied block's gaps into a neighbour so the slots
+            // stay reserved (dropped only when the table empties).
+            let gaps = self.blocks[bi].gaps;
+            self.blocks.remove(bi);
+            if !self.blocks.is_empty() {
+                let neighbour = if bi > 0 { bi - 1 } else { 0 };
+                self.blocks[neighbour].gaps += gaps;
+            }
+        }
+        rule
+    }
+
+    /// Unreserved free slots: capacity not held by entries or gaps. The
+    /// dense layouts keep all of it at the strategy's packing boundary.
+    fn unreserved(&self) -> usize {
+        self.capacity - self.len - self.gap_slots()
+    }
+
+    /// Models (and books) the shifts for a single insertion landing at
+    /// `(bi, wi)`/global position `pos`: the distance to the nearest free
+    /// slot in the strategy's preferred direction. Gaps are modeled at
+    /// block granularity — a gap inside block `g` absorbs a forward shift
+    /// at `g`'s trailing edge and a backward shift at its leading edge.
+    /// With no gaps anywhere (dense layout) this reproduces the classic
+    /// formulas: `len - pos` (PackedLow), `pos` (PackedHigh), their min
+    /// (Balanced).
+    fn plan_single_insert(&mut self, bi: usize, wi: usize, pos: usize) -> usize {
+        let (low_cost, low_gap) = self.forward_gap_cost(bi, wi, pos);
+        let (high_cost, high_gap) = self.backward_gap_cost(bi, wi, pos);
+        let (cost, consume) = match self.strategy {
+            PlacementStrategy::PackedLow => (low_cost, low_gap),
+            PlacementStrategy::PackedHigh => (high_cost, high_gap),
+            PlacementStrategy::Balanced => {
+                if low_cost <= high_cost {
+                    (low_cost, low_gap)
+                } else {
+                    (high_cost, high_gap)
+                }
+            }
+        };
+        if let Some(g) = consume {
+            self.blocks[g].gaps -= 1;
+        }
+        cost
+    }
+
+    /// Cheapest way to open a slot by shifting *forward* (toward high
+    /// addresses): the nearest gap-bearing block at-or-after the insertion
+    /// block, else the unreserved tail space, else a gap behind. Returns
+    /// `(entries moved, gap block to consume)`.
+    fn forward_gap_cost(&self, bi: usize, wi: usize, pos: usize) -> (usize, Option<usize>) {
+        if self.blocks.is_empty() {
+            return (0, None);
+        }
+        let mut moved = self.blocks[bi].len() - wi;
+        if self.blocks[bi].gaps > 0 {
+            return (moved, Some(bi));
+        }
+        for g in bi + 1..self.blocks.len() {
+            moved += self.blocks[g].len();
+            if self.blocks[g].gaps > 0 {
+                return (moved, Some(g));
+            }
+        }
+        if self.unreserved() > 0 {
+            return (self.len - pos, None);
+        }
+        // All free space is reserved behind the insertion point: shift
+        // backward to the nearest gap there instead.
+        let mut moved = wi;
+        for g in (0..bi).rev() {
+            if self.blocks[g].gaps > 0 {
+                return (moved, Some(g));
+            }
+            moved += self.blocks[g].len();
+        }
+        (self.len - pos, None)
+    }
+
+    /// Mirror of [`forward_gap_cost`](Self::forward_gap_cost): open a slot
+    /// by shifting toward low addresses.
+    fn backward_gap_cost(&self, bi: usize, wi: usize, pos: usize) -> (usize, Option<usize>) {
+        if self.blocks.is_empty() {
+            return (0, None);
+        }
+        let mut moved = wi;
+        if self.blocks[bi].gaps > 0 {
+            return (moved, Some(bi));
+        }
+        for g in (0..bi).rev() {
+            moved += self.blocks[g].len();
+            if self.blocks[g].gaps > 0 {
+                return (moved, Some(g));
+            }
+        }
+        if self.unreserved() > 0 {
+            return (pos, None);
+        }
+        let mut moved = self.blocks[bi].len() - wi;
+        for g in bi + 1..self.blocks.len() {
+            if self.blocks[g].gaps > 0 {
+                return (moved, Some(g));
+            }
+            moved += self.blocks[g].len();
+        }
+        (pos, None)
     }
 
     /// Inserts a rule, returning the shift count for the latency model.
@@ -218,20 +552,22 @@ impl TcamTable {
     /// "rules with priorities are five times slower than rules without
     /// priorities"). They sort below all prioritized rules.
     pub fn insert(&mut self, rule: Rule) -> Result<OpShifts, TcamError> {
-        if self.entries.len() >= self.capacity {
+        if self.len >= self.capacity {
             return Err(TcamError::Full);
         }
         if self.contains(rule.id) {
             return Err(TcamError::Duplicate(rule.id));
         }
-        let occupancy_before = self.entries.len();
-        let pos = self.insert_position(rule.priority);
+        let occupancy_before = self.len;
+        let key = EntryKey::new(rule.priority, self.next_seq);
+        self.next_seq += 1;
+        let (bi, wi, pos) = self.insertion_point(key);
         let shifts = if rule.priority.is_none() {
             0
         } else {
-            self.shifts_for(pos)
+            self.plan_single_insert(bi, wi, pos)
         };
-        self.entries.insert(pos, rule);
+        self.raw_insert(bi, wi, key, rule);
         self.stats.inserts += 1;
         self.stats.total_shifts += shifts as u64;
         Ok(OpShifts {
@@ -242,14 +578,14 @@ impl TcamTable {
 
     /// Deletes the rule with the given id. Deletion is an in-place
     /// invalidation in real TCAMs — no shifting (§2.1: "deletion is a simple
-    /// and fast operation").
+    /// and fast operation"). With slack enabled the freed slot stays behind
+    /// as a gap that later insertions absorb cheaply.
     pub fn delete(&mut self, id: RuleId) -> Result<Rule, TcamError> {
-        let pos = self
-            .entries
-            .iter()
-            .position(|r| r.id == id)
-            .ok_or(TcamError::NotFound(id))?;
-        let rule = self.entries.remove(pos);
+        let key = *self.by_id.get(&id).ok_or(TcamError::NotFound(id))?;
+        let (bi, wi) = self
+            .locate(key)
+            .expect("INVARIANT: by_id keys always resolve to a stored entry");
+        let rule = self.raw_remove(bi, wi);
         self.stats.deletes += 1;
         Ok(rule)
     }
@@ -259,12 +595,11 @@ impl TcamTable {
     /// adding new flows"). Priority changes are *not* handled here — Hermes
     /// converts them into delete+insert (§4.1).
     pub fn modify_action(&mut self, id: RuleId, action: Action) -> Result<(), TcamError> {
-        let rule = self
-            .entries
-            .iter_mut()
-            .find(|r| r.id == id)
-            .ok_or(TcamError::NotFound(id))?;
-        rule.action = action;
+        let key = *self.by_id.get(&id).ok_or(TcamError::NotFound(id))?;
+        let (bi, wi) = self
+            .locate(key)
+            .expect("INVARIANT: by_id keys always resolve to a stored entry");
+        self.blocks[bi].rules[wi].action = action;
         self.stats.modifies += 1;
         Ok(())
     }
@@ -272,50 +607,409 @@ impl TcamTable {
     /// Replaces the match key of an existing rule in place (same-priority
     /// match rewrite, also constant time).
     pub fn modify_key(&mut self, id: RuleId, key: TernaryKey) -> Result<(), TcamError> {
-        let rule = self
-            .entries
-            .iter_mut()
-            .find(|r| r.id == id)
-            .ok_or(TcamError::NotFound(id))?;
-        rule.key = key;
+        let k = *self.by_id.get(&id).ok_or(TcamError::NotFound(id))?;
+        let (bi, wi) = self
+            .locate(k)
+            .expect("INVARIANT: by_id keys always resolve to a stored entry");
+        self.blocks[bi].rules[wi].key = key;
         self.stats.modifies += 1;
         Ok(())
+    }
+
+    /// The one match loop: first (highest-precedence) entry matching the
+    /// packet. `lookup` and `peek` both defer here.
+    fn scan(&self, packet: u128) -> Option<Rule> {
+        self.iter().find(|r| r.key.matches(packet)).copied()
     }
 
     /// TCAM lookup: the first (highest-precedence) entry matching the packet.
     pub fn lookup(&mut self, packet: u128) -> Option<Rule> {
         self.stats.lookups += 1;
-        self.entries.iter().find(|r| r.key.matches(packet)).copied()
+        self.scan(packet)
     }
 
     /// Lookup without touching statistics (for oracles and tests).
     pub fn peek(&self, packet: u128) -> Option<Rule> {
-        self.entries.iter().find(|r| r.key.matches(packet)).copied()
+        self.scan(packet)
     }
 
     /// Removes all entries (used when the Rule Manager empties the shadow
     /// table after migration — a batch of in-place invalidations).
     pub fn clear(&mut self) -> usize {
-        let n = self.entries.len();
+        let n = self.len;
         self.stats.deletes += n as u64;
-        self.entries.clear();
+        self.blocks.clear();
+        self.by_id.clear();
+        self.len = 0;
         n
     }
 
     /// Drains and returns all entries (step 1 of the migration workflow
     /// copies rules out of the tables).
     pub fn drain(&mut self) -> Vec<Rule> {
-        self.stats.deletes += self.entries.len() as u64;
-        std::mem::take(&mut self.entries)
+        let out: Vec<Rule> = self.entries();
+        self.stats.deletes += out.len() as u64;
+        self.blocks.clear();
+        self.by_id.clear();
+        self.len = 0;
+        out
     }
 
-    /// Checks the priority-ordering invariant (debug aid / property tests).
-    pub fn check_invariants(&self) -> bool {
-        self.entries
-            .windows(2)
-            .all(|w| w[0].priority >= w[1].priority)
-            && self.entries.len() <= self.capacity
+    /// Re-lays the whole table out at the configured slack: entries are
+    /// re-chunked and every block is topped up with up to `slack` reserved
+    /// free slots (while unreserved capacity lasts). Returns the modeled
+    /// entry moves (a full relayout touches every entry), which are also
+    /// added to [`TableStats::total_shifts`].
+    pub fn rebuild_layout(&mut self) -> usize {
+        let keys: Vec<EntryKey> = self.blocks.iter().flat_map(|b| b.keys.iter().copied()).collect();
+        let rules: Vec<Rule> = self.blocks.iter().flat_map(|b| b.rules.iter().copied()).collect();
+        self.blocks.clear();
+        let mut budget = self.capacity - self.len;
+        let chunk = if self.slack > 0 { GAP_CHUNK } else { BLOCK_TARGET };
+        for (kchunk, rchunk) in keys.chunks(chunk).zip(rules.chunks(chunk)) {
+            let gaps = self.slack.min(budget);
+            budget -= gaps;
+            self.blocks.push(Block {
+                keys: kchunk.to_vec(),
+                rules: rchunk.to_vec(),
+                gaps,
+            });
+        }
+        let moved = self.len;
+        self.stats.total_shifts += moved as u64;
+        moved
     }
+
+    /// Checks the structural invariants (debug aid / property tests):
+    /// priority ordering, index consistency, block shape, and that entries
+    /// plus reserved gaps fit the capacity.
+    pub fn check_invariants(&self) -> bool {
+        let mut prev: Option<EntryKey> = None;
+        let mut counted = 0;
+        for b in &self.blocks {
+            if b.keys.is_empty() || b.keys.len() != b.rules.len() || b.len() > BLOCK_MAX + 1 {
+                return false;
+            }
+            for (k, r) in b.keys.iter().zip(&b.rules) {
+                if let Some(p) = prev {
+                    if *k <= p {
+                        return false;
+                    }
+                }
+                prev = Some(*k);
+                if k.rp != !r.priority.0 || self.by_id.get(&r.id) != Some(k) {
+                    return false;
+                }
+                counted += 1;
+            }
+        }
+        counted == self.len
+            && self.by_id.len() == self.len
+            && self.len + self.gap_slots() <= self.capacity.max(self.len)
+            && self.len <= self.capacity
+    }
+
+    /// Applies a whole op sequence as one planned transaction.
+    ///
+    /// The batch is **atomic**: every op is validated against the
+    /// sequential semantics first, and the first violation
+    /// ([`TcamError::Full`] / [`TcamError::Duplicate`] /
+    /// [`TcamError::NotFound`]) rejects the entire batch with the table
+    /// untouched. On success the final layout is computed once and the
+    /// batch is charged a *coalesced* shift plan: an entry disturbed by
+    /// several ops moves once, and slots freed by the batch's own deletes
+    /// absorb its inserts. The result is observationally equivalent to
+    /// applying the ops singly (same final entries, same per-op stats) but
+    /// never billed more shifts.
+    pub fn apply_batch(&mut self, ops: &[TcamOp]) -> Result<BatchReport, TcamError> {
+        let occupancy_before = self.len;
+        let plan = self.validate_batch(ops)?;
+        let (shifts, naive_shifts) = self.plan_batch_shifts(ops, &plan);
+        // Mutate: in-place modifies, then deletes (freeing slots), then the
+        // surviving inserts in submission order (fresh seqs keep FIFO).
+        for (id, (action, key)) in &plan.modified {
+            if let Some(a) = action {
+                let k = self.by_id[id];
+                let (bi, wi) = self
+                    .locate(k)
+                    .expect("INVARIANT: validated batch targets existing entries");
+                self.blocks[bi].rules[wi].action = *a;
+            }
+            if let Some(nk) = key {
+                let k = self.by_id[id];
+                let (bi, wi) = self
+                    .locate(k)
+                    .expect("INVARIANT: validated batch targets existing entries");
+                self.blocks[bi].rules[wi].key = *nk;
+            }
+        }
+        for key in plan.deleted.values() {
+            let (bi, wi) = self
+                .locate(*key)
+                .expect("INVARIANT: validated batch targets existing entries");
+            self.raw_remove(bi, wi);
+        }
+        for id in &plan.pending_order {
+            let rule = plan.pending[id];
+            let key = EntryKey::new(rule.priority, self.next_seq);
+            self.next_seq += 1;
+            let (bi, wi, pos) = self.insertion_point(key);
+            // Keep the len+gaps ≤ capacity invariant: when all remaining
+            // free space is reserved, the insert consumes the nearest gap
+            // (the plan already billed the move).
+            if self.unreserved() == 0 && self.gap_slots() > 0 {
+                let consume = match self.strategy {
+                    PlacementStrategy::PackedHigh => self.backward_gap_cost(bi, wi, pos).1,
+                    _ => self.forward_gap_cost(bi, wi, pos).1,
+                };
+                if let Some(g) = consume {
+                    self.blocks[g].gaps -= 1;
+                }
+            }
+            self.raw_insert(bi, wi, key, rule);
+        }
+        self.stats.inserts += plan.n_inserts;
+        self.stats.deletes += plan.n_deletes;
+        self.stats.modifies += plan.n_modifies;
+        self.stats.total_shifts += shifts as u64;
+        Ok(BatchReport {
+            shifts,
+            naive_shifts,
+            inserts: plan.pending_order.len(),
+            deletes: plan.deleted.len(),
+            modifies: plan.modified.len(),
+            occupancy_before,
+        })
+    }
+
+    /// Walks the ops under sequential semantics without touching the
+    /// table; errors reject the batch atomically.
+    fn validate_batch(&self, ops: &[TcamOp]) -> Result<BatchPlan, TcamError> {
+        let mut plan = BatchPlan::default();
+        for op in ops {
+            match op {
+                TcamOp::Insert(rule) => {
+                    let live = self.len - plan.deleted.len() + plan.pending.len();
+                    if live >= self.capacity {
+                        return Err(TcamError::Full);
+                    }
+                    let exists_in_table =
+                        self.contains(rule.id) && !plan.deleted.contains_key(&rule.id);
+                    if exists_in_table || plan.pending.contains_key(&rule.id) {
+                        return Err(TcamError::Duplicate(rule.id));
+                    }
+                    plan.pending.insert(rule.id, *rule);
+                    plan.pending_order.push(rule.id);
+                    plan.n_inserts += 1;
+                }
+                TcamOp::Delete(id) => {
+                    if plan.pending.remove(id).is_some() {
+                        plan.pending_order.retain(|p| p != id);
+                    } else if self.contains(*id) && !plan.deleted.contains_key(id) {
+                        plan.deleted.insert(*id, self.by_id[id]);
+                        plan.modified.remove(id);
+                    } else {
+                        return Err(TcamError::NotFound(*id));
+                    }
+                    plan.n_deletes += 1;
+                }
+                TcamOp::ModifyAction { id, action } => {
+                    if let Some(r) = plan.pending.get_mut(id) {
+                        r.action = *action;
+                    } else if self.contains(*id) && !plan.deleted.contains_key(id) {
+                        plan.modified.entry(*id).or_default().0 = Some(*action);
+                    } else {
+                        return Err(TcamError::NotFound(*id));
+                    }
+                    plan.n_modifies += 1;
+                }
+                TcamOp::ModifyKey { id, key } => {
+                    if let Some(r) = plan.pending.get_mut(id) {
+                        r.key = *key;
+                    } else if self.contains(*id) && !plan.deleted.contains_key(id) {
+                        plan.modified.entry(*id).or_default().1 = Some(*key);
+                    } else {
+                        return Err(TcamError::NotFound(*id));
+                    }
+                    plan.n_modifies += 1;
+                }
+            }
+        }
+        Ok(plan)
+    }
+
+    /// The coalesced shift plan: counts the pre-existing surviving entries
+    /// the batch disturbs, letting batch-freed slots and reserved gaps
+    /// absorb inserts in the strategy's shift direction. Clamped by an
+    /// exact sequential replay on small tables so a batch is never billed
+    /// worse than its ops applied singly.
+    fn plan_batch_shifts(&self, ops: &[TcamOp], plan: &BatchPlan) -> (usize, usize) {
+        // Positions of the batch's events among the *current* entries.
+        let mut insert_pos: Vec<usize> = Vec::with_capacity(plan.pending_order.len());
+        for id in &plan.pending_order {
+            let rule = &plan.pending[id];
+            if rule.priority.is_none() {
+                continue; // free placement, no ordering pressure
+            }
+            let key = EntryKey::new(rule.priority, self.next_seq);
+            insert_pos.push(self.insertion_point(key).2);
+        }
+        insert_pos.sort_unstable();
+        let mut delete_pos: Vec<usize> = plan
+            .deleted
+            .values()
+            .map(|k| {
+                let (bi, wi) = self
+                    .locate(*k)
+                    .expect("INVARIANT: validated batch targets existing entries");
+                self.blocks[..bi].iter().map(Block::len).sum::<usize>() + wi
+            })
+            .collect();
+        delete_pos.sort_unstable();
+        // Reserved gaps at block granularity: (boundary position, slots).
+        // A gap inside a block is usable at its trailing edge going
+        // forward and its leading edge going backward.
+        let mut gap_trailing: Vec<(usize, usize)> = Vec::new();
+        let mut gap_leading: Vec<(usize, usize)> = Vec::new();
+        let mut acc = 0usize;
+        for b in &self.blocks {
+            if b.gaps > 0 {
+                gap_leading.push((acc, b.gaps));
+            }
+            acc += b.len();
+            if b.gaps > 0 {
+                gap_trailing.push((acc, b.gaps));
+            }
+        }
+        let fwd = coalesced_moves_forward(self.len, &insert_pos, &delete_pos, &gap_trailing);
+        let bwd = coalesced_moves_backward(self.len, &insert_pos, &delete_pos, &gap_leading);
+        let formula = match self.strategy {
+            PlacementStrategy::PackedLow => fwd,
+            PlacementStrategy::PackedHigh => bwd,
+            PlacementStrategy::Balanced => fwd.min(bwd),
+        };
+        // Dense-layout estimate of the per-op sequential cost (for the
+        // telemetry "saved" metric when the exact replay is skipped).
+        let estimate: usize = insert_pos
+            .iter()
+            .map(|&p| match self.strategy {
+                PlacementStrategy::PackedLow => self.len - p,
+                PlacementStrategy::PackedHigh => p,
+                PlacementStrategy::Balanced => p.min(self.len - p),
+            })
+            .sum();
+        if self.len + ops.len() <= NAIVE_CLAMP_LIMIT {
+            let naive = self.replay_singly(ops);
+            (formula.min(naive), naive)
+        } else {
+            (formula.min(estimate), estimate)
+        }
+    }
+
+    /// Exact sequential cost: the same ops applied singly to a scratch
+    /// copy. Only used under [`NAIVE_CLAMP_LIMIT`].
+    fn replay_singly(&self, ops: &[TcamOp]) -> usize {
+        let mut scratch = self.clone();
+        let mut total = 0usize;
+        for op in ops {
+            match op {
+                TcamOp::Insert(rule) => {
+                    if let Ok(s) = scratch.insert(*rule) {
+                        total += s.shifts;
+                    }
+                }
+                TcamOp::Delete(id) => {
+                    let _ = scratch.delete(*id);
+                }
+                TcamOp::ModifyAction { id, action } => {
+                    let _ = scratch.modify_action(*id, *action);
+                }
+                TcamOp::ModifyKey { id, key } => {
+                    let _ = scratch.modify_key(*id, *key);
+                }
+            }
+        }
+        total
+    }
+}
+
+/// Sequential-walk state for a validated batch.
+#[derive(Default)]
+struct BatchPlan {
+    /// Rules to be inserted at end-state, by id.
+    pending: BTreeMap<RuleId, Rule>,
+    /// Submission order of the surviving inserts (FIFO among equals).
+    pending_order: Vec<RuleId>,
+    /// Pre-existing entries the batch removes, with their sort keys.
+    deleted: BTreeMap<RuleId, EntryKey>,
+    /// Pre-existing entries modified in place: final `(action, key)`.
+    modified: BTreeMap<RuleId, (Option<Action>, Option<TernaryKey>)>,
+    /// Per-op tallies (sequential semantics: an insert later deleted still
+    /// counts one insert and one delete).
+    n_inserts: u64,
+    n_deletes: u64,
+    n_modifies: u64,
+}
+
+/// Entries moved when every insert opens its slot by shifting *forward*
+/// (toward high addresses). A left-to-right sweep carries the unabsorbed
+/// insert flow; batch-freed slots and reserved gaps cancel flow arriving
+/// from the left, and whatever remains spills into the tail. An entry is
+/// billed iff any flow crosses it — i.e. each disturbed entry exactly once.
+fn coalesced_moves_forward(
+    len: usize,
+    insert_pos: &[usize],
+    delete_pos: &[usize],
+    gaps: &[(usize, usize)],
+) -> usize {
+    let mut events: BTreeMap<usize, (usize, usize, bool)> = BTreeMap::new();
+    for &p in insert_pos {
+        events.entry(p).or_insert((0, 0, false)).0 += 1;
+    }
+    for &p in delete_pos {
+        let e = events.entry(p).or_insert((0, 0, false));
+        e.1 += 1;
+        e.2 = true;
+    }
+    for &(p, n) in gaps {
+        events.entry(p).or_insert((0, 0, false)).1 += n;
+    }
+    let mut moved = 0usize;
+    let mut flow = 0usize;
+    let mut cursor = 0usize;
+    for (&pos, &(ins, holes, is_delete)) in &events {
+        if flow > 0 {
+            moved += pos - cursor;
+        }
+        cursor = pos;
+        flow += ins;
+        flow = flow.saturating_sub(holes);
+        if is_delete {
+            // The entry at this index is removed by the batch: skip it.
+            cursor = pos + 1;
+        }
+    }
+    if flow > 0 {
+        moved += len - cursor;
+    }
+    moved
+}
+
+/// Mirror of [`coalesced_moves_forward`]: every insert shifts *backward*
+/// (toward low addresses), with the spill at the head.
+fn coalesced_moves_backward(
+    len: usize,
+    insert_pos: &[usize],
+    delete_pos: &[usize],
+    gaps: &[(usize, usize)],
+) -> usize {
+    // Reflect positions around the table end and reuse the forward sweep.
+    // An entry at index i becomes index len-1-i; a boundary position p
+    // becomes len-p.
+    let ins: Vec<usize> = insert_pos.iter().map(|&p| len - p).collect();
+    let del: Vec<usize> = delete_pos.iter().map(|&p| len - 1 - p).collect();
+    let g: Vec<(usize, usize)> = gaps.iter().map(|&(p, n)| (len - p, n)).collect();
+    coalesced_moves_forward(len, &ins, &del, &g)
 }
 
 #[cfg(test)]
@@ -481,5 +1175,191 @@ mod tests {
             }
             assert!(t.check_invariants());
         }
+    }
+
+    #[test]
+    fn id_index_survives_block_splits() {
+        // More than BLOCK_MAX entries forces splits; every id must still
+        // resolve through the index.
+        let mut t = TcamTable::new(4096, PlacementStrategy::PackedLow);
+        for i in 0..3000u64 {
+            t.insert(rule(i, "10.0.0.0/8", (i % 37) as u32 + 1)).unwrap();
+        }
+        assert!(t.check_invariants());
+        for i in (0..3000u64).step_by(97) {
+            assert_eq!(t.get(RuleId(i)).unwrap().id.0, i);
+        }
+        assert!(t.get(RuleId(5000)).is_none());
+        // Deleting through the index keeps everything consistent.
+        for i in (0..3000u64).step_by(3) {
+            t.delete(RuleId(i)).unwrap();
+        }
+        assert!(t.check_invariants());
+        assert_eq!(t.len(), 2000);
+    }
+
+    #[test]
+    fn slack_layout_absorbs_inserts_cheaply() {
+        // Dense: a top-priority insert into 100 entries shifts all 100.
+        let mut dense = TcamTable::new(256, PlacementStrategy::PackedLow);
+        for i in 0..100u64 {
+            dense.insert(rule(i, "10.0.0.0/8", 1000 - i as u32)).unwrap();
+        }
+        let d = dense.insert(rule(900, "10.0.0.0/8", 5000)).unwrap();
+        assert_eq!(d.shifts, 100);
+        // Gap-aware: with slack reserved, the same insert stops at the
+        // nearest gap inside the first block.
+        let mut sparse = TcamTable::new(256, PlacementStrategy::PackedLow);
+        sparse.set_slack(8);
+        for i in 0..100u64 {
+            sparse.insert(rule(i, "10.0.0.0/8", 1000 - i as u32)).unwrap();
+        }
+        sparse.rebuild_layout();
+        assert!(sparse.gap_slots() > 0);
+        let s = sparse.insert(rule(900, "10.0.0.0/8", 5000)).unwrap();
+        assert!(s.shifts < 100, "gap-aware shifts {} not reduced", s.shifts);
+        assert!(sparse.check_invariants());
+    }
+
+    #[test]
+    fn slack_delete_leaves_reusable_gap() {
+        let mut t = TcamTable::new(64, PlacementStrategy::PackedLow);
+        t.set_slack(4);
+        for i in 0..10u64 {
+            t.insert(rule(i, "10.0.0.0/8", 100 - i as u32)).unwrap();
+        }
+        assert_eq!(t.gap_slots(), 0);
+        t.delete(RuleId(9)).unwrap();
+        assert_eq!(t.gap_slots(), 1);
+        // The gap absorbs the next displacing insert within the block.
+        let s = t.insert(rule(50, "10.0.0.0/8", 500)).unwrap();
+        assert_eq!(s.shifts, 9, "shift to the in-block gap, not past it");
+        assert_eq!(t.gap_slots(), 0);
+        assert!(t.check_invariants());
+    }
+
+    #[test]
+    fn batch_insert_coalesces_shifts() {
+        // 100 entries, then a batch of 10 top-priority inserts: per-op
+        // would charge ~100 each (PackedLow), the coalesced plan disturbs
+        // each existing entry once.
+        let mut t = TcamTable::new(256, PlacementStrategy::PackedLow);
+        for i in 0..100u64 {
+            t.insert(rule(i, "10.0.0.0/8", 1000 - i as u32)).unwrap();
+        }
+        let ops: Vec<TcamOp> = (0..10u64)
+            .map(|i| TcamOp::Insert(rule(500 + i, "10.0.0.0/8", 5000 + i as u32)))
+            .collect();
+        let mut singly = t.clone();
+        let mut per_op = 0usize;
+        for op in &ops {
+            if let TcamOp::Insert(r) = op {
+                per_op += singly.insert(*r).unwrap().shifts;
+            }
+        }
+        let rep = t.apply_batch(&ops).unwrap();
+        assert_eq!(rep.inserts, 10);
+        assert!(rep.shifts <= per_op, "{} > per-op {}", rep.shifts, per_op);
+        assert!(rep.shifts <= 100, "coalesced plan disturbs each entry once");
+        assert_eq!(t.entries(), singly.entries(), "same final table");
+        assert!(t.check_invariants());
+    }
+
+    #[test]
+    fn batch_is_atomic_on_error() {
+        let mut t = TcamTable::new(16, PlacementStrategy::PackedLow);
+        t.insert(rule(1, "10.0.0.0/8", 5)).unwrap();
+        let before = t.entries();
+        let stats_before = t.stats();
+        // Second op is invalid: the whole batch must be rejected.
+        let ops = vec![
+            TcamOp::Insert(rule(2, "11.0.0.0/8", 6)),
+            TcamOp::Delete(RuleId(99)),
+        ];
+        assert_eq!(t.apply_batch(&ops), Err(TcamError::NotFound(RuleId(99))));
+        assert_eq!(t.entries(), before);
+        assert_eq!(t.stats(), stats_before);
+        // Capacity overflow mid-batch also rejects atomically.
+        let too_many: Vec<TcamOp> = (10..30u64)
+            .map(|i| TcamOp::Insert(rule(i, "10.0.0.0/8", i as u32)))
+            .collect();
+        assert_eq!(t.apply_batch(&too_many), Err(TcamError::Full));
+        assert_eq!(t.entries(), before);
+    }
+
+    #[test]
+    fn batch_sequential_semantics() {
+        let mut t = TcamTable::new(16, PlacementStrategy::PackedLow);
+        t.insert(rule(1, "10.0.0.0/8", 5)).unwrap();
+        // Replace id 1, insert-and-delete id 2, modify a pending insert.
+        let ops = vec![
+            TcamOp::Delete(RuleId(1)),
+            TcamOp::Insert(rule(1, "12.0.0.0/8", 7)),
+            TcamOp::Insert(rule(2, "13.0.0.0/8", 3)),
+            TcamOp::Delete(RuleId(2)),
+            TcamOp::Insert(rule(3, "14.0.0.0/8", 9)),
+            TcamOp::ModifyAction {
+                id: RuleId(3),
+                action: Action::Drop,
+            },
+        ];
+        let rep = t.apply_batch(&ops).unwrap();
+        assert_eq!((rep.inserts, rep.deletes), (2, 1));
+        let ids: Vec<u64> = t.entries().iter().map(|r| r.id.0).collect();
+        assert_eq!(ids, vec![3, 1]);
+        assert_eq!(t.get(RuleId(3)).unwrap().action, Action::Drop);
+        assert!(!t.contains(RuleId(2)));
+        assert!(t.check_invariants());
+    }
+
+    #[test]
+    fn batch_delete_slots_absorb_inserts() {
+        // A batch that deletes low-priority entries and inserts
+        // high-priority ones reuses the freed slots: cheaper than the
+        // naive sum.
+        let mut t = TcamTable::new(64, PlacementStrategy::PackedLow);
+        for i in 0..40u64 {
+            t.insert(rule(i, "10.0.0.0/8", 1000 - i as u32)).unwrap();
+        }
+        let ops = vec![
+            TcamOp::Delete(RuleId(39)),
+            TcamOp::Insert(rule(100, "10.0.0.0/8", 2000)),
+        ];
+        let rep = t.apply_batch(&ops).unwrap();
+        // The freed tail slot absorbs the top insert: everything between
+        // moves once — exactly the per-op cost here, never more.
+        assert!(rep.shifts <= rep.naive_shifts);
+        assert!(t.check_invariants());
+    }
+
+    #[test]
+    fn batch_empty_is_noop() {
+        let mut t = TcamTable::new(16, PlacementStrategy::PackedLow);
+        t.insert(rule(1, "10.0.0.0/8", 5)).unwrap();
+        let rep = t.apply_batch(&[]).unwrap();
+        assert_eq!(rep, BatchReport {
+            occupancy_before: 1,
+            ..BatchReport::default()
+        });
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn rebuild_layout_reports_moves_and_respects_capacity() {
+        let mut t = TcamTable::new(32, PlacementStrategy::Balanced);
+        t.set_slack(64); // more slack than capacity: must clamp
+        for i in 0..30u64 {
+            t.insert(rule(i, "10.0.0.0/8", i as u32 + 1)).unwrap();
+        }
+        let moved = t.rebuild_layout();
+        assert_eq!(moved, 30);
+        assert!(t.len() + t.gap_slots() <= t.capacity());
+        assert!(t.check_invariants());
+        // The table still accepts inserts up to capacity.
+        t.insert(rule(100, "10.0.0.0/8", 50)).unwrap();
+        t.insert(rule(101, "10.0.0.0/8", 51)).unwrap();
+        assert_eq!(t.len(), 32);
+        assert_eq!(t.insert(rule(102, "10.0.0.0/8", 52)), Err(TcamError::Full));
+        assert!(t.check_invariants());
     }
 }

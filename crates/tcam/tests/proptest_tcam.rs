@@ -4,7 +4,7 @@
 //! `hermes_util::check!` harness with pinned default seeds.
 
 use hermes_rules::prelude::*;
-use hermes_tcam::{PlacementStrategy, SimDuration, SwitchModel, TcamTable};
+use hermes_tcam::{PlacementStrategy, SimDuration, SwitchModel, TcamOp, TcamTable};
 use hermes_util::check::{arb, just, one_of, range, vec_of, weighted, zip2, zip3, Gen};
 
 #[derive(Clone, Debug)]
@@ -27,6 +27,39 @@ fn op() -> Gen<Op> {
             1,
             zip2(arb::<usize>(), range(0u32..48))
                 .map(|(idx, port)| Op::ModifyAction { idx, port }),
+        ),
+    ])
+}
+
+/// Abstract batch op: indices are resolved against the set of live ids at
+/// generation-replay time so every concrete batch is valid (the atomic
+/// rejection path has its own unit tests).
+#[derive(Clone, Debug)]
+enum BOp {
+    Insert { prio: u32, pfx_bits: u32, len: u8 },
+    Delete { idx: usize },
+    ModifyAction { idx: usize, port: u32 },
+    ModifyKey { idx: usize, pfx_bits: u32, len: u8 },
+}
+
+fn batch_op() -> Gen<BOp> {
+    weighted(vec![
+        (
+            4,
+            zip3(range(0u32..2000), arb::<u32>(), range(8u8..=30)).map(
+                |(prio, pfx_bits, len)| BOp::Insert { prio, pfx_bits, len },
+            ),
+        ),
+        (2, arb::<usize>().map(|idx| BOp::Delete { idx })),
+        (
+            1,
+            zip2(arb::<usize>(), range(0u32..48))
+                .map(|(idx, port)| BOp::ModifyAction { idx, port }),
+        ),
+        (
+            1,
+            zip3(arb::<usize>(), arb::<u32>(), range(8u8..=30))
+                .map(|(idx, pfx_bits, len)| BOp::ModifyKey { idx, pfx_bits, len }),
         ),
     ])
 }
@@ -128,6 +161,102 @@ hermes_util::check! {
                 }
             }
         }
+    }
+
+    /// `apply_batch` is observationally equivalent to the same ops applied
+    /// singly — identical final entries (including FIFO order among equal
+    /// priorities) — and the coalesced plan never bills more shifts than
+    /// the per-op sum. Exercised across all strategies and both dense and
+    /// gap-aware (slack) layouts.
+    fn batch_equals_sequential(
+        init in vec_of(zip3(range(0u32..500), arb::<u32>(), range(8u8..=28)), 0..40),
+        ops in vec_of(batch_op(), 1..60),
+        placement in strategy(),
+        slack in range(0usize..4),
+    ) {
+        const CAP: usize = 128;
+        let mut table = TcamTable::new(CAP, placement);
+        table.set_slack(slack);
+        let mut live: Vec<u64> = Vec::new();
+        for (i, (prio, bits, len)) in init.iter().enumerate() {
+            let r = Rule::new(
+                i as u64,
+                Ipv4Prefix::new(*bits, *len).to_key(),
+                Priority(*prio),
+                Action::Forward(i as u32),
+            );
+            table.insert(r).expect("capacity");
+            live.push(i as u64);
+        }
+        if slack > 0 {
+            table.rebuild_layout();
+        }
+        // Resolve the abstract ops into a concretely valid batch.
+        let mut next = 10_000u64;
+        let mut occ = table.len();
+        let mut concrete: Vec<TcamOp> = Vec::new();
+        for o in ops {
+            match o {
+                BOp::Insert { prio, pfx_bits, len } if occ < CAP => {
+                    concrete.push(TcamOp::Insert(Rule::new(
+                        next,
+                        Ipv4Prefix::new(pfx_bits, len).to_key(),
+                        Priority(prio),
+                        Action::Forward(7),
+                    )));
+                    live.push(next);
+                    next += 1;
+                    occ += 1;
+                }
+                BOp::Delete { idx } if !live.is_empty() => {
+                    let id = live.swap_remove(idx % live.len());
+                    concrete.push(TcamOp::Delete(RuleId(id)));
+                    occ -= 1;
+                }
+                BOp::ModifyAction { idx, port } if !live.is_empty() => {
+                    concrete.push(TcamOp::ModifyAction {
+                        id: RuleId(live[idx % live.len()]),
+                        action: Action::Forward(port),
+                    });
+                }
+                BOp::ModifyKey { idx, pfx_bits, len } if !live.is_empty() => {
+                    concrete.push(TcamOp::ModifyKey {
+                        id: RuleId(live[idx % live.len()]),
+                        key: Ipv4Prefix::new(pfx_bits, len).to_key(),
+                    });
+                }
+                _ => {} // op not applicable in this state; skip
+            }
+        }
+        // Sequential reference: same ops, one at a time.
+        let mut seq = table.clone();
+        let mut per_op_shifts = 0usize;
+        for op in &concrete {
+            match op {
+                TcamOp::Insert(r) => {
+                    per_op_shifts += seq.insert(*r).expect("valid by construction").shifts;
+                }
+                TcamOp::Delete(id) => {
+                    seq.delete(*id).expect("valid by construction");
+                }
+                TcamOp::ModifyAction { id, action } => {
+                    seq.modify_action(*id, *action).expect("valid by construction");
+                }
+                TcamOp::ModifyKey { id, key } => {
+                    seq.modify_key(*id, *key).expect("valid by construction");
+                }
+            }
+        }
+        let rep = table.apply_batch(&concrete).expect("valid by construction");
+        assert_eq!(table.entries(), seq.entries(), "final tables diverge");
+        assert_eq!(table.len(), seq.len());
+        assert!(
+            rep.shifts <= per_op_shifts,
+            "batch billed {} > per-op sum {}",
+            rep.shifts,
+            per_op_shifts
+        );
+        assert!(table.check_invariants());
     }
 
     /// Delete+reinsert is an identity for lookups (modulo FIFO ties).

@@ -5,24 +5,39 @@
 # crate dependencies — everything that would come from crates.io lives in
 # crates/util. Every cargo invocation below therefore runs with
 # `--offline`; if a network fetch would be needed, CI must fail.
+#
+# The pipeline is a sequence of named stages. Run them all (the default)
+# or a comma-separated subset:
+#
+#     CI_STAGES=lint,test scripts/ci.sh
+#
+# Each stage prints its elapsed wall-clock time on completion. Stage
+# order matters: later stages assume earlier ones' artifacts (e.g.
+# `perfgate` reuses the release binaries `build`/`bins` produced), so a
+# subset run may rebuild more than the full pipeline would.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== build (release, offline) =="
-cargo build --release --offline --workspace
+ALL_STAGES=(build lint lint_json clippy test bins bench chaos telemetry perfgate)
 
-echo "== hermes-lint: workspace invariants (incl. R4 hermeticity guard) =="
-# R4 subsumes the old `cargo metadata | python3` lockfile guard: every
-# Cargo.toml dependency must be a workspace path dep and Cargo.lock must
-# record no external package. R1/R2/R3/R5/R6 enforce determinism,
-# panic-policy, forbid(unsafe_code), the telemetry registry, and the
-# exp_* binary contract (DESIGN.md §9).
-cargo run --release --offline -q -p hermes-lint -- --workspace
+stage_build() {
+    cargo build --release --offline --workspace
+}
 
-echo "== hermes-lint: JSON report is schema-valid =="
-lint_json="$(mktemp)"
-cargo run --release --offline -q -p hermes-lint -- --workspace --json "$lint_json" >/dev/null
-python3 - "$lint_json" <<'PY'
+stage_lint() {
+    # R4 subsumes the old `cargo metadata | python3` lockfile guard: every
+    # Cargo.toml dependency must be a workspace path dep and Cargo.lock must
+    # record no external package. R1/R2/R3/R5/R6 enforce determinism,
+    # panic-policy, forbid(unsafe_code), the telemetry registry, and the
+    # exp_* binary contract (DESIGN.md §9).
+    cargo run --release --offline -q -p hermes-lint -- --workspace
+}
+
+stage_lint_json() {
+    local lint_json
+    lint_json="$(mktemp)"
+    cargo run --release --offline -q -p hermes-lint -- --workspace --json "$lint_json" >/dev/null
+    python3 - "$lint_json" <<'PY'
 import json, sys
 doc = json.load(open(sys.argv[1]))
 assert doc["schema"] == "hermes-lint-report/1", doc.get("schema")
@@ -37,51 +52,60 @@ assert not bare, "suppressions without reasons: %s" % bare
 print("ok: clean over %d files, %d reasoned suppression(s)"
       % (doc["files_scanned"], len(doc["suppressions"])))
 PY
-rm -f "$lint_json"
+    rm -f "$lint_json"
+}
 
-echo "== clippy (offline, -D warnings) =="
-cargo clippy --offline --workspace --all-targets -- -D warnings
+stage_clippy() {
+    cargo clippy --offline --workspace --all-targets -- -D warnings
+}
 
-echo "== tests (offline) =="
-cargo test -q --offline --workspace
+stage_test() {
+    cargo test -q --offline --workspace
+}
 
-echo "== experiment binaries build =="
-cargo build --release --offline -p hermes-bench --bins
+stage_bins() {
+    cargo build --release --offline -p hermes-bench --bins
+}
 
-echo "== bench harnesses build and smoke-run =="
-cargo build --release --offline --workspace --benches
-for b in bench_tcam bench_rules bench_hermes bench_netsim; do
-    HERMES_BENCH_FAST=1 HERMES_BENCH_SAMPLES=2 HERMES_BENCH_WARMUP_MS=1 \
-        cargo bench --offline -q -p hermes-bench --bench "$b" >/dev/null
-done
+stage_bench() {
+    cargo build --release --offline --workspace --benches
+    local b
+    for b in bench_tcam bench_rules bench_hermes bench_netsim; do
+        HERMES_BENCH_FAST=1 HERMES_BENCH_SAMPLES=2 HERMES_BENCH_WARMUP_MS=1 \
+            cargo bench --offline -q -p hermes-bench --bench "$b" >/dev/null
+    done
+}
 
-echo "== chaos smoke: fault-injected runs stay green and deterministic =="
-# The oracle chaos properties: random workloads under random fault plans
-# must recover to flat-table equivalence (DESIGN.md §7).
-cargo test -q --offline -p hermes-core --test oracle chaos
-# One full experiment under a pinned fault seed: must exit 0 (no panics
-# reachable from device faults) and reproduce byte-for-byte.
-chaos_out="$(mktemp)" chaos_out2="$(mktemp)"
-HERMES_FAULT_SEED=42 ./target/release/exp_fig12 > "$chaos_out"
-HERMES_FAULT_SEED=42 ./target/release/exp_fig12 > "$chaos_out2"
-cmp "$chaos_out" "$chaos_out2" \
-  || { echo "chaos run not deterministic under HERMES_FAULT_SEED"; exit 1; }
-rm -f "$chaos_out" "$chaos_out2"
-echo "ok: chaos suite + seeded experiment deterministic"
+stage_chaos() {
+    # The oracle chaos properties: random workloads under random fault plans
+    # must recover to flat-table equivalence (DESIGN.md §7).
+    cargo test -q --offline -p hermes-core --test oracle chaos
+    # One full experiment under a pinned fault seed: must exit 0 (no panics
+    # reachable from device faults) and reproduce byte-for-byte.
+    local chaos_out chaos_out2
+    chaos_out="$(mktemp)" chaos_out2="$(mktemp)"
+    HERMES_FAULT_SEED=42 ./target/release/exp_fig12 > "$chaos_out"
+    HERMES_FAULT_SEED=42 ./target/release/exp_fig12 > "$chaos_out2"
+    cmp "$chaos_out" "$chaos_out2" \
+      || { echo "chaos run not deterministic under HERMES_FAULT_SEED"; exit 1; }
+    rm -f "$chaos_out" "$chaos_out2"
+    echo "ok: chaos suite + seeded experiment deterministic"
+}
 
-echo "== telemetry smoke: seeded report is schema-valid and byte-identical =="
-# A traced, fault-seeded exp_fig9 run must emit a well-formed
-# hermes-bench-report/1 document (DESIGN.md "Observability") with at
-# least six subsystems contributing, and a repeat run with the same
-# seeds must reproduce it byte-for-byte.
-bench_dir="$(mktemp -d)"
-HERMES_TRACE=1 HERMES_FAULT_SEED=7 HERMES_GIT_REV=ci \
-    ./target/release/exp_fig9 --out "$bench_dir/a.json" >/dev/null
-HERMES_TRACE=1 HERMES_FAULT_SEED=7 HERMES_GIT_REV=ci \
-    ./target/release/exp_fig9 --out "$bench_dir/b.json" >/dev/null
-cmp "$bench_dir/a.json" "$bench_dir/b.json" \
-  || { echo "telemetry report not deterministic under HERMES_FAULT_SEED"; exit 1; }
-python3 - "$bench_dir/a.json" <<'PY'
+stage_telemetry() {
+    # A traced, fault-seeded exp_fig9 run must emit a well-formed
+    # hermes-bench-report/1 document (DESIGN.md "Observability") with at
+    # least six subsystems contributing, and a repeat run with the same
+    # seeds must reproduce it byte-for-byte.
+    local bench_dir
+    bench_dir="$(mktemp -d)"
+    HERMES_TRACE=1 HERMES_FAULT_SEED=7 HERMES_GIT_REV=ci \
+        ./target/release/exp_fig9 --out "$bench_dir/a.json" >/dev/null
+    HERMES_TRACE=1 HERMES_FAULT_SEED=7 HERMES_GIT_REV=ci \
+        ./target/release/exp_fig9 --out "$bench_dir/b.json" >/dev/null
+    cmp "$bench_dir/a.json" "$bench_dir/b.json" \
+      || { echo "telemetry report not deterministic under HERMES_FAULT_SEED"; exit 1; }
+    python3 - "$bench_dir/a.json" <<'PY'
 import json, sys
 doc = json.load(open(sys.argv[1]))
 assert doc["schema"] == "hermes-bench-report/1", doc.get("schema")
@@ -98,6 +122,57 @@ subsystems.update(span["subsystem"] for span in doc["spans"])
 assert len(subsystems) >= 6, "only %s contributed" % sorted(subsystems)
 print("ok: schema-valid, deterministic, subsystems: %s" % ", ".join(sorted(subsystems)))
 PY
-rm -rf "$bench_dir"
+    rm -rf "$bench_dir"
+}
 
-echo "== ci green =="
+stage_perfgate() {
+    # Regenerate the gated experiments under the pinned environment
+    # (bench_baselines/README.md) and compare their counters — exact
+    # match — against the committed baselines. Wall-clock is ignored;
+    # counter drift means behaviour changed and must be either fixed or
+    # explicitly re-baselined via scripts/refresh_baselines.sh.
+    cargo build --release --offline -q -p hermes-bench \
+        --bin exp_fig9 --bin exp_tcam_micro --bin exp_scale
+    local fresh_dir
+    fresh_dir="$(mktemp -d)"
+    local exp
+    for exp in fig9 tcam_micro scale; do
+        HERMES_TRACE=1 HERMES_FAULT_SEED=7 HERMES_GIT_REV=baseline \
+            "./target/release/exp_${exp}" --out "$fresh_dir/BENCH_${exp}.json" >/dev/null
+    done
+    python3 scripts/perfgate.py bench_baselines "$fresh_dir"
+    rm -rf "$fresh_dir"
+}
+
+wanted() {
+    local stage=$1
+    [[ -z "${CI_STAGES:-}" ]] && return 0
+    local s
+    IFS=',' read -ra sel <<< "$CI_STAGES"
+    for s in "${sel[@]}"; do
+        [[ "$s" == "$stage" ]] && return 0
+    done
+    return 1
+}
+
+# Reject typoed stage names up front instead of silently skipping them.
+if [[ -n "${CI_STAGES:-}" ]]; then
+    IFS=',' read -ra sel <<< "$CI_STAGES"
+    for s in "${sel[@]}"; do
+        known=0
+        for k in "${ALL_STAGES[@]}"; do [[ "$s" == "$k" ]] && known=1; done
+        [[ $known == 1 ]] || { echo "unknown CI stage '$s' (known: ${ALL_STAGES[*]})"; exit 2; }
+    done
+fi
+
+ran=0
+for stage in "${ALL_STAGES[@]}"; do
+    wanted "$stage" || continue
+    echo "== $stage =="
+    t0=$SECONDS
+    "stage_$stage"
+    echo "-- $stage done in $((SECONDS - t0))s --"
+    ran=$((ran + 1))
+done
+
+echo "== ci green ($ran stage(s)) =="

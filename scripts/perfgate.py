@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Perf regression gate: compare fresh BENCH_*.json reports to baselines.
+
+Usage:  perfgate.py <baseline_dir> <fresh_dir>
+
+For every BENCH_*.json in <baseline_dir>, loads the file of the same name
+from <fresh_dir> and compares ONLY the "counters" object, exact-match:
+
+  * fresh report file missing ................ FAIL
+  * counter present in baseline, not fresh ... FAIL (missing)
+  * counter present in fresh, not baseline ... FAIL (untracked — refresh
+                                                the baseline to admit it)
+  * counter value differs .................... FAIL (drift)
+
+Wall-clock, spans, series and histograms are deliberately ignored: the
+simulation's counters are deterministic under the pinned seed/env (see
+bench_baselines/README.md), so any delta is a behavioural change, not
+noise. Exit status is the number of failing reports (0 = gate passes).
+
+Baselines are refreshed with scripts/refresh_baselines.sh after an
+intentional behaviour change, and the refreshed files are committed so
+the diff is reviewable.
+"""
+
+import json
+import os
+import sys
+
+
+def load_counters(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    counters = doc.get("counters")
+    if not isinstance(counters, dict):
+        raise ValueError(f"{path}: no 'counters' object (schema {doc.get('schema')!r})")
+    return counters
+
+
+def compare(name, base, fresh):
+    """Returns a list of (metric, baseline, fresh, verdict) rows; empty = clean."""
+    rows = []
+    for key in sorted(set(base) | set(fresh)):
+        if key not in fresh:
+            rows.append((key, base[key], None, "MISSING"))
+        elif key not in base:
+            rows.append((key, None, fresh[key], "UNTRACKED"))
+        elif base[key] != fresh[key]:
+            rows.append((key, base[key], fresh[key], "DRIFT"))
+    return rows
+
+
+def fmt(v):
+    return "-" if v is None else str(v)
+
+
+def print_table(rows):
+    headers = ("metric", "baseline", "fresh", "delta", "verdict")
+    table = []
+    for metric, base, fresh, verdict in rows:
+        if isinstance(base, (int, float)) and isinstance(fresh, (int, float)):
+            delta = f"{fresh - base:+}"
+        else:
+            delta = "-"
+        table.append((metric, fmt(base), fmt(fresh), delta, verdict))
+    widths = [max(len(headers[i]), *(len(r[i]) for r in table)) for i in range(5)]
+    line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    print("    " + line)
+    print("    " + "  ".join("-" * w for w in widths))
+    for r in table:
+        print("    " + "  ".join(c.ljust(widths[i]) for i, c in enumerate(r)))
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    baseline_dir, fresh_dir = argv[1], argv[2]
+    names = sorted(
+        f for f in os.listdir(baseline_dir) if f.startswith("BENCH_") and f.endswith(".json")
+    )
+    if not names:
+        print(f"perfgate: no BENCH_*.json baselines in {baseline_dir}", file=sys.stderr)
+        return 2
+
+    failures = 0
+    for name in names:
+        base = load_counters(os.path.join(baseline_dir, name))
+        fresh_path = os.path.join(fresh_dir, name)
+        if not os.path.exists(fresh_path):
+            print(f"FAIL {name}: fresh report not produced ({fresh_path})")
+            failures += 1
+            continue
+        fresh = load_counters(fresh_path)
+        rows = compare(name, base, fresh)
+        if rows:
+            print(f"FAIL {name}: {len(rows)} counter(s) deviate from baseline")
+            print_table(rows)
+            failures += 1
+        else:
+            print(f"ok   {name}: {len(base)} counters match baseline")
+
+    if failures:
+        print(
+            f"\nperfgate: {failures}/{len(names)} report(s) regressed. If the change is"
+            " intentional, refresh with scripts/refresh_baselines.sh and commit the diff."
+        )
+    else:
+        print(f"\nperfgate: all {len(names)} report(s) match their baselines.")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
