@@ -1,0 +1,38 @@
+use hermes_rules::prelude::*;
+use hermes_tcam::{PlacementStrategy, TcamTable};
+
+fn rule(id: u64, p: Priority) -> Rule {
+    Rule::new(id, "10.0.0.0/8".parse::<Ipv4Prefix>().unwrap().to_key(), p, Action::Drop)
+}
+
+#[test]
+fn slack_plus_none_priority_overfill() {
+    let mut t = TcamTable::new(300, PlacementStrategy::PackedLow);
+    // 200 prioritized rules, then a slack relayout: blocks of 64, 2 gaps each.
+    for i in 0..200u64 {
+        t.insert(rule(i, Priority(10_000 - i as u32))).unwrap();
+    }
+    t.set_slack(2);
+    t.rebuild_layout();
+    let gaps0 = t.gap_slots();
+    eprintln!("after rebuild: len={} gaps={}", t.len(), gaps0);
+    // Exhaust the gaps in the LAST block with low-priority inserts.
+    let mut id = 1000u64;
+    for _ in 0..2 {
+        t.insert(rule(id, Priority(1))).unwrap();
+        id += 1;
+    }
+    eprintln!("after tail inserts: gaps={}", t.gap_slots());
+    // Fill with NONE-priority rules (never consume gaps) until
+    // len + gap_slots > capacity.
+    while t.len() + t.gap_slots() <= t.capacity() {
+        t.insert(rule(id, Priority::NONE)).unwrap();
+        id += 1;
+    }
+    eprintln!("overfilled: len={} gaps={} cap={}", t.len(), t.gap_slots(), t.capacity());
+    eprintln!("invariants hold: {}", t.check_invariants());
+    // A low-priority prioritized insert now reaches unreserved() with
+    // gaps only in earlier blocks.
+    let r = t.insert(rule(id, Priority(1)));
+    eprintln!("final insert: {:?}", r.map(|s| s.shifts));
+}
