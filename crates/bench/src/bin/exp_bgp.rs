@@ -79,16 +79,84 @@ fn main() -> std::process::ExitCode {
     hermes_bench::run_experiment("exp_bgp", run)
 }
 
+/// The `bgp-replay` scenario (`knobs.full_table = true`): preload a full
+/// DFZ-sized table — one announcement per pool prefix from its home peer,
+/// mirroring the trace's homing — then replay the bursty churn trace on
+/// top of it. This sizes the software RIB→FIB pipeline at real table
+/// scale (~900k prefixes); the TCAM-install leg is covered by the default
+/// mode (churn-only) and by `exp_scale`'s 1M-rule preload, since no
+/// modeled switch holds a full table.
+fn run_full_table(trace: &BgpTrace) {
+    let pool = trace.prefix_pool();
+    let peers = trace.peers.max(1);
+    let mut rib = Rib::new();
+    let mut fib = Fib::new();
+    let deltas = rib.preload(pool.iter().enumerate().map(|(i, &prefix)| {
+        let peer = (i % peers) as u32;
+        (
+            prefix,
+            BgpRoute {
+                local_pref: 100,
+                as_path_len: 1,
+                med: 0,
+                peer: PeerId(peer),
+                next_hop_port: peer + 1,
+            },
+        )
+    }));
+    let adds = deltas.len();
+    for d in deltas {
+        let _ = fib.compile(d);
+    }
+    println!(
+        "preload: {} prefixes -> {} FIB adds ({} FIB entries)",
+        pool.len(),
+        adds,
+        fib.len()
+    );
+    hermes_bench::report_meta("preload_fib_adds", &(adds as u64));
+
+    let updates = trace.generate();
+    let mut churn_actions = 0u64;
+    for u in &updates {
+        if let Some(delta) = rib.process(u.update) {
+            let _ = fib.compile(delta);
+            churn_actions += 1;
+        }
+    }
+    println!(
+        "churn: {} BGP updates -> {} FIB actions ({:.0}% suppressed on the full table); peak rate {:.0} upd/s",
+        updates.len(),
+        churn_actions,
+        100.0 * (1.0 - churn_actions as f64 / updates.len().max(1) as f64),
+        BgpTrace::peak_rate(&updates),
+    );
+    println!("final FIB: {} entries", fib.len());
+    hermes_bench::report_meta("churn_updates", &(updates.len() as u64));
+    hermes_bench::report_meta("churn_fib_actions", &churn_actions);
+    hermes_bench::report_meta("fib_entries", &(fib.len() as u64));
+}
+
 fn run() {
+    let sc = hermes_bench::scenario();
     let scale = hermes_bench::scale();
-    hermes_bench::report_meta("duration_s", &(60.0 * scale as f64));
-    hermes_bench::report_meta("prefixes", &800u64);
+    let duration_s = sc.knob_f64("duration_s", 60.0) * scale as f64;
+    let prefixes = sc.knob_u64("prefixes", 800) as usize;
+    let burst_rate = sc.knob_f64("burst_rate", 1500.0);
+    let full_table = sc.knob_bool("full_table", false);
+    hermes_bench::report_meta("duration_s", &duration_s);
+    hermes_bench::report_meta("prefixes", &(prefixes as u64));
     let trace = BgpTrace {
-        duration_s: 60.0 * scale as f64,
-        prefixes: 800,
+        duration_s,
+        prefixes,
+        burst_rate,
         ..Default::default()
     };
     println!("== §8.4: Hermes under BGP (5 ms guarantee) ==\n");
+    if full_table {
+        run_full_table(&trace);
+        return;
+    }
     let actions = fib_actions(&trace);
     let model = SwitchModel::pica8_p3290();
 

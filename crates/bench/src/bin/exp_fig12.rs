@@ -65,7 +65,8 @@ fn main() -> std::process::ExitCode {
 }
 
 fn run_experiment_body() {
-    let count = 3000 * hermes_bench::scale();
+    let count =
+        hermes_bench::scenario().knob_u64("count", 3000) as usize * hermes_bench::scale();
     hermes_bench::report_meta("count", &(count as u64));
     println!("== Figure 12: Hermes-SIMPLE vs threshold (1000 upd/s, 100% overlap) ==\n");
 

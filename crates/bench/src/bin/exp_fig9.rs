@@ -19,9 +19,12 @@ fn main() -> std::process::ExitCode {
 }
 
 fn run() {
+    let sc = hermes_bench::scenario();
     let scale = hermes_bench::scale();
-    hermes_bench::report_meta("facebook_jobs", &((300 * scale) as u64));
-    hermes_bench::report_meta("geant_duration_s", &(60.0 * scale as f64));
+    let facebook_jobs = sc.knob_u64("facebook_jobs", 300) as usize * scale;
+    let geant_duration_s = sc.knob_f64("geant_duration_s", 60.0) * scale as f64;
+    hermes_bench::report_meta("facebook_jobs", &(facebook_jobs as u64));
+    hermes_bench::report_meta("geant_duration_s", &geant_duration_s);
     hermes_bench::report_meta("sim_seeds", &vec![33u64, 34]);
     println!("== Figure 9: Flow Completion Time CDFs ==\n");
 
@@ -33,9 +36,9 @@ fn run() {
         println!("--- ({workload}) ---");
         let run = |kind: SwitchKind| {
             if workload == "Facebook" {
-                run_varys_facebook(kind, 300 * scale, 33)
+                run_varys_facebook(kind, facebook_jobs, 33)
             } else {
-                run_varys_geant(kind, 60.0 * scale as f64, 34)
+                run_varys_geant(kind, geant_duration_s, 34)
             }
         };
         let mut all: Vec<(String, Samples, Samples)> = Vec::new();

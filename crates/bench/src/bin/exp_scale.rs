@@ -99,7 +99,8 @@ fn main() -> std::process::ExitCode {
 }
 
 fn run() {
-    let n = 100_000 * hermes_bench::scale();
+    let n = hermes_bench::scenario().knob_u64("rules", 100_000) as usize
+        * hermes_bench::scale();
     hermes_bench::report_meta("n", &(n as u64));
     println!("== control-plane batching at scale: {n} rules ==\n");
 

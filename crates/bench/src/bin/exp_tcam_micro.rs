@@ -82,7 +82,8 @@ fn main() -> std::process::ExitCode {
 }
 
 fn run() {
-    let n = 100 * hermes_bench::scale();
+    let probes = hermes_bench::scenario().knob_u64("probes", 100) as usize;
+    let n = probes * hermes_bench::scale();
     hermes_bench::report_meta("n", &(n as u64));
     println!("== §2.1 microbenchmarks: TCAM behaviour ==\n");
 

@@ -9,9 +9,12 @@
 //! (who wins, by what factor, where crossovers fall) are the reproduction
 //! targets.
 //!
-//! Scale knobs: every binary accepts a `HERMES_SCALE` environment variable
-//! (default `1`) that multiplies workload sizes, so the full paper-scale
-//! runs are available without recompiling.
+//! Scale knobs: every binary loads a [`Scenario`] (see [`scenario`]) — a
+//! named entry of `scenarios/matrix.toml` when `HERMES_SCENARIO_FILE` /
+//! `HERMES_SCENARIO` are set (the harness does this), or a synthetic
+//! `adhoc` scenario otherwise. `HERMES_SCALE` (default `1`) multiplies
+//! workload sizes either way, so the full paper-scale runs are available
+//! without recompiling.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -19,6 +22,7 @@
 use hermes_baselines::{ControlPlane, CpQueue};
 use hermes_netsim::metrics::Samples;
 use hermes_tcam::{SimDuration, SimTime};
+use hermes_util::scenario::Scenario;
 use hermes_workloads::microbench::TimedAction;
 
 /// Result of driving a timed action stream through one control plane.
@@ -235,13 +239,83 @@ pub fn drive_batches<P: ControlPlane>(
     result
 }
 
-/// Reads the `HERMES_SCALE` workload multiplier (default 1).
+/// Loads this process's scenario configuration from the environment.
+///
+/// `HERMES_SCENARIO_FILE` + `HERMES_SCENARIO` select one entry of the
+/// shared scenario matrix (`hermes_util::scenario`; the harness sets
+/// both). Without them a synthetic `adhoc` scenario is built, so plain
+/// `./exp_*` invocations behave exactly as before. In both cases the bare
+/// environment variables (`HERMES_SCALE`, `HERMES_FAULT_SEED`,
+/// `HERMES_TRACE`) override the file: that is how the harness varies
+/// per-repetition fault seeds without editing the matrix, and how
+/// operators tweak one-off runs.
+fn load_scenario_from_env() -> Result<Scenario, String> {
+    let file = std::env::var("HERMES_SCENARIO_FILE").ok();
+    let name = std::env::var("HERMES_SCENARIO").ok();
+    let mut sc = match (&file, &name) {
+        (Some(f), Some(n)) => {
+            let matrix =
+                hermes_util::scenario::Matrix::load(std::path::Path::new(f)).map_err(|e| e.to_string())?;
+            matrix
+                .get(n)
+                .cloned()
+                .ok_or_else(|| format!("scenario {n:?} not found in {f}"))?
+        }
+        (Some(f), None) => {
+            return Err(format!(
+                "HERMES_SCENARIO_FILE={f} is set but HERMES_SCENARIO names no scenario"
+            ))
+        }
+        (None, _) => {
+            let mut sc = Scenario::with_defaults("adhoc");
+            // Ad-hoc runs arm telemetry from the environment only.
+            sc.trace = false;
+            sc
+        }
+    };
+    if let Ok(v) = std::env::var("HERMES_SCALE") {
+        sc.scale = v
+            .parse()
+            .ok()
+            .filter(|&s| s > 0)
+            .ok_or_else(|| format!("HERMES_SCALE={v} is not a positive integer"))?;
+    }
+    if let Ok(v) = std::env::var("HERMES_FAULT_SEED") {
+        sc.fault_seed = Some(
+            v.parse()
+                .map_err(|_| format!("HERMES_FAULT_SEED={v} is not an integer"))?,
+        );
+    }
+    if let Ok(v) = std::env::var("HERMES_TRACE") {
+        // Same convention as hermes_telemetry::init_from_env.
+        sc.trace = !(v.is_empty() || v == "0");
+    }
+    Ok(sc)
+}
+
+fn scenario_cached() -> &'static Result<Scenario, String> {
+    static SCENARIO: std::sync::OnceLock<Result<Scenario, String>> = std::sync::OnceLock::new();
+    SCENARIO.get_or_init(load_scenario_from_env)
+}
+
+/// The scenario this process runs under — the one loader every `exp_*`
+/// binary shares (DESIGN.md §11). Workload knobs come from
+/// [`Scenario::knob_u64`] and friends with the binary's historical
+/// defaults, so the named matrix entries and bare runs agree by
+/// construction.
+pub fn scenario() -> &'static Scenario {
+    match scenario_cached() {
+        Ok(sc) => sc,
+        // INVARIANT: run_experiment validates the scenario before any
+        // body (and therefore any scenario() call) runs; R6 pins every
+        // exp_* binary to run_experiment.
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// The workload multiplier (`HERMES_SCALE` / the scenario's `scale`).
 pub fn scale() -> usize {
-    std::env::var("HERMES_SCALE")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .filter(|&s| s > 0)
-        .unwrap_or(1)
+    scenario().scale as usize
 }
 
 /// Prints a CDF as aligned `value fraction` rows under a header, matching
@@ -484,9 +558,37 @@ pub fn catch_panic<T>(body: impl FnOnce() -> T) -> Result<T, String> {
 /// `BENCH_<exp>.json` report — to the path given by a uniform `--out`
 /// flag, or to stdout when tracing is enabled without one.
 pub fn run_experiment(name: &str, body: impl FnOnce()) -> std::process::ExitCode {
+    // Validate the scenario before anything else: a bad matrix file or a
+    // malformed env override must die with one diagnosable line, not a
+    // panic from deep inside the workload.
+    let sc = match scenario_cached() {
+        Ok(sc) => sc,
+        Err(e) => {
+            eprintln!("{name}: error: {e}");
+            return std::process::ExitCode::FAILURE;
+        }
+    };
+    // Project the scenario back into the environment for code that reads
+    // knobs directly (the tcam fault plan reads HERMES_FAULT_SEED, the
+    // telemetry layer reads HERMES_TRACE). Already-set variables win —
+    // they were the overrides that shaped the scenario in the first place.
+    for (k, v) in sc.env(None, 0).0 {
+        if matches!(k.as_str(), "HERMES_REP" | "HERMES_SCENARIO") {
+            continue;
+        }
+        if std::env::var_os(&k).is_none() {
+            std::env::set_var(&k, &v);
+        }
+    }
     hermes_telemetry::init_from_env();
     hermes_telemetry::reset();
     report_meta("scale", &(scale() as u64));
+    if sc.name != "adhoc" {
+        hermes_telemetry::set_meta(
+            "scenario",
+            hermes_util::json::Json::Str(sc.name.clone()),
+        );
+    }
     if let Ok(seed) = std::env::var("HERMES_FAULT_SEED") {
         hermes_telemetry::set_meta("fault_seed", hermes_util::json::Json::Str(seed));
     }

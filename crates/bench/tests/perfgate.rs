@@ -1,9 +1,14 @@
-//! Fixture tests for `scripts/perfgate.py` — the CI perf-regression gate.
+//! Fixture tests for `scripts/perfgate.py` — the two-tier CI
+//! perf-regression gate.
 //!
-//! The gate compares only the `counters` object of each BENCH report,
-//! exact-match. These tests drive the script with synthetic fixtures to
-//! pin its verdicts: identical counters pass; a drifted value, a missing
-//! key, an untracked key, or a missing fresh report all fail.
+//! Tier 1 (counters) compares only the `counters` object of each BENCH
+//! report, exact-match. These tests drive the script with synthetic
+//! fixtures to pin its verdicts: identical counters pass; a drifted
+//! value, a missing key, an untracked key, or a missing fresh report all
+//! fail. Tier 2 (wallclock) compares the measured medians in a
+//! `hermes-matrix-report/1` document against a committed tolerance-band
+//! envelope: in-band medians pass, out-of-band medians fail (SLOW),
+//! scenarios missing from either side fail (MISSING/UNTRACKED).
 //!
 //! The script is python3 + stdlib; when the interpreter is absent the
 //! tests skip (printed to stderr) rather than fail, so `cargo test`
@@ -130,6 +135,180 @@ fn missing_fresh_report_fails() {
     let (code, out) = f.run(py);
     assert_ne!(code, 0, "an unproduced report must fail the gate:\n{out}");
     assert!(out.contains("fresh report not produced"), "{out}");
+}
+
+/// A wall-clock baseline document for the tolerance-band tier.
+fn wall_baseline(band: f64, floor_ms: f64, scenarios: &[(&str, f64)]) -> String {
+    let body: Vec<String> = scenarios
+        .iter()
+        .map(|(name, ms)| format!("\"{name}\": {{\"median_ms\": {ms}}}"))
+        .collect();
+    format!(
+        "{{\"schema\": \"hermes-wallclock-baseline/1\", \"band\": {band}, \
+         \"floor_ms\": {floor_ms}, \"scenarios\": {{{}}}}}",
+        body.join(", ")
+    )
+}
+
+/// A full (non-canonical) hermes-matrix-report/1 document whose
+/// scenarios each carry a measured wall-clock median and clean reps.
+fn matrix_report(scenarios: &[(&str, f64)]) -> String {
+    let body: Vec<String> = scenarios
+        .iter()
+        .map(|(name, ms)| {
+            format!(
+                "{{\"name\": \"{name}\", \"bin\": \"stub\", \"runs\": 3, \
+                 \"clean_reps\": 3, \"errors\": [], \
+                 \"measured\": {{\"wall_ms\": {{\"reps\": 3, \"p50\": {ms}}}}}}}"
+            )
+        })
+        .collect();
+    format!(
+        "{{\"schema\": \"hermes-matrix-report/1\", \"kind\": \"full\", \
+         \"scenarios\": [{}]}}",
+        body.join(", ")
+    )
+}
+
+impl Fixture {
+    /// Runs the wallclock tier; returns (exit_code, stdout).
+    fn run_wallclock(&self, py: &str, baseline: &str, report: &str) -> (i32, String) {
+        std::fs::write(self.dir.join("wall_baseline.json"), baseline)
+            .expect("INVARIANT: temp dir is writable");
+        std::fs::write(self.dir.join("matrix_report.json"), report)
+            .expect("INVARIANT: temp dir is writable");
+        let out = Command::new(py)
+            .arg(repo_root().join("scripts/perfgate.py"))
+            .arg("wallclock")
+            .arg(self.dir.join("wall_baseline.json"))
+            .arg(self.dir.join("matrix_report.json"))
+            .output()
+            .expect("INVARIANT: python3 probed on PATH before running fixtures");
+        (
+            out.status.code().unwrap_or(-1),
+            String::from_utf8_lossy(&out.stdout).into_owned(),
+        )
+    }
+}
+
+#[test]
+fn wallclock_in_band_median_passes() {
+    let Some(py) = python3() else { return };
+    let f = Fixture::new("wall_pass");
+    // 115ms vs a 100ms baseline: inside the 25% band.
+    let (code, out) = f.run_wallclock(
+        py,
+        &wall_baseline(0.25, 5.0, &[("smoke-a", 100.0)]),
+        &matrix_report(&[("smoke-a", 115.0)]),
+    );
+    assert_eq!(code, 0, "in-band median must pass:\n{out}");
+    assert!(out.contains("within the wall-clock envelope"), "{out}");
+}
+
+#[test]
+fn wallclock_out_of_band_median_fails() {
+    let Some(py) = python3() else { return };
+    let f = Fixture::new("wall_slow");
+    // 200ms vs a 100ms baseline: above 100*(1.25) + 5 = 130ms.
+    let (code, out) = f.run_wallclock(
+        py,
+        &wall_baseline(0.25, 5.0, &[("smoke-a", 100.0)]),
+        &matrix_report(&[("smoke-a", 200.0)]),
+    );
+    assert_eq!(code, 1, "out-of-band median must fail:\n{out}");
+    assert!(out.contains("SLOW"), "verdict names the regression:\n{out}");
+}
+
+#[test]
+fn wallclock_floor_absorbs_ms_scale_noise() {
+    let Some(py) = python3() else { return };
+    let f = Fixture::new("wall_floor");
+    // A 10ms smoke scenario doubling to 20ms is scheduler noise when the
+    // absolute floor is 25ms — the band alone would flag it.
+    let (code, out) = f.run_wallclock(
+        py,
+        &wall_baseline(0.25, 25.0, &[("smoke-tiny", 10.0)]),
+        &matrix_report(&[("smoke-tiny", 20.0)]),
+    );
+    assert_eq!(code, 0, "floor must absorb ms-scale jitter:\n{out}");
+}
+
+#[test]
+fn wallclock_missing_and_untracked_scenarios_fail() {
+    let Some(py) = python3() else { return };
+    let f = Fixture::new("wall_keys");
+    let (code, out) = f.run_wallclock(
+        py,
+        &wall_baseline(0.25, 5.0, &[("tracked-gone", 100.0)]),
+        &matrix_report(&[("brand-new", 50.0)]),
+    );
+    assert_eq!(code, 1, "both scenario-set drifts must fail:\n{out}");
+    assert!(out.contains("MISSING"), "baseline-only scenario flagged:\n{out}");
+    assert!(out.contains("UNTRACKED"), "report-only scenario flagged:\n{out}");
+}
+
+#[test]
+fn wallclock_broken_reps_fail() {
+    let Some(py) = python3() else { return };
+    let f = Fixture::new("wall_broken");
+    let report = "{\"schema\": \"hermes-matrix-report/1\", \"kind\": \"full\", \
+                  \"scenarios\": [{\"name\": \"smoke-a\", \"runs\": 3, \"clean_reps\": 1, \
+                  \"measured\": {\"wall_ms\": {\"p50\": 100.0}}}]}";
+    let (code, out) = f.run_wallclock(
+        py,
+        &wall_baseline(0.25, 5.0, &[("smoke-a", 100.0)]),
+        report,
+    );
+    assert_eq!(code, 1, "failed repetitions must fail the gate:\n{out}");
+    assert!(out.contains("BROKEN"), "{out}");
+}
+
+#[test]
+fn wallclock_rejects_canonical_reports() {
+    let Some(py) = python3() else { return };
+    let f = Fixture::new("wall_canon");
+    let report = "{\"schema\": \"hermes-matrix-report/1\", \"kind\": \"canonical\", \
+                  \"scenarios\": []}";
+    let (code, _) = f.run_wallclock(py, &wall_baseline(0.25, 5.0, &[]), report);
+    assert_eq!(code, 2, "canonical summaries carry no measured section");
+}
+
+#[test]
+fn counters_subcommand_matches_legacy_form() {
+    let Some(py) = python3() else { return };
+    let f = Fixture::new("subcmd");
+    let doc = report(&[("a.x", 1)]);
+    f.write("base", "BENCH_a.json", &doc);
+    f.write("fresh", "BENCH_a.json", &doc);
+    let out = Command::new(py)
+        .arg(repo_root().join("scripts/perfgate.py"))
+        .arg("counters")
+        .arg(f.dir.join("base"))
+        .arg(f.dir.join("fresh"))
+        .output()
+        .expect("INVARIANT: python3 probed on PATH before running fixtures");
+    assert!(
+        out.status.success(),
+        "explicit counters subcommand must behave like the legacy form:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}
+
+#[test]
+fn committed_wallclock_baseline_is_wellformed() {
+    let Some(py) = python3() else { return };
+    // The committed envelope must parse and cover exactly the smoke
+    // scenarios ci.sh runs; an empty fresh report against it must flag
+    // every tracked scenario as MISSING (proving they are all tracked).
+    let f = Fixture::new("wall_committed");
+    let baseline = std::fs::read_to_string(repo_root().join("bench_baselines/wallclock.json"))
+        .expect("committed wall-clock baseline exists");
+    let empty = "{\"schema\": \"hermes-matrix-report/1\", \"kind\": \"full\", \
+                 \"scenarios\": []}";
+    let (code, out) = f.run_wallclock(py, &baseline, empty);
+    assert_eq!(code, 1, "two tracked smoke scenarios must be MISSING:\n{out}");
+    assert!(out.contains("smoke-tcam"), "{out}");
+    assert!(out.contains("smoke-chaos"), "{out}");
 }
 
 #[test]

@@ -1,0 +1,35 @@
+//! # hermes-harness — the process-level scenario orchestrator
+//!
+//! Everything before this crate measures Hermes *inside* one process; the
+//! harness measures the binaries the way CI and operators actually run
+//! them (DESIGN.md §11). It loads the scenario matrix
+//! (`scenarios/matrix.toml`, parsed by [`hermes_util::scenario`] — the
+//! same parser the binaries use), spawns each scenario's release
+//! `exp_*` binary as an OS process `runs` seeded times, samples
+//! `/proc/<pid>/{statm,stat}` for RSS/CPU while the child runs, merges
+//! the emitted `BENCH_*.json` reports, and writes a versioned
+//! [`report::SCHEMA`] (`hermes-matrix-report/1`) summary with
+//! nearest-rank percentiles and confidence intervals.
+//!
+//! The report splits into two halves with different determinism
+//! contracts:
+//!
+//! * **merged** — everything derived from the children's BENCH reports
+//!   (counters, histograms, exit statuses). A pure function of the
+//!   matrix and the seeds: byte-identical across identical runs, which
+//!   is what the *canonical summary* contains and what the determinism
+//!   tests pin.
+//! * **measured** — wall-clock, peak RSS and CPU time observed from
+//!   outside. Jittery by nature; gated not byte-wise but by
+//!   `scripts/perfgate.py wallclock`'s tolerance band.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod merge;
+pub mod procsample;
+pub mod report;
+pub mod run;
+
+pub use merge::{MergedHistogram, MergedScenario};
+pub use run::{run_matrix, MatrixRun, RepResult, RunConfig, ScenarioRun};

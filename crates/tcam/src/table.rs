@@ -563,6 +563,19 @@ impl TcamTable {
         self.next_seq += 1;
         let (bi, wi, pos) = self.insertion_point(key);
         let shifts = if rule.priority.is_none() {
+            // Free placement, but the rule still occupies a physical slot:
+            // once every free slot is reserved as slack, it must consume
+            // the nearest gap or `len + gaps` overruns the capacity and
+            // `unreserved` underflows on the next prioritized insert.
+            if self.unreserved() == 0 && self.gap_slots() > 0 {
+                let consume = match self.strategy {
+                    PlacementStrategy::PackedHigh => self.backward_gap_cost(bi, wi, pos).1,
+                    _ => self.forward_gap_cost(bi, wi, pos).1,
+                };
+                if let Some(g) = consume {
+                    self.blocks[g].gaps -= 1;
+                }
+            }
             0
         } else {
             self.plan_single_insert(bi, wi, pos)

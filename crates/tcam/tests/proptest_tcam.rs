@@ -4,7 +4,7 @@
 //! `hermes_util::check!` harness with pinned default seeds.
 
 use hermes_rules::prelude::*;
-use hermes_tcam::{PlacementStrategy, SimDuration, SwitchModel, TcamOp, TcamTable};
+use hermes_tcam::{PlacementStrategy, SimDuration, SwitchModel, TcamError, TcamOp, TcamTable};
 use hermes_util::check::{arb, just, one_of, range, vec_of, weighted, zip2, zip3, Gen};
 
 #[derive(Clone, Debug)]
@@ -60,6 +60,41 @@ fn batch_op() -> Gen<BOp> {
             1,
             zip3(arb::<usize>(), arb::<u32>(), range(8u8..=30))
                 .map(|(idx, pfx_bits, len)| BOp::ModifyKey { idx, pfx_bits, len }),
+        ),
+    ])
+}
+
+/// Raw batch op with *unresolved* ids: duplicates, deletes of dead rules
+/// and capacity overruns are all reachable, so the generated batches
+/// exercise the atomic-rejection path as often as the happy path.
+#[derive(Clone, Debug)]
+enum RawOp {
+    Insert { id: u64, prio: u32, pfx_bits: u32, len: u8 },
+    Delete { id: u64 },
+    ModifyAction { id: u64, port: u32 },
+    ModifyKey { id: u64, pfx_bits: u32, len: u8 },
+}
+
+fn raw_op() -> Gen<RawOp> {
+    // Ids from a pool barely larger than the table keeps collisions with
+    // live and batch-pending rules frequent.
+    let id = || range(0u64..24);
+    weighted(vec![
+        (
+            4,
+            zip3(id(), range(0u32..100), zip2(arb::<u32>(), range(8u8..=28))).map(
+                |(id, prio, (pfx_bits, len))| RawOp::Insert { id, prio, pfx_bits, len },
+            ),
+        ),
+        (2, id().map(|id| RawOp::Delete { id })),
+        (
+            1,
+            zip2(id(), range(0u32..48)).map(|(id, port)| RawOp::ModifyAction { id, port }),
+        ),
+        (
+            1,
+            zip3(id(), arb::<u32>(), range(8u8..=28))
+                .map(|(id, pfx_bits, len)| RawOp::ModifyKey { id, pfx_bits, len }),
         ),
     ])
 }
@@ -259,6 +294,89 @@ hermes_util::check! {
         assert!(table.check_invariants());
     }
 
+    /// `apply_batch` over *unvalidated* mixed op sequences — duplicate
+    /// ids, deletes/modifies of dead rules, capacity overruns — agrees
+    /// with sequential semantics on both sides of the validity line: a
+    /// batch that would fail sequentially is rejected with exactly the
+    /// first sequential error and the table untouched; a batch that
+    /// would succeed matches the sequential outcome.
+    fn batch_rejection_is_atomic_and_matches_sequential(
+        init_n in range(0usize..14),
+        ops in vec_of(raw_op(), 1..40),
+        placement in strategy(),
+        slack in range(0usize..3),
+    ) {
+        const CAP: usize = 16;
+        let mut table = TcamTable::new(CAP, placement);
+        table.set_slack(slack);
+        for i in 0..init_n as u64 {
+            table
+                .insert(Rule::new(
+                    i,
+                    Ipv4Prefix::new(i as u32 * 7919, 24).to_key(),
+                    Priority(i as u32 + 1),
+                    Action::Forward(i as u32),
+                ))
+                .expect("capacity");
+        }
+        if slack > 0 {
+            table.rebuild_layout();
+        }
+        let concrete: Vec<TcamOp> = ops
+            .iter()
+            .map(|o| match *o {
+                RawOp::Insert { id, prio, pfx_bits, len } => TcamOp::Insert(Rule::new(
+                    id,
+                    Ipv4Prefix::new(pfx_bits, len).to_key(),
+                    Priority(prio),
+                    Action::Forward(9),
+                )),
+                RawOp::Delete { id } => TcamOp::Delete(RuleId(id)),
+                RawOp::ModifyAction { id, port } => TcamOp::ModifyAction {
+                    id: RuleId(id),
+                    action: Action::Forward(port),
+                },
+                RawOp::ModifyKey { id, pfx_bits, len } => TcamOp::ModifyKey {
+                    id: RuleId(id),
+                    key: Ipv4Prefix::new(pfx_bits, len).to_key(),
+                },
+            })
+            .collect();
+        // Sequential reference: apply singly, first error wins.
+        let mut seq = table.clone();
+        let mut first_err = None;
+        for op in &concrete {
+            let r = match op {
+                TcamOp::Insert(r) => seq.insert(*r).map(|_| ()),
+                TcamOp::Delete(id) => seq.delete(*id).map(|_| ()),
+                TcamOp::ModifyAction { id, action } => seq.modify_action(*id, *action),
+                TcamOp::ModifyKey { id, key } => seq.modify_key(*id, *key),
+            };
+            if let Err(e) = r {
+                first_err = Some(e);
+                break;
+            }
+        }
+        let before = table.entries();
+        match (table.apply_batch(&concrete), first_err) {
+            (Ok(_), None) => {
+                assert_eq!(table.entries(), seq.entries(), "valid batch diverges from sequential");
+            }
+            (Err(got), Some(want)) => {
+                assert_eq!(got, want, "batch error differs from first sequential error");
+                assert_eq!(
+                    table.entries(),
+                    before,
+                    "rejected batch must leave the table untouched"
+                );
+            }
+            (got, want) => panic!(
+                "batch validity disagrees with sequential: batch={got:?} sequential={want:?}"
+            ),
+        }
+        assert!(table.check_invariants());
+    }
+
     /// Delete+reinsert is an identity for lookups (modulo FIFO ties).
     fn delete_reinsert_identity(
         rules in vec_of(zip3(range(1u32..1000), arb::<u32>(), range(8u8..=24)), 2..30),
@@ -292,4 +410,54 @@ hermes_util::check! {
         let after: Vec<_> = probes.iter().map(|&p| table.peek((p as u128) << 96)).collect();
         assert_eq!(before, after);
     }
+}
+
+/// Regression (promoted from a scratch repro): priority-free inserts land
+/// without shifts, but they still occupy physical slots. Once a slack
+/// relayout reserves every remaining free slot as a gap, each further
+/// `Priority::NONE` insert must consume a gap — the old code skipped gap
+/// accounting on the free-placement path, let `len + gaps` overrun the
+/// capacity, and the next prioritized insert underflowed `unreserved()`.
+#[test]
+fn none_priority_overfill_consumes_reserved_gaps() {
+    let rule = |id: u64, p: Priority| {
+        Rule::new(
+            id,
+            "10.0.0.0/8".parse::<Ipv4Prefix>().expect("static prefix").to_key(),
+            p,
+            Action::Drop,
+        )
+    };
+    let mut t = TcamTable::new(300, PlacementStrategy::PackedLow);
+    for i in 0..200u64 {
+        t.insert(rule(i, Priority(10_000 - i as u32))).expect("capacity");
+    }
+    t.set_slack(2);
+    t.rebuild_layout();
+    assert!(t.gap_slots() > 0, "slack relayout must reserve gaps");
+    // Exhaust the trailing unreserved space with low-priority inserts, so
+    // all remaining free slots are reserved gaps.
+    let mut id = 1000u64;
+    while t.len() + t.gap_slots() < t.capacity() {
+        t.insert(rule(id, Priority(1))).expect("capacity");
+        id += 1;
+    }
+    // Fill to capacity with priority-free rules: each one now consumes a
+    // reserved gap and the layout invariant holds at every step.
+    while t.len() < t.capacity() {
+        t.insert(rule(id, Priority::NONE)).expect("gaps must absorb free-placement inserts");
+        id += 1;
+        assert!(
+            t.len() + t.gap_slots() <= t.capacity(),
+            "len {} + gaps {} overran capacity {}",
+            t.len(),
+            t.gap_slots(),
+            t.capacity()
+        );
+        assert!(t.check_invariants());
+    }
+    assert_eq!(t.gap_slots(), 0, "filling to capacity consumes every gap");
+    // At capacity both insert flavors report Full instead of panicking.
+    assert_eq!(t.insert(rule(id, Priority(1))).unwrap_err(), TcamError::Full);
+    assert_eq!(t.insert(rule(id, Priority::NONE)).unwrap_err(), TcamError::Full);
 }

@@ -29,4 +29,5 @@ pub mod bench;
 pub mod check;
 pub mod json;
 pub mod rng;
+pub mod scenario;
 pub mod stats;

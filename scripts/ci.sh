@@ -18,7 +18,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-ALL_STAGES=(build lint lint_json clippy test bins bench chaos telemetry perfgate)
+ALL_STAGES=(build lint lint_json clippy test bins bench chaos telemetry perfgate matrix_smoke)
 
 stage_build() {
     cargo build --release --offline --workspace
@@ -142,6 +142,44 @@ stage_perfgate() {
     done
     python3 scripts/perfgate.py bench_baselines "$fresh_dir"
     rm -rf "$fresh_dir"
+}
+
+stage_matrix_smoke() {
+    # Tier-2 perf gate: hermes-harness runs the two fast scenarios from
+    # the committed matrix (N=3 seeded reps each), and the merged
+    # hermes-matrix-report/1 summary is schema-validated (blocking).
+    # The wall-clock tolerance-band comparison against
+    # bench_baselines/wallclock.json is NON-BLOCKING on this first
+    # landing — shared CI runners have noisy wall clocks; flip it to
+    # blocking once the envelope has soaked (DESIGN.md §11).
+    cargo build --release --offline -q -p hermes-harness --bin hermes-harness
+    cargo build --release --offline -q -p hermes-bench \
+        --bin exp_tcam_micro --bin exp_fig12
+    local smoke_dir
+    smoke_dir="$(mktemp -d)"
+    ./target/release/hermes-harness \
+        --matrix scenarios/matrix.toml \
+        --bin-dir target/release \
+        --out "$smoke_dir" \
+        --scenarios smoke-tcam,smoke-chaos
+    python3 - "$smoke_dir/matrix_report.json" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "hermes-matrix-report/1", doc.get("schema")
+assert doc["kind"] == "full", doc.get("kind")
+names = {sc["name"] for sc in doc["scenarios"]}
+assert names == {"smoke-tcam", "smoke-chaos"}, names
+for sc in doc["scenarios"]:
+    assert sc["clean_reps"] == sc["runs"], (sc["name"], sc["errors"])
+    assert sc["measured"]["wall_ms"]["p50"] > 0, sc["name"]
+    assert sc["measured"]["max_rss_bytes"]["p50"] > 0, sc["name"]
+    assert sc["merged"]["reports"] == sc["runs"], sc["name"]
+print("ok: matrix report schema-valid, %d scenario(s) clean" % len(names))
+PY
+    python3 scripts/perfgate.py wallclock \
+        bench_baselines/wallclock.json "$smoke_dir/matrix_report.json" \
+      || echo "matrix_smoke: wall-clock band exceeded (non-blocking while the envelope soaks)"
+    rm -rf "$smoke_dir"
 }
 
 wanted() {

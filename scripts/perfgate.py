@@ -1,10 +1,14 @@
 #!/usr/bin/env python3
-"""Perf regression gate: compare fresh BENCH_*.json reports to baselines.
+"""Two-tier perf regression gate.
 
-Usage:  perfgate.py <baseline_dir> <fresh_dir>
+Usage:
+  perfgate.py counters  <baseline_dir> <fresh_dir>
+  perfgate.py wallclock <baseline.json> <matrix_report.json> [--band FRAC]
+  perfgate.py <baseline_dir> <fresh_dir>          (legacy = counters)
 
-For every BENCH_*.json in <baseline_dir>, loads the file of the same name
-from <fresh_dir> and compares ONLY the "counters" object, exact-match:
+Tier 1 — counters (exact). For every BENCH_*.json in <baseline_dir>,
+loads the file of the same name from <fresh_dir> and compares ONLY the
+"counters" object, exact-match:
 
   * fresh report file missing ................ FAIL
   * counter present in baseline, not fresh ... FAIL (missing)
@@ -12,14 +16,30 @@ from <fresh_dir> and compares ONLY the "counters" object, exact-match:
                                                 the baseline to admit it)
   * counter value differs .................... FAIL (drift)
 
-Wall-clock, spans, series and histograms are deliberately ignored: the
-simulation's counters are deterministic under the pinned seed/env (see
-bench_baselines/README.md), so any delta is a behavioural change, not
-noise. Exit status is the number of failing reports (0 = gate passes).
+The simulation's counters are deterministic under the pinned seed/env
+(see bench_baselines/README.md), so any delta is a behavioural change,
+not noise.
 
-Baselines are refreshed with scripts/refresh_baselines.sh after an
-intentional behaviour change, and the refreshed files are committed so
-the diff is reviewable.
+Tier 2 — wallclock (tolerance band). Compares the measured wall-clock
+medians in a hermes-matrix-report/1 document (produced by
+hermes-harness) against a committed envelope:
+
+  * scenario in baseline, not in report ...... FAIL (MISSING)
+  * scenario in report, not in baseline ...... FAIL (UNTRACKED)
+  * failed repetitions in the report ......... FAIL (BROKEN)
+  * median above baseline*(1+band)+floor ..... FAIL (SLOW)
+  * median below baseline*(1-band)-floor ..... note only (FAST — refresh
+                                                to bank the improvement)
+
+The band (default from the baseline file, overridable with --band) plus
+an absolute floor_ms absorb scheduler noise; millisecond-scale smoke
+scenarios are floor-dominated by design. Medians-of-N keep single
+outlier reps from tripping the gate.
+
+Exit status: 0 = gate passes, 1 = regressions found, 2 = usage or
+malformed-input error. Baselines are refreshed with scripts/refresh_baselines.sh after
+an intentional change, and the refreshed files are committed so the diff
+is reviewable.
 """
 
 import json
@@ -27,9 +47,13 @@ import os
 import sys
 
 
-def load_counters(path):
+def load_json(path):
     with open(path, "r", encoding="utf-8") as fh:
-        doc = json.load(fh)
+        return json.load(fh)
+
+
+def load_counters(path):
+    doc = load_json(path)
     counters = doc.get("counters")
     if not isinstance(counters, dict):
         raise ValueError(f"{path}: no 'counters' object (schema {doc.get('schema')!r})")
@@ -50,7 +74,11 @@ def compare(name, base, fresh):
 
 
 def fmt(v):
-    return "-" if v is None else str(v)
+    if v is None:
+        return "-"
+    if isinstance(v, float):
+        return f"{v:.1f}"
+    return str(v)
 
 
 def print_table(rows):
@@ -58,7 +86,9 @@ def print_table(rows):
     table = []
     for metric, base, fresh, verdict in rows:
         if isinstance(base, (int, float)) and isinstance(fresh, (int, float)):
-            delta = f"{fresh - base:+}"
+            delta = f"{fresh - base:+.1f}" if isinstance(base, float) or isinstance(
+                fresh, float
+            ) else f"{fresh - base:+}"
         else:
             delta = "-"
         table.append((metric, fmt(base), fmt(fresh), delta, verdict))
@@ -70,11 +100,7 @@ def print_table(rows):
         print("    " + "  ".join(c.ljust(widths[i]) for i, c in enumerate(r)))
 
 
-def main(argv):
-    if len(argv) != 3:
-        print(__doc__.strip(), file=sys.stderr)
-        return 2
-    baseline_dir, fresh_dir = argv[1], argv[2]
+def run_counters(baseline_dir, fresh_dir):
     names = sorted(
         f for f in os.listdir(baseline_dir) if f.startswith("BENCH_") and f.endswith(".json")
     )
@@ -107,6 +133,139 @@ def main(argv):
     else:
         print(f"\nperfgate: all {len(names)} report(s) match their baselines.")
     return 1 if failures else 0
+
+
+def report_medians(report):
+    """scenario name -> (median wall ms, failed rep count) from a
+    hermes-matrix-report/1 document."""
+    if report.get("schema") != "hermes-matrix-report/1":
+        raise ValueError(f"not a hermes-matrix-report/1 document: {report.get('schema')!r}")
+    if report.get("kind") == "canonical":
+        raise ValueError("wallclock tier needs the full report (canonical omits 'measured')")
+    out = {}
+    for sc in report.get("scenarios", []):
+        measured = sc.get("measured") or {}
+        wall = measured.get("wall_ms") or {}
+        runs = sc.get("runs", 0)
+        clean = sc.get("clean_reps", 0)
+        out[sc["name"]] = (wall.get("p50"), runs - clean)
+    return out
+
+
+def run_wallclock(baseline_path, report_path, band_override=None):
+    base = load_json(baseline_path)
+    if base.get("schema") != "hermes-wallclock-baseline/1":
+        print(
+            f"perfgate: {baseline_path}: not a hermes-wallclock-baseline/1 document",
+            file=sys.stderr,
+        )
+        return 2
+    default_band = band_override if band_override is not None else base.get("band", 0.25)
+    default_floor = base.get("floor_ms", 20.0)
+    scenarios = base.get("scenarios", {})
+    try:
+        fresh = report_medians(load_json(report_path))
+    except ValueError as e:
+        print(f"perfgate: {report_path}: {e}", file=sys.stderr)
+        return 2
+
+    failures = 0
+    for name in sorted(set(scenarios) | set(fresh)):
+        if name not in fresh:
+            print(f"FAIL {name}: scenario in baseline but absent from the report (MISSING)")
+            failures += 1
+            continue
+        median, broken_reps = fresh[name]
+        if name not in scenarios:
+            print(
+                f"FAIL {name}: scenario not in the wall-clock baseline (UNTRACKED —"
+                " refresh to admit it)"
+            )
+            failures += 1
+            continue
+        if broken_reps:
+            print(f"FAIL {name}: {broken_reps} repetition(s) failed (BROKEN)")
+            failures += 1
+            continue
+        entry = scenarios[name]
+        base_ms = entry["median_ms"]
+        band = band_override if band_override is not None else entry.get("band", default_band)
+        floor = entry.get("floor_ms", default_floor)
+        limit = base_ms * (1.0 + band) + floor
+        fast_mark = base_ms * (1.0 - band) - floor
+        if median is None:
+            print(f"FAIL {name}: report carries no wall-clock median (BROKEN)")
+            failures += 1
+        elif median > limit:
+            print(
+                f"FAIL {name}: median {median:.1f}ms above envelope {limit:.1f}ms"
+                f" (baseline {base_ms:.1f}ms, band {band:.0%}, floor {floor:.0f}ms) (SLOW)"
+            )
+            failures += 1
+        elif median < fast_mark:
+            print(
+                f"ok   {name}: median {median:.1f}ms well below baseline {base_ms:.1f}ms"
+                " (FAST — consider refreshing to bank the improvement)"
+            )
+        else:
+            print(
+                f"ok   {name}: median {median:.1f}ms within envelope"
+                f" [{max(fast_mark, 0.0):.1f}, {limit:.1f}]ms"
+            )
+
+    total = len(set(scenarios) | set(fresh))
+    if failures:
+        print(
+            f"\nperfgate: {failures}/{total} scenario(s) out of band. If the change is"
+            " intentional, refresh with scripts/refresh_baselines.sh and commit the diff."
+        )
+    else:
+        print(f"\nperfgate: all {total} scenario(s) within the wall-clock envelope.")
+    return 1 if failures else 0
+
+
+def main(argv):
+    args = argv[1:]
+    if len(args) == 2 and args[0] not in ("counters", "wallclock"):
+        # Legacy two-positional form.
+        return run_counters(args[0], args[1])
+    if not args:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    mode, rest = args[0], args[1:]
+    if mode == "counters" and len(rest) == 2:
+        return run_counters(rest[0], rest[1])
+    if mode == "wallclock":
+        band = None
+        positional = []
+        i = 0
+        while i < len(rest):
+            if rest[i] == "--band":
+                if i + 1 >= len(rest):
+                    print("perfgate: --band needs a value", file=sys.stderr)
+                    return 2
+                try:
+                    band = float(rest[i + 1])
+                except ValueError:
+                    print(f"perfgate: bad --band {rest[i + 1]!r}", file=sys.stderr)
+                    return 2
+                i += 2
+            elif rest[i].startswith("--band="):
+                try:
+                    band = float(rest[i].split("=", 1)[1])
+                except ValueError:
+                    print(f"perfgate: bad {rest[i]!r}", file=sys.stderr)
+                    return 2
+                i += 1
+            else:
+                positional.append(rest[i])
+                i += 1
+        if len(positional) != 2:
+            print(__doc__.strip(), file=sys.stderr)
+            return 2
+        return run_wallclock(positional[0], positional[1], band)
+    print(__doc__.strip(), file=sys.stderr)
+    return 2
 
 
 if __name__ == "__main__":
