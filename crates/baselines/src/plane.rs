@@ -9,7 +9,7 @@
 
 use hermes_core::prelude::*;
 use hermes_rules::prelude::*;
-use hermes_tcam::{SimDuration, SimTime, SwitchModel, TcamDevice};
+use hermes_tcam::{CrashKind, SimDuration, SimTime, SwitchModel, TcamDevice};
 
 /// Outcome of one control action inside a batch.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -81,6 +81,31 @@ pub trait ControlPlane {
     fn recovery_stats(&self) -> Option<RecoveryStats> {
         None
     }
+
+    /// Crashes the switch (simulated power loss / agent reboot). Planes
+    /// without a crash fault domain ignore the injection: their control
+    /// session is assumed eternally healthy, matching pre-crash-layer
+    /// behaviour.
+    fn inject_crash(
+        &mut self,
+        _kind: CrashKind,
+        _survivor_seed: u64,
+        _reconnect_denials: u32,
+        _now: SimTime,
+    ) {
+    }
+
+    /// Whether the control session is currently dead (crash window still
+    /// open). Always `false` for planes without a fault domain.
+    fn is_down(&self) -> bool {
+        false
+    }
+
+    /// Resync-subsystem health counters (`None` for planes without a
+    /// crash/resync engine).
+    fn resync_stats(&self) -> Option<ResyncStats> {
+        None
+    }
 }
 
 impl ControlPlane for Box<dyn ControlPlane> {
@@ -110,6 +135,24 @@ impl ControlPlane for Box<dyn ControlPlane> {
 
     fn recovery_stats(&self) -> Option<RecoveryStats> {
         (**self).recovery_stats()
+    }
+
+    fn inject_crash(
+        &mut self,
+        kind: CrashKind,
+        survivor_seed: u64,
+        reconnect_denials: u32,
+        now: SimTime,
+    ) {
+        (**self).inject_crash(kind, survivor_seed, reconnect_denials, now)
+    }
+
+    fn is_down(&self) -> bool {
+        (**self).is_down()
+    }
+
+    fn resync_stats(&self) -> Option<ResyncStats> {
+        (**self).resync_stats()
     }
 }
 
@@ -281,6 +324,25 @@ impl ControlPlane for HermesPlane {
 
     fn recovery_stats(&self) -> Option<RecoveryStats> {
         Some(self.switch.recovery_stats())
+    }
+
+    fn inject_crash(
+        &mut self,
+        kind: CrashKind,
+        survivor_seed: u64,
+        reconnect_denials: u32,
+        now: SimTime,
+    ) {
+        self.switch
+            .inject_crash(kind, survivor_seed, reconnect_denials, now);
+    }
+
+    fn is_down(&self) -> bool {
+        self.switch.is_down()
+    }
+
+    fn resync_stats(&self) -> Option<ResyncStats> {
+        Some(self.switch.resync_stats())
     }
 }
 

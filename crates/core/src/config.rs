@@ -2,6 +2,7 @@
 
 use crate::predict::{Corrector, PredictorKind};
 use crate::recovery::RetryPolicy;
+use crate::resync::ResyncPolicy;
 use hermes_rules::prelude::*;
 use hermes_tcam::SimDuration;
 
@@ -122,6 +123,9 @@ pub struct HermesConfig {
     /// (batched control channel: one handshake, one coalesced shift plan).
     /// Disable for the legacy per-rule migration path (ablation).
     pub batched_migration: bool,
+    /// Crash-resync policy: warm/cold reboot mode, reconnect backoff and
+    /// the intent-store checkpoint interval.
+    pub resync: ResyncPolicy,
 }
 
 impl Default for HermesConfig {
@@ -139,6 +143,7 @@ impl Default for HermesConfig {
             retry: RetryPolicy::default(),
             degraded_threshold: 2,
             batched_migration: true,
+            resync: ResyncPolicy::default(),
         }
     }
 }

@@ -52,6 +52,7 @@ pub mod multitable;
 pub mod partition;
 pub mod predict;
 pub mod recovery;
+pub mod resync;
 pub mod switch;
 
 /// Convenient glob-import of the crate's main types.
@@ -64,6 +65,9 @@ pub mod prelude {
     pub use crate::partition::{partition_new_rule, PartitionOutcome};
     pub use crate::predict::{Arma, Corrector, CubicSpline, Ewma, Predictor, PredictorKind};
     pub use crate::recovery::{AuditReport, RecoveryStats, RetryPolicy};
+    pub use crate::resync::{
+        IntentOp, IntentStore, ResyncMode, ResyncPolicy, ResyncReport, ResyncStats,
+    };
     pub use crate::switch::{
         ActionReport, HermesError, HermesStats, HermesSwitch, ReportDetail, MAIN, SHADOW,
     };

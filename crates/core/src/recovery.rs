@@ -208,6 +208,18 @@ impl RecoveryState {
         }
     }
 
+    /// Forces degraded mode immediately — the crash path: a lost control
+    /// session is known-dead, so there is no point counting a failure
+    /// streak before queuing admissions.
+    pub fn enter_degraded(&mut self, now: SimTime) {
+        self.consecutive_failures = self.degraded_threshold;
+        if self.degraded_since.is_none() {
+            self.degraded_since = Some(now);
+            self.stats.degraded_entries += 1;
+            hermes_telemetry::counter("recovery.degraded_entries", 1);
+        }
+    }
+
     /// A device op exhausted its retries: extend the failure streak and
     /// enter degraded mode at the threshold.
     pub fn on_permanent_failure(&mut self, now: SimTime) {

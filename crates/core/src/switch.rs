@@ -33,11 +33,12 @@ use crate::gatekeeper::{GateKeeper, Route};
 use crate::manager::{MigrationReport, RuleManager};
 use crate::partition::partition_new_rule_bounded;
 use crate::recovery::{AuditReport, RecoveryState, RecoveryStats};
+use crate::resync::{plan_slice, IntentOp, IntentStore, ResyncMode, ResyncReport, ResyncStats};
 use hermes_rules::overlap::OverlapIndex;
 use hermes_rules::prelude::*;
 use hermes_tcam::{
-    BatchOpReport, FaultPlan, FaultStats, LookupResult, MissBehavior, OpReport, SimDuration,
-    SimTime, SwitchModel, TcamDevice, TcamError, TcamOp,
+    BatchOpReport, CrashKind, CrashSpec, FaultPlan, FaultStats, LookupResult, MissBehavior,
+    OpReport, SimDuration, SimTime, SwitchModel, TcamDevice, TcamError, TcamOp,
 };
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -224,6 +225,16 @@ pub struct HermesSwitch {
     stats: HermesStats,
     /// Retry/journal/degraded-mode state (see [`crate::recovery`]).
     recovery: RecoveryState,
+    /// Durable checkpoint + journal of the installed-rule intent — what a
+    /// crashed device is rebuilt from (see [`crate::resync`]).
+    intent: IntentStore,
+    /// Crash/resync health counters.
+    resync_stats: ResyncStats,
+    /// An unresolved crash window is open: the device lost its control
+    /// session (and possibly state) and resync has not yet completed.
+    crash_pending: bool,
+    /// When the open crash window was detected (guarantee-gap metric).
+    crash_detected_at: Option<SimTime>,
     /// High-water mark of `now` across public entry points; used to stamp
     /// degraded-mode episodes from internal paths that take no clock.
     clock: SimTime,
@@ -279,6 +290,7 @@ impl HermesSwitch {
         gate.set_low_priority_bypass(config.low_priority_bypass);
         let manager = RuleManager::new(config.trigger);
         let recovery = RecoveryState::new(config.retry, config.degraded_threshold);
+        let intent = IntentStore::new(config.resync.checkpoint_interval);
         Ok(HermesSwitch {
             device,
             config,
@@ -292,6 +304,10 @@ impl HermesSwitch {
             next_phys: PHYS_BASE,
             stats: HermesStats::default(),
             recovery,
+            intent,
+            resync_stats: ResyncStats::default(),
+            crash_pending: false,
+            crash_detected_at: None,
             clock: SimTime::ZERO,
         })
     }
@@ -371,6 +387,63 @@ impl HermesSwitch {
     /// Recovery-subsystem health counters.
     pub fn recovery_stats(&self) -> RecoveryStats {
         self.recovery.stats
+    }
+
+    /// Crash/resync-subsystem health counters.
+    pub fn resync_stats(&self) -> ResyncStats {
+        self.resync_stats
+    }
+
+    /// Whether the switch is inside a crash window: the control session
+    /// is down, or it crashed and resync has not yet completed. The
+    /// guarantee is suspended until [`resync`](Self::resync) finishes.
+    pub fn is_down(&self) -> bool {
+        self.crash_pending || !self.device.is_connected()
+    }
+
+    /// Rules in the durable intent store (must equal the logical
+    /// shadow + main population).
+    pub fn intent_len(&self) -> usize {
+        self.intent.len()
+    }
+
+    /// Intent-journal entries not yet folded into the checkpoint.
+    pub fn intent_journal_depth(&self) -> usize {
+        self.intent.journal_depth()
+    }
+
+    /// Injects a crash-class fault directly (netsim switch-down windows
+    /// and chaos tests): the device drops its control session and loses
+    /// state per `kind`, and the controller books the crash immediately.
+    pub fn inject_crash(
+        &mut self,
+        kind: CrashKind,
+        survivor_seed: u64,
+        reconnect_denials: u32,
+        now: SimTime,
+    ) {
+        self.clock = self.clock.max(now);
+        self.device.force_crash(CrashSpec {
+            kind,
+            survivor_seed,
+            reconnect_denials,
+        });
+        self.note_crash();
+    }
+
+    /// Books a newly-detected crash: opens the crash window, stamps the
+    /// detection time for the guarantee-gap metric, and forces the Gate
+    /// Keeper into degraded mode so admissions queue instead of hammering
+    /// the dead session.
+    fn note_crash(&mut self) {
+        if self.crash_pending {
+            return;
+        }
+        self.crash_pending = true;
+        self.crash_detected_at = Some(self.clock);
+        self.resync_stats.crashes_detected += 1;
+        hermes_telemetry::counter("resync.crashes_detected", 1);
+        self.recovery.enter_degraded(self.clock);
     }
 
     /// Whether the Gate Keeper is currently in degraded mode (queuing
@@ -481,8 +554,15 @@ impl HermesSwitch {
                     attempt += 1;
                 }
                 // State errors (full / not-found / duplicate): retrying
-                // cannot change the answer.
-                Err(e) => return Err(e),
+                // cannot change the answer. A lost control session opens
+                // the crash window instead of burning retries — the
+                // resync engine owns recovery from here.
+                Err(e) => {
+                    if matches!(e, TcamError::Disconnected) {
+                        self.note_crash();
+                    }
+                    return Err(e);
+                }
             }
         }
     }
@@ -515,8 +595,14 @@ impl HermesSwitch {
                 }
                 // Validation errors (full / not-found / duplicate): the
                 // answer cannot change on retry; the caller picks the
-                // fallback (per-op path or abort).
-                Err(e) => return Err(e),
+                // fallback (per-op path or abort). A lost control session
+                // opens the crash window for the resync engine.
+                Err(e) => {
+                    if matches!(e, TcamError::Disconnected) {
+                        self.note_crash();
+                    }
+                    return Err(e);
+                }
             }
         }
     }
@@ -696,6 +782,7 @@ impl HermesSwitch {
                 self.shadow.insert(rule.id, entry);
                 self.shadow_order.push(rule.id);
                 self.prio_add(rule.priority);
+                self.intent.record(IntentOp::Install(rule));
                 route.record();
                 Ok(ActionReport {
                     latency: SimDuration::from_us(10.0),
@@ -761,6 +848,7 @@ impl HermesSwitch {
                 self.shadow.insert(rule.id, entry);
                 self.shadow_order.push(rule.id);
                 self.prio_add(rule.priority);
+                self.intent.record(IntentOp::Install(rule));
                 route.record();
                 hermes_telemetry::observe("gatekeeper.shadow_insert_ns", latency.as_nanos());
                 Ok(ActionReport {
@@ -810,6 +898,7 @@ impl HermesSwitch {
         })?;
         self.main_index.insert(rule);
         self.prio_add(rule.priority);
+        self.intent.record(IntentOp::Install(rule));
         self.stats.main_inserts += 1;
 
         let latency = rep.latency + self.recut_below(rule);
@@ -959,6 +1048,7 @@ impl HermesSwitch {
                     self.shadow.insert(rule.id, entry);
                     self.shadow_order.push(rule.id);
                     self.prio_add(rule.priority);
+                    self.intent.record(IntentOp::Install(rule));
                     Route::Redundant.record();
                     results[idx] = Some(Ok(ActionReport {
                         latency: SimDuration::from_us(10.0),
@@ -1080,6 +1170,7 @@ impl HermesSwitch {
         self.shadow.insert(p.rule.id, entry);
         self.shadow_order.push(p.rule.id);
         self.prio_add(p.rule.priority);
+        self.intent.record(IntentOp::Install(p.rule));
         Route::Shadow.record();
         hermes_telemetry::observe("gatekeeper.shadow_insert_ns", latency.as_nanos());
         Ok(ActionReport {
@@ -1343,6 +1434,7 @@ impl HermesSwitch {
             self.unregister_blockers(id, &entry.cut_against);
             self.shadow_order.retain(|r| *r != id);
             self.prio_remove(entry.original.priority);
+            self.intent.record(IntentOp::Remove(id));
             return Ok(ActionReport {
                 latency,
                 detail: ReportDetail::Delete {
@@ -1356,6 +1448,7 @@ impl HermesSwitch {
             // was silently dropped, so the entry is already gone.
             let mut latency = self.dev_delete_or_journal(MAIN, id);
             self.prio_remove(rule.priority);
+            self.intent.record(IntentOp::Remove(id));
             // Fig. 6: un-partition every shadow rule that was cut against
             // the deleted rule.
             let dependents = self.blockers.remove(&id).unwrap_or_default();
@@ -1485,6 +1578,10 @@ impl HermesSwitch {
                 latency += rep.latency;
             }
         }
+        self.intent.record(IntentOp::Modify {
+            id,
+            action: new_action,
+        });
         Ok(ActionReport {
             latency,
             detail: ReportDetail::Modify { in_place: true },
@@ -1500,6 +1597,14 @@ impl HermesSwitch {
     /// degraded episode automatically).
     pub fn tick(&mut self, now: SimTime) -> Option<MigrationReport> {
         self.clock = self.clock.max(now);
+        if self.is_down() {
+            self.resync(now);
+            if self.is_down() {
+                // Reconnect denied: the journal, queue and migration all
+                // need a live session — retry on the next tick.
+                return None;
+            }
+        }
         if hermes_telemetry::enabled() {
             hermes_telemetry::gauge(
                 "recovery.journal_depth",
@@ -1508,6 +1613,10 @@ impl HermesSwitch {
             hermes_telemetry::gauge(
                 "gatekeeper.deferred_depth",
                 self.recovery.deferred.len() as f64,
+            );
+            hermes_telemetry::gauge(
+                "resync.intent_journal_depth",
+                self.intent.journal_depth() as f64,
             );
         }
         self.replay_journal();
@@ -1569,6 +1678,11 @@ impl HermesSwitch {
     /// order so remaining (higher-priority) shadow rules never need
     /// re-cutting mid-flight.
     pub fn migrate(&mut self, now: SimTime) -> MigrationReport {
+        if self.is_down() {
+            // The session is dead mid-crash: every op would fail and the
+            // pass would abort anyway. Resync re-opens the path first.
+            return MigrationReport::default();
+        }
         if self.config.batched_migration {
             self.migrate_batched(now)
         } else {
@@ -1741,6 +1855,18 @@ impl HermesSwitch {
     /// matches the logical view.
     pub fn audit(&mut self, now: SimTime) -> AuditReport {
         self.clock = self.clock.max(now);
+        if self.is_down() {
+            let resynced = self.resync(now);
+            if self.is_down() {
+                // Reconnect denied: the sweep cannot read the device.
+                // Incomplete by definition — callers loop until clean.
+                return AuditReport {
+                    complete: false,
+                    duration: resynced.map(|r| r.duration).unwrap_or(SimDuration::ZERO),
+                    ..AuditReport::default()
+                };
+            }
+        }
         let mut report = AuditReport {
             complete: true,
             ..AuditReport::default()
@@ -1754,23 +1880,10 @@ impl HermesSwitch {
 
         // Expected physical state of the shadow slice: the union of every
         // resident rule's pieces, carrying the owner's priority and action.
-        let mut expected_shadow: BTreeMap<RuleId, Rule> = BTreeMap::new();
-        for e in self.shadow.values() {
-            for (pid, key) in &e.pieces {
-                expected_shadow.insert(
-                    *pid,
-                    Rule {
-                        id: *pid,
-                        key: *key,
-                        ..e.original
-                    },
-                );
-            }
-        }
+        let expected_shadow = self.expected_slice(SHADOW);
         let evict = self.reconcile_slice(SHADOW, &expected_shadow, &mut report);
 
-        let expected_main: BTreeMap<RuleId, Rule> =
-            self.main_index.iter().map(|r| (r.id, r)).collect();
+        let expected_main = self.expected_slice(MAIN);
         // Main reinstalls hit `Full` only when the table is genuinely out
         // of space; there is no eviction target, so the list is empty.
         let _ = self.reconcile_slice(MAIN, &expected_main, &mut report);
@@ -1904,6 +2017,251 @@ impl HermesSwitch {
             }
         }
         evict
+    }
+
+    /// The expected physical entries of one slice, as the audit computes
+    /// them: the union of every shadow rule's pieces, or the main index.
+    fn expected_slice(&self, slice: usize) -> BTreeMap<RuleId, Rule> {
+        if slice == SHADOW {
+            let mut expected = BTreeMap::new();
+            for e in self.shadow.values() {
+                for (pid, key) in &e.pieces {
+                    expected.insert(
+                        *pid,
+                        Rule {
+                            id: *pid,
+                            key: *key,
+                            ..e.original
+                        },
+                    );
+                }
+            }
+            expected
+        } else {
+            self.main_index.iter().map(|r| (r.id, r)).collect()
+        }
+    }
+
+    /// Crash-resync pass (see [`crate::resync`]): reconnects the lost
+    /// control session with capped deterministic backoff, drains the
+    /// delete journal, rebuilds the post-crash table from the durable
+    /// intent store — warm mode diffs against survivors, cold mode wipes
+    /// and reinstalls the full snapshot, both through the batched
+    /// `apply_batch` path — and finally re-establishes the guarantee:
+    /// degraded mode ends and the deferred admission queue drains.
+    ///
+    /// Returns `None` when no crash window is open. An incomplete report
+    /// (reconnect still denied, or a repair op failed) keeps the window
+    /// open; the next tick/audit retries — every step is idempotent.
+    pub fn resync(&mut self, now: SimTime) -> Option<ResyncReport> {
+        self.clock = self.clock.max(now);
+        if self.device.is_connected() && !self.crash_pending {
+            return None;
+        }
+        // A crash can land between ops (netsim injection, or the fault
+        // plan inside another rule's transaction): book it before the
+        // rebuild so the window and degraded mode are always stamped.
+        self.note_crash();
+        self.resync_stats.resyncs_started += 1;
+        hermes_telemetry::counter("resync.started", 1);
+        let mode = self.config.resync.mode;
+        let mut report = ResyncReport::new(mode);
+
+        // Step 1: reconnect. The device may deny the first attempts while
+        // it reboots; backoff is deterministic (no jitter) so a crash plan
+        // replays byte-for-byte from its seeds.
+        let mut attempt = 0u32;
+        while !self.device.is_connected() {
+            if attempt >= self.config.resync.max_reconnect_attempts {
+                self.resync_stats.reconnect_failures += 1;
+                hermes_telemetry::counter("resync.reconnect_failures", 1);
+                report.complete = false;
+                return Some(report);
+            }
+            attempt += 1;
+            if attempt > 1 {
+                report.duration += self.config.resync.reconnect_backoff(attempt - 1);
+            }
+            report.reconnect_attempts += 1;
+            self.resync_stats.reconnect_attempts += 1;
+            hermes_telemetry::counter("resync.reconnect_attempts", 1);
+            self.device.reconnect();
+        }
+
+        // Step 2: the delete journal drains first — against a wiped table
+        // every journaled delete resolves as already-gone.
+        let (_, lat) = self.replay_journal();
+        report.duration += lat;
+
+        // Step 3: diff + batched replay.
+        match mode {
+            ResyncMode::Warm => self.warm_resync(&mut report),
+            ResyncMode::Cold => self.cold_resync(&mut report),
+        }
+        if !self.recovery.pending_gc.is_empty() {
+            report.complete = false;
+        }
+
+        // Step 4: re-admission. Only a fully-repaired pass closes the
+        // crash window; an incomplete one keeps it open so the next
+        // tick/audit reruns the (idempotent) rebuild.
+        if report.complete {
+            self.crash_pending = false;
+            let gap = self
+                .crash_detected_at
+                .take()
+                .map(|t| self.clock.since(t).as_nanos())
+                .unwrap_or(0)
+                + report.duration.as_nanos();
+            self.resync_stats.resyncs_completed += 1;
+            self.resync_stats.guarantee_gap_ns += gap;
+            match mode {
+                ResyncMode::Warm => {
+                    self.resync_stats.warm_resyncs += 1;
+                    hermes_telemetry::counter("resync.warm", 1);
+                }
+                ResyncMode::Cold => {
+                    self.resync_stats.cold_resyncs += 1;
+                    hermes_telemetry::counter("resync.cold", 1);
+                }
+            }
+            hermes_telemetry::counter("resync.completed", 1);
+            hermes_telemetry::counter("resync.guarantee_gap_ns", gap);
+            // The channel is provably live again: end the degraded
+            // episode explicitly (a zero-diff resync never touches the
+            // device) and drain the queued admissions through the live
+            // insert path — the guarantee is formally re-established.
+            self.recovery.on_success(self.clock);
+            let (_, lat) = self.flush_deferred(now);
+            report.duration += lat;
+        }
+        self.resync_stats.rules_reinstalled += report.reinstalled as u64;
+        self.resync_stats.entries_deleted += report.deleted as u64;
+        self.resync_stats.survivors_kept += report.survivors as u64;
+        hermes_telemetry::counter("resync.reinstalled", report.reinstalled as u64);
+        hermes_telemetry::counter("resync.deleted", report.deleted as u64);
+        hermes_telemetry::counter("resync.survivors_kept", report.survivors as u64);
+        hermes_telemetry::span("resync", "run", now.as_nanos(), report.duration.as_nanos());
+        Some(report)
+    }
+
+    /// Warm-mode rebuild: per slice, diff the expected physical entries
+    /// against the post-crash table and push the minimal repair set
+    /// through one batched device transaction. A rejected batch falls
+    /// back to the audit's per-op reconciliation, evictions included.
+    fn warm_resync(&mut self, report: &mut ResyncReport) {
+        for slice in [SHADOW, MAIN] {
+            let expected = self.expected_slice(slice);
+            let actual = self.device.slice(slice).table.entries();
+            let plan = plan_slice(&expected, &actual);
+            report.survivors += plan.survivors;
+            if plan.is_noop() {
+                continue;
+            }
+            match self.dev_apply_batch(slice, &plan.to_ops()) {
+                Ok(rep) => {
+                    report.duration += rep.latency;
+                    report.deleted += plan.deletes.len();
+                    report.fixed += plan.fixes.len();
+                    report.reinstalled += plan.installs.len();
+                }
+                Err(_) => {
+                    // Batch rejected (e.g. a pre-crash oversubscribed
+                    // shadow): the per-op audit path makes partial
+                    // progress and can evict rules to the main table.
+                    let mut audit = AuditReport {
+                        complete: true,
+                        ..AuditReport::default()
+                    };
+                    let evict = self.reconcile_slice(slice, &expected, &mut audit);
+                    for id in evict {
+                        if let Some(entry) = self.shadow.get(&id).cloned() {
+                            audit.duration += self.evict_shadow_rule_to_main(&entry);
+                        }
+                    }
+                    report.duration += audit.duration;
+                    report.deleted += audit.orphans_removed;
+                    report.fixed += audit.actions_fixed;
+                    report.reinstalled += audit.reinstalled;
+                    if !audit.complete {
+                        report.complete = false;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Cold-mode rebuild: distrust every survivor — wipe both slices,
+    /// then reinstall the intent snapshot into the main table in chunked
+    /// batched transactions. The shadow restarts empty; rules the main
+    /// slice cannot hold re-enter through the normal admission path via
+    /// the deferred queue.
+    fn cold_resync(&mut self, report: &mut ResyncReport) {
+        for slice in [SHADOW, MAIN] {
+            let actual = self.device.slice(slice).table.entries();
+            if actual.is_empty() {
+                continue;
+            }
+            let ops: Vec<TcamOp> = actual.iter().map(|r| TcamOp::Delete(r.id)).collect();
+            match self.dev_apply_batch(slice, &ops) {
+                Ok(rep) => {
+                    report.duration += rep.latency;
+                    report.deleted += ops.len();
+                }
+                Err(_) => {
+                    for r in &actual {
+                        report.duration += self.dev_delete_or_journal(slice, r.id);
+                        report.deleted += 1;
+                    }
+                }
+            }
+        }
+        // Every logical rule is main-resident by intent after a cold
+        // reboot; the old shadow bookkeeping (pieces, cut graph, FIFO
+        // order) describes entries that no longer exist.
+        let snapshot = self.intent.snapshot();
+        self.shadow.clear();
+        self.shadow_order.clear();
+        self.blockers.clear();
+        self.main_index.clear();
+        self.prio_counts.clear();
+        for r in snapshot.values() {
+            self.main_index.insert(*r);
+            self.prio_add(r.priority);
+        }
+        // Reinstall priority-descending (appends under the TCAM priority
+        // order — the cheapest shift plan), id-tiebroken for determinism,
+        // in bounded chunks so one bad op cannot reject the whole reboot.
+        let mut rules: Vec<Rule> = snapshot.into_values().collect();
+        rules.sort_unstable_by(|a, b| b.priority.cmp(&a.priority).then(a.id.0.cmp(&b.id.0)));
+        for chunk in rules.chunks(1024) {
+            let ops: Vec<TcamOp> = chunk.iter().copied().map(TcamOp::Insert).collect();
+            match self.dev_apply_batch(MAIN, &ops) {
+                Ok(rep) => {
+                    report.duration += rep.latency;
+                    report.reinstalled += chunk.len();
+                }
+                Err(_) => {
+                    for r in chunk {
+                        match self.dev_insert(MAIN, *r) {
+                            Ok(rep) => {
+                                report.duration += rep.latency;
+                                report.reinstalled += 1;
+                            }
+                            Err(TcamError::Full) => {
+                                // The main slice alone cannot hold rules
+                                // that lived in the shadow: requeue them
+                                // through the normal admission path.
+                                self.main_index.remove(r.id);
+                                self.prio_remove(r.priority);
+                                self.recovery.defer(*r);
+                            }
+                            Err(_) => report.complete = false,
+                        }
+                    }
+                }
+            }
+        }
     }
 
     /// Rewrites a matched partition piece back to its controller-visible

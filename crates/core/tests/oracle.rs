@@ -406,6 +406,134 @@ hermes_util::check! {
     }
 }
 
+// Crash-chaos oracle: random workloads under *crash-class* fault plans —
+// full TCAM wipes, partial state retention, control-session disconnects,
+// layered on top of the per-op fault mix — must, once the plan clears and
+// the resync engine re-establishes the guarantee, classify identically to
+// a flat table of the logically-live rules. Convergence here is stronger
+// than the per-op chaos oracle: the Gate Keeper must have exited degraded
+// mode and drained every deferred admission, in both warm- and cold-reboot
+// modes (picked from the crash seed).
+hermes_util::check! {
+    #![cases = 256]
+
+    fn chaos_crash_recovers_to_flat_oracle(
+        workload_seed in hermes_util::check::arb::<u64>(),
+        crash_seed in hermes_util::check::arb::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(workload_seed);
+        let mode = if crash_seed % 2 == 0 {
+            ResyncMode::Warm
+        } else {
+            ResyncMode::Cold
+        };
+        let config = HermesConfig {
+            rate_limit: Some(f64::INFINITY),
+            resync: ResyncPolicy {
+                mode,
+                ..ResyncPolicy::default()
+            },
+            ..Default::default()
+        };
+        let mut hermes = HermesSwitch::new(SwitchModel::pica8_p3290(), config).unwrap();
+        let mut plan = hermes_tcam::FaultPlan::crashy(crash_seed);
+        // Crash often enough that nearly every run reboots at least once
+        // (the workload issues a few hundred device ops).
+        plan.crash_period = 15 + (crash_seed % 20);
+        hermes.install_fault_plan(Some(plan));
+        let mut oracle = TcamTable::new(1 << 14, PlacementStrategy::PackedLow);
+        let mut live: Vec<Rule> = Vec::new();
+        let mut next_id = 0u64;
+        let mut now = SimTime::ZERO;
+        let ops = rng.gen_range(30..120);
+
+        for step in 0..ops {
+            now += SimDuration::from_ms(rng.gen_range(0.1..5.0));
+            let roll: f64 = rng.gen();
+            if live.is_empty() || roll < 0.6 {
+                let r = gen_rule(&mut rng, next_id);
+                next_id += 1;
+                if hermes.insert(r, now).is_ok() {
+                    oracle.insert(r).unwrap();
+                    live.push(r);
+                }
+            } else if roll < 0.85 {
+                let i = rng.gen_range(0..live.len());
+                let r = live.swap_remove(i);
+                if hermes.delete(r.id, now).is_ok() {
+                    oracle.delete(r.id).unwrap();
+                } else {
+                    live.push(r);
+                }
+            } else {
+                let i = rng.gen_range(0..live.len());
+                let r = &mut live[i];
+                let p = Priority(rng.gen_range(1..40));
+                r.priority = p;
+                r.action = Action::Forward(p.0 % 5 + 1);
+                let action = ControlAction::Modify {
+                    id: r.id,
+                    action: Some(r.action),
+                    priority: Some(p),
+                };
+                if hermes.submit(&action, now).is_ok() {
+                    let old = *oracle.get(r.id).unwrap();
+                    oracle.delete(r.id).unwrap();
+                    let mut new_rule = old;
+                    new_rule.priority = p;
+                    new_rule.action = r.action;
+                    oracle.insert(new_rule).unwrap();
+                }
+            }
+            if step % 9 == 8 {
+                hermes.tick(now);
+            }
+            if step % 31 == 30 {
+                hermes.migrate(now);
+            }
+        }
+
+        // Quiescence: no further faults or crashes. The audit loop drives
+        // resync (reconnect → journal → diff replay → re-admission) until
+        // a sweep certifies the device AND the guarantee is formally
+        // re-established: not degraded, nothing deferred, window closed.
+        hermes.install_fault_plan(None);
+        let mut converged = false;
+        for _ in 0..16 {
+            now += SimDuration::from_ms(5.0);
+            if hermes.audit(now).clean()
+                && !hermes.is_down()
+                && !hermes.is_degraded()
+                && hermes.deferred_len() == 0
+            {
+                converged = true;
+                break;
+            }
+        }
+        assert!(converged, "resync failed to re-establish the guarantee");
+        if hermes.resync_stats().crashes_detected > 0 {
+            assert!(
+                hermes.resync_stats().resyncs_completed > 0,
+                "a detected crash must complete at least one resync"
+            );
+        }
+        // The durable intent store tracks the placed logical set exactly.
+        assert_eq!(hermes.intent_len(), hermes.logical_len());
+
+        for r in &live {
+            assert!(hermes.contains(r.id), "acked rule {:?} lost", r.id);
+        }
+        for i in 0..512u32 {
+            let p = pkt(0x0a00_0000 | (i.wrapping_mul(2654435761) % (1 << 24)));
+            assert_eq!(
+                hermes_action(hermes.peek(p)),
+                oracle.peek(p).map(|r| r.action),
+                "divergence on sprayed packet {i} after crash resync"
+            );
+        }
+    }
+}
+
 /// Same fault seed + same workload ⇒ byte-identical metrics document: the
 /// whole chaos pipeline (fault decisions, retry jitter, audit repairs) is
 /// deterministic, so failures reproduce from `HERMES_FAULT_SEED` alone.

@@ -146,6 +146,16 @@ pub struct RunMetrics {
     pub audit_diffs: u64,
     /// Total simulated time the control planes spent in degraded mode, ms.
     pub degraded_ms: f64,
+    /// Switch crashes injected over the run (wipe + partial + disconnect).
+    pub crashes: u64,
+    /// Resync passes the control planes drove to completion.
+    pub resyncs: u64,
+    /// Rules reinstalled by resync across all switches.
+    pub resync_reinstalled: u64,
+    /// Total crash-to-guarantee-restored gap, nanoseconds (summed across
+    /// completed resyncs; the window in which the insertion guarantee was
+    /// suspended).
+    pub guarantee_gap_ns: u64,
 }
 
 impl ToJson for RunMetrics {
@@ -164,6 +174,10 @@ impl ToJson for RunMetrics {
             ("device_failures", self.device_failures.to_json()),
             ("audit_diffs", self.audit_diffs.to_json()),
             ("degraded_ms", self.degraded_ms.to_json()),
+            ("crashes", self.crashes.to_json()),
+            ("resyncs", self.resyncs.to_json()),
+            ("resync_reinstalled", self.resync_reinstalled.to_json()),
+            ("guarantee_gap_ns", self.guarantee_gap_ns.to_json()),
         ])
     }
 }

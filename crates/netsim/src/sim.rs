@@ -21,7 +21,7 @@ use crate::topology::{LinkId, NodeId, Topology};
 use hermes_baselines::{ControlPlane, CpQueue, EspresSwitch, HermesPlane, RawSwitch, TangoSwitch};
 use hermes_core::config::HermesConfig;
 use hermes_rules::prelude::*;
-use hermes_tcam::{SimDuration, SimTime, SwitchModel};
+use hermes_tcam::{CrashKind, SimDuration, SimTime, SwitchModel};
 use hermes_workloads::facebook::JobSpec;
 use hermes_workloads::gravity::TimedFlow;
 use hermes_util::rng::rngs::StdRng;
@@ -73,6 +73,33 @@ impl SwitchKind {
     }
 }
 
+/// A deterministic switch-crash schedule: every `period_s` one switch
+/// (seeded pick) suffers a crash, cycling wipe → partial retention →
+/// disconnect. Flows crossing the victim are rerouted around it; the
+/// switch rejoins once its control plane finishes resyncing.
+#[derive(Clone, Debug)]
+pub struct CrashProfile {
+    /// First crash instant, seconds.
+    pub first_s: f64,
+    /// Gap between consecutive crashes, seconds.
+    pub period_s: f64,
+    /// Per-entry survival probability for partial-retention crashes.
+    pub survivor_prob: f64,
+    /// Reconnect attempts the dead switch rejects before accepting one.
+    pub reconnect_denials: u32,
+}
+
+impl Default for CrashProfile {
+    fn default() -> Self {
+        CrashProfile {
+            first_s: 0.5,
+            period_s: 1.0,
+            survivor_prob: 0.5,
+            reconnect_denials: 1,
+        }
+    }
+}
+
 /// Simulator configuration.
 #[derive(Clone, Debug)]
 pub struct VarysConfig {
@@ -95,6 +122,9 @@ pub struct VarysConfig {
     /// packet-in round trip, but rule installation gates the start).
     /// Disabled: flows start instantly on pre-installed routing.
     pub gate_flow_start: bool,
+    /// Optional switch-crash schedule (chaos scenarios). `None`: no
+    /// crashes, behaviour identical to before the fault domain existed.
+    pub crash: Option<CrashProfile>,
     /// RNG seed.
     pub seed: u64,
 }
@@ -109,6 +139,7 @@ impl Default for VarysConfig {
             base_rules_per_switch: 200,
             manager_tick_s: 0.1,
             gate_flow_start: true,
+            crash: None,
             seed: 1,
         }
     }
@@ -136,6 +167,9 @@ enum EventKind {
     },
     TeTick,
     MgrTick,
+    SwitchCrash {
+        index: u64,
+    },
     PathSwitch {
         flow: FlowId,
         path: Vec<LinkId>,
@@ -184,6 +218,9 @@ pub struct Varys {
     /// Arrival instants of flows still waiting for rule installation.
     flow_arrivals: BTreeMap<FlowId, SimTime>,
     rerouting: BTreeSet<FlowId>,
+    /// Switches whose control session is currently dead (crash window
+    /// open); pruned on manager ticks once resync completes.
+    down: BTreeSet<NodeId>,
     next_flow: FlowId,
     next_rule: u64,
     rng: StdRng,
@@ -215,6 +252,7 @@ impl Varys {
             flow_rules: BTreeMap::new(),
             flow_arrivals: BTreeMap::new(),
             rerouting: BTreeSet::new(),
+            down: BTreeSet::new(),
             next_flow: 0,
             next_rule: 0,
             rng,
@@ -339,6 +377,12 @@ impl Varys {
             SimTime::from_secs(self.config.manager_tick_s),
             EventKind::MgrTick,
         );
+        if let Some(profile) = &self.config.crash {
+            self.push(
+                SimTime::from_secs(profile.first_s),
+                EventKind::SwitchCrash { index: 0 },
+            );
+        }
         self.push(self.end, EventKind::End);
 
         while let Some(Reverse(ev)) = self.queue.pop() {
@@ -364,6 +408,7 @@ impl Varys {
                 EventKind::FlowComplete { flow, version } => self.on_flow_complete(flow, version),
                 EventKind::TeTick => self.on_te_tick(),
                 EventKind::MgrTick => self.on_mgr_tick(),
+                EventKind::SwitchCrash { index } => self.on_switch_crash(index),
                 EventKind::PathSwitch { flow, path } => self.on_path_switch(flow, path),
                 EventKind::End => break,
             }
@@ -393,6 +438,17 @@ impl Varys {
         self.metrics.device_failures = failures;
         self.metrics.audit_diffs = diffs;
         self.metrics.degraded_ms = degraded_ns as f64 / 1e6;
+        let (mut resyncs, mut reinstalled, mut gap_ns) = (0u64, 0u64, 0u64);
+        for q in self.planes.values() {
+            if let Some(rs) = q.plane().resync_stats() {
+                resyncs += rs.resyncs_completed;
+                reinstalled += rs.rules_reinstalled;
+                gap_ns += rs.guarantee_gap_ns;
+            }
+        }
+        self.metrics.resyncs = resyncs;
+        self.metrics.resync_reinstalled = reinstalled;
+        self.metrics.guarantee_gap_ns = gap_ns;
     }
 
     fn advance_to(&mut self, t: SimTime) {
@@ -430,13 +486,117 @@ impl Varys {
         }
     }
 
-    fn on_flow_arrive(&mut self, job: JobId, src: usize, dst: usize, bytes: u64) {
-        let id = self.next_flow;
-        self.next_flow += 1;
-        let path = self
+    /// Does `path` traverse a switch whose control session is down?
+    fn crosses_down(&self, src: usize, path: &[LinkId]) -> bool {
+        !self.down.is_empty()
+            && self
+                .topo
+                .switches_on_path(src, path)
+                .iter()
+                .any(|sw| self.down.contains(sw))
+    }
+
+    /// Samples a path for a new flow, resampling a few times to route
+    /// around switches currently in a crash window (rules submitted to a
+    /// dead control session would stall until resync). Draws exactly one
+    /// path when no switch is down, so crash-free runs keep the historical
+    /// RNG stream.
+    fn pick_arrival_path(&mut self, src: usize, dst: usize) -> Vec<LinkId> {
+        let mut path = self
             .topo
             .random_shortest_path(src, dst, None, &mut self.rng)
             .unwrap_or_default();
+        if !self.down.is_empty() {
+            for _ in 0..6 {
+                if !self.crosses_down(src, &path) {
+                    break;
+                }
+                match self.topo.random_shortest_path(src, dst, None, &mut self.rng) {
+                    Some(cand) => path = cand,
+                    None => break,
+                }
+            }
+        }
+        path
+    }
+
+    /// Injects one scheduled crash: a seeded victim switch suffers the
+    /// next fault in the wipe → partial → disconnect cycle, live flows
+    /// crossing it are rerouted, and the next crash is scheduled.
+    fn on_switch_crash(&mut self, index: u64) {
+        let Some(profile) = self.config.crash.clone() else {
+            return;
+        };
+        let switches: Vec<NodeId> = self.planes.keys().copied().collect();
+        if switches.is_empty() {
+            return;
+        }
+        let pick = hermes_util::rng::Rng::gen_range(&mut self.rng, 0..switches.len());
+        let victim = switches[pick];
+        let kind = match index % 3 {
+            0 => CrashKind::Wipe,
+            1 => CrashKind::Partial {
+                survivor_prob: profile.survivor_prob,
+            },
+            _ => CrashKind::Disconnect,
+        };
+        let q = self
+            .planes
+            .get_mut(&victim)
+            .expect("INVARIANT: planes has a queue for every topology node");
+        q.plane_mut().inject_crash(
+            kind,
+            self.config.seed ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            profile.reconnect_denials,
+            self.now,
+        );
+        self.metrics.crashes += 1;
+        if hermes_telemetry::enabled() {
+            hermes_telemetry::counter("netsim.crashes", 1);
+        }
+        if q.plane().is_down() {
+            self.down.insert(victim);
+            // Reroute live flows off the dead switch; data-plane state on
+            // the victim is suspect (wipes drop its forwarding entries).
+            let affected: Vec<(FlowId, usize, usize, Vec<LinkId>)> = self
+                .flows
+                .iter()
+                .filter(|f| !self.rerouting.contains(&f.id))
+                .filter(|f| self.topo.switches_on_path(f.src, &f.path).contains(&victim))
+                .map(|f| (f.id, f.src, f.dst, f.path.clone()))
+                .collect();
+            for (fid, src, dst, old_path) in affected {
+                let mut alt = None;
+                for _ in 0..6 {
+                    let Some(cand) =
+                        self.topo.random_shortest_path(src, dst, None, &mut self.rng)
+                    else {
+                        break;
+                    };
+                    if cand != old_path
+                        && !self.topo.switches_on_path(src, &cand).contains(&victim)
+                    {
+                        alt = Some(cand);
+                        break;
+                    }
+                }
+                // Edge switches have no bypass: a flow whose only path
+                // crosses the victim stays put and rides out the window.
+                if let Some(path) = alt {
+                    self.reroute(fid, src, dst, path);
+                }
+            }
+        }
+        self.push(
+            self.now + SimDuration::from_secs(profile.period_s),
+            EventKind::SwitchCrash { index: index + 1 },
+        );
+    }
+
+    fn on_flow_arrive(&mut self, job: JobId, src: usize, dst: usize, bytes: u64) {
+        let id = self.next_flow;
+        self.next_flow += 1;
+        let path = self.pick_arrival_path(src, dst);
         if self.config.gate_flow_start {
             // Proactive placement: install the flow's rules along the path;
             // the flow starts once the slowest switch finishes.
@@ -638,7 +798,7 @@ impl Varys {
                 else {
                     continue;
                 };
-                if cand == old_path || cand.contains(&link) {
+                if cand == old_path || cand.contains(&link) || self.crosses_down(src, &cand) {
                     continue;
                 }
                 let load = path_load(&cand);
@@ -744,6 +904,17 @@ impl Varys {
     fn on_mgr_tick(&mut self) {
         for q in self.planes.values_mut() {
             q.plane_mut().tick(self.now);
+        }
+        // Ticks drive crashed planes through reconnect + resync; switches
+        // whose session came back rejoin the routable set.
+        if !self.down.is_empty() {
+            let planes = &self.planes;
+            self.down.retain(|sw| {
+                planes
+                    .get(sw)
+                    .map(|q| q.plane().is_down())
+                    .unwrap_or(false)
+            });
         }
         let next = self.now + SimDuration::from_secs(self.config.manager_tick_s);
         self.push(next, EventKind::MgrTick);
@@ -917,6 +1088,111 @@ mod tests {
             raw >= ideal * 0.99,
             "raw ({raw}) should not beat ideal ({ideal})"
         );
+    }
+
+    #[test]
+    fn crash_storm_reroutes_and_resyncs() {
+        let topo = Topology::fat_tree(4, 10e9);
+        let cfg = VarysConfig {
+            switch: SwitchKind::Hermes(SwitchModel::pica8_p3290(), HermesConfig::default()),
+            congestion_threshold: 0.5,
+            base_rules_per_switch: 100,
+            crash: Some(CrashProfile {
+                first_s: 0.1,
+                period_s: 0.25,
+                survivor_prob: 0.5,
+                reconnect_denials: 1,
+            }),
+            seed: 3,
+            ..Default::default()
+        };
+        let mut sim = Varys::new(topo, cfg);
+        let jobs: Vec<JobSpec> = (0..12)
+            .map(|i| JobSpec {
+                id: i,
+                arrival_s: (i % 4) as f64 * 0.05,
+                flows: vec![FlowSpec {
+                    src: i % 8,
+                    dst: 8 + (i % 8),
+                    bytes: 500_000_000,
+                }],
+            })
+            .collect();
+        sim.register_jobs(&jobs);
+        sim.run(240.0);
+        assert_eq!(sim.metrics.fct_s.len(), 12, "flows survive the storm");
+        assert!(sim.metrics.crashes > 0, "crashes were injected");
+        assert!(
+            sim.metrics.resyncs > 0,
+            "crashed planes resynced: {} crashes",
+            sim.metrics.crashes
+        );
+        assert!(sim.metrics.resync_reinstalled > 0);
+        assert!(sim.metrics.guarantee_gap_ns > 0);
+        assert!(sim.down.is_empty(), "every crash window eventually closed");
+    }
+
+    #[test]
+    fn crashes_on_raw_switches_are_inert() {
+        // Raw planes have no fault domain: injections are ignored and the
+        // run proceeds exactly as a crash-free one would.
+        let topo = Topology::fat_tree(4, 10e9);
+        let cfg = VarysConfig {
+            switch: SwitchKind::Raw(SwitchModel::pica8_p3290()),
+            crash: Some(CrashProfile {
+                first_s: 0.05,
+                period_s: 0.1,
+                ..CrashProfile::default()
+            }),
+            ..Default::default()
+        };
+        let mut sim = Varys::new(topo, cfg);
+        sim.register_jobs(&tiny_jobs(6));
+        sim.run(60.0);
+        assert_eq!(sim.metrics.fct_s.len(), 6);
+        assert!(sim.metrics.crashes > 0);
+        assert_eq!(sim.metrics.resyncs, 0);
+        assert!(sim.down.is_empty());
+    }
+
+    #[test]
+    fn crash_runs_are_deterministic_given_seed() {
+        let run = || {
+            let topo = Topology::fat_tree(4, 10e9);
+            let cfg = VarysConfig {
+                switch: SwitchKind::Hermes(SwitchModel::pica8_p3290(), HermesConfig::default()),
+                crash: Some(CrashProfile {
+                    first_s: 0.05,
+                    period_s: 0.2,
+                    survivor_prob: 0.4,
+                    reconnect_denials: 2,
+                }),
+                seed: 11,
+                ..Default::default()
+            };
+            let mut sim = Varys::new(topo, cfg);
+            let jobs = FacebookWorkload {
+                jobs: 20,
+                hosts: 16,
+                duration_s: 1.5,
+                seed: 5,
+            }
+            .generate();
+            sim.register_jobs(&jobs);
+            sim.run(120.0);
+            (
+                sim.metrics.fct_s.values().to_vec(),
+                sim.metrics.installs,
+                sim.metrics.crashes,
+                sim.metrics.resyncs,
+                sim.metrics.resync_reinstalled,
+                sim.metrics.guarantee_gap_ns,
+            )
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        assert!(a.2 > 0, "storm actually fired");
     }
 
     #[test]

@@ -11,11 +11,12 @@
 //! then main — honouring each slice's table-miss behaviour, which is how
 //! the paper preserves the single-logical-table abstraction (§3).
 
-use crate::fault::{FaultDecision, FaultPlan, FaultStats};
+use crate::fault::{CrashKind, CrashSpec, CrashStats, FaultDecision, FaultPlan, FaultStats};
 use crate::perf::SwitchModel;
 use crate::table::{BatchReport, OpShifts, TcamError, TcamOp, TcamTable};
 use crate::time::SimDuration;
 use hermes_rules::prelude::*;
+use hermes_util::rng::{Rng, SeedableRng, StdRng};
 
 /// What a slice does when no entry matches.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -106,6 +107,12 @@ pub struct TcamDevice {
     model: SwitchModel,
     slices: Vec<Slice>,
     fault: Option<FaultPlan>,
+    /// `false` after a crash until the controller reconnects; every
+    /// control-plane op fails with [`TcamError::Disconnected`] meanwhile.
+    connected: bool,
+    /// Reconnect attempts still to be denied (the switch is "booting").
+    reconnect_denials: u32,
+    crash_stats: CrashStats,
 }
 
 impl TcamDevice {
@@ -122,6 +129,9 @@ impl TcamDevice {
                 busy: SimDuration::ZERO,
             }],
             fault: None,
+            connected: true,
+            reconnect_denials: 0,
+            crash_stats: CrashStats::default(),
         }
     }
 
@@ -151,6 +161,9 @@ impl TcamDevice {
                 })
                 .collect(),
             fault: None,
+            connected: true,
+            reconnect_denials: 0,
+            crash_stats: CrashStats::default(),
         }
     }
 
@@ -167,6 +180,88 @@ impl TcamDevice {
     /// Injected-fault counters, when a plan is installed.
     pub fn fault_stats(&self) -> Option<FaultStats> {
         self.fault.as_ref().map(|p| p.stats())
+    }
+
+    /// `true` while the control session is up. Lookups (the data plane)
+    /// keep working either way — a dead control channel does not stop the
+    /// ASIC from forwarding with whatever the TCAM still holds.
+    pub fn is_connected(&self) -> bool {
+        self.connected
+    }
+
+    /// Applied-crash counters (wipes, survivors, reconnect handshakes).
+    pub fn crash_stats(&self) -> CrashStats {
+        self.crash_stats
+    }
+
+    /// One controller reconnect attempt. Returns `true` once the session
+    /// is up; a still-booting device denies the first
+    /// [`CrashSpec::reconnect_denials`] attempts. Idempotent when already
+    /// connected.
+    pub fn reconnect(&mut self) -> bool {
+        self.crash_stats.reconnect_attempts += 1;
+        if self.connected {
+            return true;
+        }
+        if self.reconnect_denials > 0 {
+            self.reconnect_denials -= 1;
+            self.crash_stats.reconnects_denied += 1;
+            hermes_telemetry::counter("tcam.crash.reconnect_denied", 1);
+            return false;
+        }
+        self.connected = true;
+        hermes_telemetry::counter("tcam.crash.reconnects", 1);
+        true
+    }
+
+    /// Crashes the device right now, outside any fault plan — the hook
+    /// netsim and tests use to schedule switch-down windows.
+    pub fn force_crash(&mut self, spec: CrashSpec) {
+        self.crash(spec);
+    }
+
+    /// Applies a crash: mangles the TCAM per the spec and tears down the
+    /// control session until [`reconnect`](Self::reconnect) succeeds.
+    fn crash(&mut self, spec: CrashSpec) {
+        self.connected = false;
+        self.reconnect_denials = spec.reconnect_denials;
+        self.crash_stats.crashes += 1;
+        let mut lost = 0u64;
+        match spec.kind {
+            CrashKind::Wipe => {
+                self.crash_stats.wipes += 1;
+                hermes_telemetry::counter("tcam.crash.wipes", 1);
+                for s in &mut self.slices {
+                    lost += s.table.clear() as u64;
+                }
+            }
+            CrashKind::Partial { survivor_prob } => {
+                self.crash_stats.partials += 1;
+                hermes_telemetry::counter("tcam.crash.partials", 1);
+                let mut rng = StdRng::seed_from_u64(spec.survivor_seed);
+                for s in &mut self.slices {
+                    for r in s.table.drain() {
+                        let roll: f64 = rng.gen_range(0.0..1.0);
+                        if roll < survivor_prob {
+                            s.table.insert(r).expect(
+                                "INVARIANT: a survivor re-enters the freshly drained table it came from, so capacity and uniqueness hold",
+                            );
+                            self.crash_stats.entries_retained += 1;
+                        } else {
+                            lost += 1;
+                        }
+                    }
+                }
+            }
+            CrashKind::Disconnect => {
+                self.crash_stats.disconnects += 1;
+                hermes_telemetry::counter("tcam.crash.disconnects", 1);
+            }
+        }
+        self.crash_stats.entries_lost += lost;
+        if lost > 0 {
+            hermes_telemetry::counter("tcam.crash.entries_lost", lost);
+        }
     }
 
     /// The performance model.
@@ -212,6 +307,12 @@ impl TcamDevice {
     /// a plausible `Ok` report without applying anything, exactly like the
     /// lying firmware the paper measures (§2).
     pub fn apply(&mut self, slice: usize, action: &ControlAction) -> Result<OpReport, TcamError> {
+        // A dead session rejects everything before the fault plan is even
+        // consulted, so the per-op fault stream is a pure function of the
+        // ops that actually reached the channel.
+        if !self.connected {
+            return Err(TcamError::Disconnected);
+        }
         let mut spike = 1.0;
         if let Some(plan) = self.fault.as_mut() {
             let (is_insert, is_delete) = match action {
@@ -221,6 +322,10 @@ impl TcamDevice {
             };
             match plan.decide(is_insert, is_delete) {
                 FaultDecision::Normal => {}
+                FaultDecision::Crash(spec) => {
+                    self.crash(spec);
+                    return Err(TcamError::Disconnected);
+                }
                 FaultDecision::Fail => {
                     hermes_telemetry::counter("tcam.fault_fail", 1);
                     return Err(TcamError::ChannelBusy);
@@ -346,12 +451,19 @@ impl TcamDevice {
                 slice,
             });
         }
+        if !self.connected {
+            return Err(TcamError::Disconnected);
+        }
         let mut spike = 1.0;
         if let Some(plan) = self.fault.as_mut() {
             let any_insert = ops.iter().any(|o| matches!(o, TcamOp::Insert(_)));
             let any_delete = ops.iter().any(|o| matches!(o, TcamOp::Delete(_)));
             match plan.decide(any_insert, any_delete) {
                 FaultDecision::Normal => {}
+                FaultDecision::Crash(spec) => {
+                    self.crash(spec);
+                    return Err(TcamError::Disconnected);
+                }
                 FaultDecision::Fail => {
                     hermes_telemetry::counter("tcam.fault_fail", 1);
                     return Err(TcamError::ChannelBusy);
@@ -700,5 +812,104 @@ mod tests {
             .unwrap();
         assert_eq!(dev.find_rule(RuleId(9)).unwrap().0, 1);
         assert!(dev.find_rule(RuleId(10)).is_none());
+    }
+
+    fn loaded_device(n: u64) -> TcamDevice {
+        let mut dev = TcamDevice::monolithic(SwitchModel::pica8_p3290());
+        for i in 0..n {
+            dev.apply(
+                0,
+                &ControlAction::Insert(rule(i, "10.0.0.0/8", 2000 - i as u32, 1)),
+            )
+            .unwrap();
+        }
+        dev
+    }
+
+    #[test]
+    fn wipe_crash_clears_tables_and_drops_session() {
+        let mut dev = loaded_device(40);
+        dev.force_crash(CrashSpec {
+            kind: CrashKind::Wipe,
+            survivor_seed: 0,
+            reconnect_denials: 0,
+        });
+        assert!(!dev.is_connected());
+        assert_eq!(dev.total_entries(), 0);
+        assert_eq!(dev.crash_stats().entries_lost, 40);
+        assert_eq!(
+            dev.apply(0, &ControlAction::Insert(rule(99, "11.0.0.0/8", 7, 1))),
+            Err(TcamError::Disconnected)
+        );
+        // Data plane keeps running on (now-empty) state.
+        assert_eq!(dev.peek(pkt("10.1.2.3")), LookupResult::ToController);
+        assert!(dev.reconnect());
+        assert!(dev.is_connected());
+        dev.apply(0, &ControlAction::Insert(rule(99, "11.0.0.0/8", 7, 1)))
+            .unwrap();
+    }
+
+    #[test]
+    fn partial_crash_retains_seeded_survivor_subset() {
+        let mut a = loaded_device(200);
+        let mut b = a.clone();
+        let spec = CrashSpec {
+            kind: CrashKind::Partial { survivor_prob: 0.5 },
+            survivor_seed: 1234,
+            reconnect_denials: 0,
+        };
+        a.force_crash(spec);
+        b.force_crash(spec);
+        let kept = a.total_entries();
+        assert!(kept > 0 && kept < 200, "p=0.5 keeps a strict subset, kept {kept}");
+        assert_eq!(
+            a.slice(0).table.entries(),
+            b.slice(0).table.entries(),
+            "same survivor seed must keep the same subset"
+        );
+        assert_eq!(a.crash_stats().entries_lost as usize, 200 - kept);
+        assert_eq!(a.crash_stats().entries_retained as usize, kept);
+    }
+
+    #[test]
+    fn disconnect_crash_preserves_state_and_denies_reconnects() {
+        let mut dev = loaded_device(10);
+        dev.force_crash(CrashSpec {
+            kind: CrashKind::Disconnect,
+            survivor_seed: 0,
+            reconnect_denials: 2,
+        });
+        assert_eq!(dev.total_entries(), 10, "disconnect loses nothing");
+        assert_eq!(
+            dev.apply_batch(0, &[TcamOp::Delete(RuleId(0))]),
+            Err(TcamError::Disconnected)
+        );
+        assert!(!dev.reconnect(), "first attempt denied");
+        assert!(!dev.reconnect(), "second attempt denied");
+        assert!(dev.reconnect(), "third attempt lands");
+        assert_eq!(dev.crash_stats().reconnects_denied, 2);
+        assert_eq!(dev.crash_stats().reconnect_attempts, 3);
+        dev.apply(0, &ControlAction::Delete(RuleId(0))).unwrap();
+    }
+
+    #[test]
+    fn planned_crash_fires_through_apply() {
+        let mut dev = loaded_device(5);
+        let mut plan = FaultPlan::quiet(3);
+        plan.crash_period = 3;
+        plan.crash_wipe_prob = 1.0; // always a wipe
+        dev.set_fault_plan(Some(plan));
+        let mut crashed_at = None;
+        for i in 0u64..10 {
+            let res = dev.apply(0, &ControlAction::Insert(rule(100 + i, "12.0.0.0/8", 7, 1)));
+            if res == Err(TcamError::Disconnected) {
+                crashed_at = Some(i);
+                break;
+            }
+        }
+        assert_eq!(crashed_at, Some(2), "third op hits the crash point");
+        assert!(!dev.is_connected());
+        assert_eq!(dev.total_entries(), 0);
+        assert_eq!(dev.crash_stats().wipes, 1);
     }
 }

@@ -17,12 +17,26 @@
 //!   wedged agent or management-link flap;
 //! * **silent drops** — the device acks an insert (or delete) with a
 //!   plausible latency but applies nothing, leaving the controller's view
-//!   and the hardware out of sync until a reconciliation audit catches it.
+//!   and the hardware out of sync until a reconciliation audit catches it;
+//! * **crash-class faults** — every `crash_period` ops the *switch itself*
+//!   goes down: a full TCAM wipe (cold reboot), a partial wipe retaining a
+//!   seeded survivor subset (warm reboot with ECC/firmware salvage), or a
+//!   pure control-channel disconnect with state intact. The device drops
+//!   its control session either way and rejects everything with
+//!   [`TcamError::Disconnected`](crate::TcamError::Disconnected) until the
+//!   controller reconnects and resyncs.
 //!
 //! Every decision is a pure function of the seed and the op sequence, so a
-//! chaos run reproduces byte-for-byte from `HERMES_FAULT_SEED`.
+//! chaos run reproduces byte-for-byte from `HERMES_FAULT_SEED`. Crash
+//! parameters (kind, survivor subset, reconnect denials) are drawn from a
+//! *separate* seeded stream, so arming crashes never perturbs the per-op
+//! fault sequence of an existing seed.
 
 use hermes_util::rng::{Rng, SeedableRng, StdRng};
+
+/// Salt mixed into the plan seed for the crash-parameter stream, keeping
+/// it independent of the per-op fault stream (b"HERMESCR").
+const CRASH_STREAM_SALT: u64 = 0x4845_524d_4553_4352;
 
 /// What the fault layer decided for one control-plane action.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -37,6 +51,37 @@ pub enum FaultDecision {
     Spike(f64),
     /// Reject: the control channel is inside an outage window.
     Outage,
+    /// The switch crashes: the device mangles its state per the spec,
+    /// drops the control session, and rejects this op.
+    Crash(CrashSpec),
+}
+
+/// How a crash mangles the device's TCAM state.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum CrashKind {
+    /// Cold reboot: the TCAM loses every entry in every slice.
+    Wipe,
+    /// Warm reboot with partial salvage: each entry independently survives
+    /// with the given probability, drawn from the crash's survivor seed.
+    Partial {
+        /// Per-entry survival probability.
+        survivor_prob: f64,
+    },
+    /// The tables survive intact but the control session is torn down;
+    /// only the reconnect handshake is lost time.
+    Disconnect,
+}
+
+/// One scheduled crash, fully determined by the plan seed and op count.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CrashSpec {
+    /// What happens to the TCAM contents.
+    pub kind: CrashKind,
+    /// Seeds the survivor-subset draw for [`CrashKind::Partial`].
+    pub survivor_seed: u64,
+    /// Reconnect attempts the device rejects before the session comes
+    /// back (models a switch still booting).
+    pub reconnect_denials: u32,
 }
 
 /// Lifetime counters for injected faults (telemetry for chaos runs).
@@ -52,6 +97,31 @@ pub struct FaultStats {
     pub latency_spikes: u64,
     /// Ops rejected inside an outage window.
     pub outage_rejections: u64,
+    /// Crash-class faults injected (wipe + partial + disconnect).
+    pub crashes: u64,
+}
+
+/// Device-side counters for crash-class faults as they were *applied* —
+/// what actually happened to the tables and the control session, as
+/// opposed to [`FaultStats`], which counts what the plan decided.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CrashStats {
+    /// Crashes applied to the device.
+    pub crashes: u64,
+    /// Crashes that wiped every slice.
+    pub wipes: u64,
+    /// Crashes that retained a partial survivor subset.
+    pub partials: u64,
+    /// Crashes that only tore down the control session.
+    pub disconnects: u64,
+    /// TCAM entries lost across all crashes.
+    pub entries_lost: u64,
+    /// TCAM entries that survived partial-retention crashes.
+    pub entries_retained: u64,
+    /// Reconnect attempts the controller made.
+    pub reconnect_attempts: u64,
+    /// Reconnect attempts the (still-booting) device denied.
+    pub reconnects_denied: u64,
 }
 
 /// A seeded fault schedule for one device.
@@ -73,7 +143,22 @@ pub struct FaultPlan {
     pub outage_period: u64,
     /// Consecutive ops rejected once an outage opens.
     pub outage_len: u64,
+    /// Ops between crash-class faults (`0` disables crashes).
+    pub crash_period: u64,
+    /// Probability a crash is a full TCAM wipe.
+    pub crash_wipe_prob: f64,
+    /// Probability a crash retains a partial survivor subset; the
+    /// remaining mass is a pure control-channel disconnect.
+    pub crash_partial_prob: f64,
+    /// Per-entry survival probability for partial-retention crashes.
+    pub survivor_prob: f64,
+    /// Reconnect denials per crash are drawn uniformly in `0..=max`.
+    pub max_reconnect_denials: u32,
     rng: StdRng,
+    /// Dedicated stream for crash parameters: consumed only at the
+    /// deterministic crash points, so arming or disarming crashes leaves
+    /// the per-op `rng` sequence untouched.
+    crash_rng: StdRng,
     ops: u64,
     stats: FaultStats,
 }
@@ -88,7 +173,13 @@ impl FaultPlan {
             spike_multiplier: 1.0,
             outage_period: 0,
             outage_len: 0,
+            crash_period: 0,
+            crash_wipe_prob: 0.0,
+            crash_partial_prob: 0.0,
+            survivor_prob: 1.0,
+            max_reconnect_denials: 0,
             rng: StdRng::seed_from_u64(seed),
+            crash_rng: StdRng::seed_from_u64(seed ^ CRASH_STREAM_SALT),
             ops: 0,
             stats: FaultStats::default(),
         }
@@ -108,13 +199,34 @@ impl FaultPlan {
         }
     }
 
+    /// The crash-class chaos mix: the per-op faults of [`seeded`] plus a
+    /// switch crash every 300 ops — 40% full wipes, 35% partial retention
+    /// (each entry survives with p=0.5), 25% pure disconnects — with up
+    /// to 3 reconnect attempts denied while the switch "boots".
+    ///
+    /// [`seeded`]: Self::seeded
+    pub fn crashy(seed: u64) -> Self {
+        FaultPlan {
+            crash_period: 300,
+            crash_wipe_prob: 0.4,
+            crash_partial_prob: 0.35,
+            survivor_prob: 0.5,
+            max_reconnect_denials: 3,
+            ..Self::seeded(seed)
+        }
+    }
+
     /// Builds the standard chaos plan from the `HERMES_FAULT_SEED`
     /// environment variable, or `None` when it is unset/unparsable.
     pub fn from_env() -> Option<Self> {
+        Self::env_seed().map(Self::seeded)
+    }
+
+    /// The parsed `HERMES_FAULT_SEED` environment variable, if set.
+    pub fn env_seed() -> Option<u64> {
         std::env::var("HERMES_FAULT_SEED")
             .ok()
             .and_then(|v| v.parse::<u64>().ok())
-            .map(Self::seeded)
     }
 
     /// Injected-fault counters so far.
@@ -141,6 +253,13 @@ impl FaultPlan {
         // One decision per op from a fixed number of draws keeps the
         // stream aligned regardless of which branch fires.
         let roll: f64 = self.rng.gen_range(0.0..1.0);
+        // Crash points are op-count driven and their parameters come from
+        // the dedicated crash stream, so the main roll above stays aligned
+        // with crash-free plans sharing the seed.
+        if self.crash_period != 0 && self.ops.is_multiple_of(self.crash_period) {
+            self.stats.crashes += 1;
+            return FaultDecision::Crash(self.draw_crash());
+        }
         if in_outage {
             self.stats.outage_rejections += 1;
             return FaultDecision::Outage;
@@ -164,6 +283,29 @@ impl FaultPlan {
             return FaultDecision::Spike(self.spike_multiplier);
         }
         FaultDecision::Normal
+    }
+
+    /// Draws one crash's parameters from the dedicated crash stream.
+    fn draw_crash(&mut self) -> CrashSpec {
+        let k: f64 = self.crash_rng.gen_range(0.0..1.0);
+        let kind = if k < self.crash_wipe_prob {
+            CrashKind::Wipe
+        } else if k < self.crash_wipe_prob + self.crash_partial_prob {
+            CrashKind::Partial {
+                survivor_prob: self.survivor_prob,
+            }
+        } else {
+            CrashKind::Disconnect
+        };
+        CrashSpec {
+            kind,
+            survivor_seed: self.crash_rng.gen_range(0..u64::MAX),
+            reconnect_denials: if self.max_reconnect_denials == 0 {
+                0
+            } else {
+                self.crash_rng.gen_range(0..=self.max_reconnect_denials)
+            },
+        }
     }
 }
 
@@ -228,5 +370,72 @@ mod tests {
         assert_eq!(p.decide(true, false), FaultDecision::SilentDrop);
         assert_eq!(p.decide(false, true), FaultDecision::SilentDrop);
         assert_eq!(p.decide(false, false), FaultDecision::Normal);
+    }
+
+    #[test]
+    fn crashes_fire_on_schedule_and_reproduce() {
+        let mut a = FaultPlan::quiet(5);
+        a.crash_period = 10;
+        a.crash_wipe_prob = 0.4;
+        a.crash_partial_prob = 0.35;
+        a.max_reconnect_denials = 3;
+        let mut b = a.clone();
+        let mut crash_ops = Vec::new();
+        for i in 0..100 {
+            let da = a.decide(true, false);
+            assert_eq!(da, b.decide(true, false), "decision {i} diverged");
+            if let FaultDecision::Crash(_) = da {
+                crash_ops.push(i);
+            }
+        }
+        assert_eq!(crash_ops, vec![9, 19, 29, 39, 49, 59, 69, 79, 89, 99]);
+        assert_eq!(a.stats().crashes, 10);
+    }
+
+    #[test]
+    fn crash_stream_does_not_perturb_per_op_faults() {
+        // Same seed, crashes armed vs not: every non-crash decision must
+        // be identical — the crash stream is independent.
+        let mut plain = FaultPlan::seeded(77);
+        let mut crashy = FaultPlan::seeded(77);
+        crashy.crash_period = 7;
+        for i in 0..500 {
+            let a = plain.decide(i % 2 == 0, i % 2 == 1);
+            let b = crashy.decide(i % 2 == 0, i % 2 == 1);
+            if !matches!(b, FaultDecision::Crash(_)) {
+                assert_eq!(a, b, "op {i}: crash stream leaked into per-op faults");
+            }
+        }
+    }
+
+    #[test]
+    fn crashy_mix_draws_all_kinds() {
+        let mut p = FaultPlan::crashy(11);
+        p.crash_period = 1; // every op crashes; the mix should cover all kinds
+        let (mut wipes, mut partials, mut disconnects) = (0, 0, 0);
+        for _ in 0..300 {
+            match p.decide(true, false) {
+                FaultDecision::Crash(spec) => match spec.kind {
+                    CrashKind::Wipe => wipes += 1,
+                    CrashKind::Partial { survivor_prob } => {
+                        assert_eq!(survivor_prob, 0.5);
+                        partials += 1;
+                    }
+                    CrashKind::Disconnect => disconnects += 1,
+                },
+                other => panic!("expected a crash, got {other:?}"),
+            }
+        }
+        assert!(wipes > 0 && partials > 0 && disconnects > 0);
+        assert_eq!(p.stats().crashes, 300);
+    }
+
+    #[test]
+    fn seeded_plan_never_crashes() {
+        let mut p = FaultPlan::seeded(7);
+        for _ in 0..5000 {
+            assert!(!matches!(p.decide(true, false), FaultDecision::Crash(_)));
+        }
+        assert_eq!(p.stats().crashes, 0);
     }
 }

@@ -11,7 +11,8 @@
 //! * [`device`] — a switch ASIC with TCAM *carving* into slices, the SDK
 //!   capability Hermes relies on (§6);
 //! * [`fault`] — a seeded, deterministic fault injector for the control
-//!   channel (transient failures, latency spikes, outages, silent drops);
+//!   channel (transient failures, latency spikes, outages, silent drops,
+//!   and crash-class faults: wipes, partial retention, disconnects);
 //! * [`time`] — deterministic simulated time used across the workspace.
 //!
 //! ## Example: reproducing a Table 1 measurement
@@ -35,7 +36,7 @@ pub mod table;
 pub mod time;
 
 pub use device::{BatchOpReport, LookupResult, MissBehavior, OpReport, Slice, TcamDevice};
-pub use fault::{FaultDecision, FaultPlan, FaultStats};
+pub use fault::{CrashKind, CrashSpec, CrashStats, FaultDecision, FaultPlan, FaultStats};
 pub use perf::SwitchModel;
 pub use table::{BatchReport, PlacementStrategy, TableStats, TcamError, TcamOp, TcamTable};
 pub use time::{SimDuration, SimTime};

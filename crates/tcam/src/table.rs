@@ -95,6 +95,10 @@ pub enum TcamError {
     /// The control channel is inside an outage window (injected fault);
     /// retries fail until the window closes.
     Outage,
+    /// The device crashed or rebooted and dropped its control session;
+    /// every op fails until the controller reconnects and resyncs
+    /// (crash-class fault, see [`FaultPlan`](crate::FaultPlan)).
+    Disconnected,
 }
 
 impl TcamError {
@@ -114,6 +118,9 @@ impl std::fmt::Display for TcamError {
             TcamError::Duplicate(id) => write!(f, "duplicate TCAM entry for rule {id}"),
             TcamError::ChannelBusy => write!(f, "TCAM control channel busy (transient)"),
             TcamError::Outage => write!(f, "TCAM control channel outage"),
+            TcamError::Disconnected => {
+                write!(f, "TCAM control session lost (device crash; resync required)")
+            }
         }
     }
 }

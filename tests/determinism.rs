@@ -57,16 +57,16 @@ static TELEMETRY_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 /// Drives a seeded MicroBench stream through a `HermesSwitch` (ticks,
 /// migrations, a post-quiescence audit) with telemetry recording, and
 /// returns the serialized `hermes-bench-report/1` document.
-fn telemetry_capture(fault_seed: Option<u64>) -> String {
+fn telemetry_capture(plan: Option<hermes::tcam::FaultPlan>) -> String {
     use hermes::core::prelude::*;
-    use hermes::tcam::{FaultPlan, SimDuration, SwitchModel};
+    use hermes::tcam::{SimDuration, SwitchModel};
     use hermes::workloads::microbench::MicroBench;
 
     hermes::telemetry::reset();
     hermes::telemetry::set_meta("workload", Json::Str("microbench".into()));
     let mut sw = HermesSwitch::new(SwitchModel::dell_8132f(), HermesConfig::default())
         .expect("default guarantee feasible on dell_8132f");
-    sw.install_fault_plan(fault_seed.map(FaultPlan::seeded));
+    sw.install_fault_plan(plan);
     let stream = MicroBench {
         count: 400,
         arrival_rate: 400.0,
@@ -86,7 +86,8 @@ fn telemetry_capture(fault_seed: Option<u64>) -> String {
             sw.migrate(ta.at);
         }
     }
-    // Quiescence: clear faults and let the audit repair/verify.
+    // Quiescence: clear faults and let the audit repair/verify (the audit
+    // heartbeat also drives any open crash window through resync).
     sw.install_fault_plan(None);
     for k in 1..=4u32 {
         sw.audit(last + SimDuration::from_ms(5.0 * f64::from(k)));
@@ -125,8 +126,8 @@ fn telemetry_report_is_byte_identical_across_runs() {
 fn telemetry_report_is_deterministic_under_fault_plan() {
     let _guard = TELEMETRY_LOCK.lock().unwrap();
     hermes::telemetry::set_enabled(true);
-    let a = telemetry_capture(Some(0xFA17));
-    let b = telemetry_capture(Some(0xFA17));
+    let a = telemetry_capture(Some(hermes::tcam::FaultPlan::seeded(0xFA17)));
+    let b = telemetry_capture(Some(hermes::tcam::FaultPlan::seeded(0xFA17)));
     let clean = telemetry_capture(None);
     hermes::telemetry::set_enabled(false);
     assert_eq!(
@@ -134,6 +135,42 @@ fn telemetry_report_is_deterministic_under_fault_plan() {
         "same HERMES_FAULT_SEED must reproduce the telemetry byte-for-byte"
     );
     assert_ne!(a, clean, "an armed fault plan must reach the telemetry");
+}
+
+#[test]
+fn telemetry_report_is_deterministic_under_crash_plan() {
+    // Crash-class faults included: a plan that wipes/partially-retains/
+    // disconnects the switch mid-run must still replay byte-for-byte from
+    // its seed — reconnect backoff, the resync diff and the reinstall
+    // order are all deterministic.
+    let crashy = || {
+        let mut plan = hermes::tcam::FaultPlan::crashy(0xC4A5);
+        plan.crash_period = 60;
+        plan.max_reconnect_denials = 2;
+        Some(plan)
+    };
+    let _guard = TELEMETRY_LOCK.lock().unwrap();
+    hermes::telemetry::set_enabled(true);
+    let a = telemetry_capture(crashy());
+    let b = telemetry_capture(crashy());
+    let clean = telemetry_capture(None);
+    hermes::telemetry::set_enabled(false);
+    assert_eq!(
+        a, b,
+        "same crash plan seed must reproduce the telemetry byte-for-byte"
+    );
+    assert_ne!(a, clean, "the crash plan must reach the telemetry");
+
+    let parsed = Json::parse(&a).expect("self-produced report parses");
+    let Some(Json::Obj(counters)) = parsed.get("counters") else {
+        panic!("report has no counters object");
+    };
+    for prefix in ["tcam.crash.", "resync."] {
+        assert!(
+            counters.iter().any(|(k, _)| k.starts_with(prefix)),
+            "no {prefix} counters in report"
+        );
+    }
 }
 
 #[test]
