@@ -106,6 +106,14 @@ pub trait ControlPlane {
     fn resync_stats(&self) -> Option<ResyncStats> {
         None
     }
+
+    /// Whether the plane currently holds the given logical rule
+    /// (deferred admissions included — accepted, just not yet placed).
+    /// `None` for planes without per-rule introspection; the fleet's
+    /// two-phase staging check treats those optimistically.
+    fn contains_rule(&self, _id: RuleId) -> Option<bool> {
+        None
+    }
 }
 
 impl ControlPlane for Box<dyn ControlPlane> {
@@ -153,6 +161,10 @@ impl ControlPlane for Box<dyn ControlPlane> {
 
     fn resync_stats(&self) -> Option<ResyncStats> {
         (**self).resync_stats()
+    }
+
+    fn contains_rule(&self, id: RuleId) -> Option<bool> {
+        (**self).contains_rule(id)
     }
 }
 
@@ -343,6 +355,10 @@ impl ControlPlane for HermesPlane {
 
     fn resync_stats(&self) -> Option<ResyncStats> {
         Some(self.switch.resync_stats())
+    }
+
+    fn contains_rule(&self, id: RuleId) -> Option<bool> {
+        Some(self.switch.contains(id))
     }
 }
 

@@ -1,0 +1,288 @@
+//! **Fleet pipeline** — the sharded multi-switch controller under a
+//! fat-tree-scale preload plus path-transaction churn.
+//!
+//! N Hermes planes shard across L deterministic worker lanes; the same
+//! seeded workload — two-phase path installs across random member
+//! slices, background single-rule churn, periodic crash injections — is
+//! driven once with `lanes = 1` (every device op in the fleet serializes
+//! through one driver) and once with `lanes = L`. The lanes overlap
+//! shadow installs on one switch with in-flight work on others, so the
+//! modeled makespan contracts by ≈ L on a balanced assignment; the gate
+//! asserts ≥ 2× control-plane throughput at L ≥ 4.
+//!
+//! Crash injections open rollback windows mid-churn: transactions that
+//! hit a down member abort and retract everywhere, and the quiescence
+//! sweep proves the fleet carries no rollback debt afterwards.
+
+#![forbid(unsafe_code)]
+
+use hermes_baselines::{ControlPlane, HermesPlane};
+use hermes_bench::Table;
+use hermes_core::prelude::*;
+use hermes_fleet::{Fleet, FleetConfig, SwitchId};
+use hermes_rules::prelude::*;
+use hermes_tcam::{CrashKind, SimDuration, SimTime, SwitchModel};
+use hermes_util::rng::rngs::StdRng;
+use hermes_util::rng::{Rng, SeedableRng};
+
+struct Outcome {
+    horizon_ms: f64,
+    throughput_kops: f64,
+    ops: u64,
+    commits: u64,
+    rollbacks: u64,
+    occupancy: usize,
+    mean_rit_ms: f64,
+    sweeps: u32,
+}
+
+fn churn_rule(id: u64, rng: &mut StdRng) -> Rule {
+    let addr = 0x0a00_0000u32 | Rng::gen_range(rng, 0..1u32 << 24);
+    let prio = 200 + Rng::gen_range(rng, 0..1600u32);
+    Rule::new(
+        id,
+        Ipv4Prefix::new(addr, 24).to_key(),
+        Priority(prio),
+        Action::Forward(prio % 47 + 1),
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_phase(
+    lanes: usize,
+    switches: usize,
+    preload: usize,
+    paths: usize,
+    span: usize,
+    crash_every: usize,
+    seed: u64,
+) -> Outcome {
+    // Admission control off (the exp_crash precedent): the experiment
+    // measures device-channel and lane throughput, and the token bucket
+    // would otherwise reward the slower driver — ops serviced later see a
+    // refilled bucket and route cheaper, masking the pipeline win.
+    let config = HermesConfig {
+        rate_limit: Some(f64::INFINITY),
+        ..Default::default()
+    };
+    let members: Vec<(SwitchId, HermesPlane)> = (0..switches)
+        .map(|i| {
+            let sw = HermesSwitch::new(SwitchModel::pica8_p3290(), config.clone())
+                .expect("INVARIANT: fixed experiment config is feasible for this model");
+            (i, HermesPlane::new(sw))
+        })
+        .collect();
+    let mut fleet = Fleet::new(members, FleetConfig { lanes, seed });
+
+    // Fat-tree-style preload: disjoint FIB rules spread across the whole
+    // priority band, drained into the main table before the churn starts.
+    let mut next_id = 0u64;
+    for sw in fleet.switch_ids() {
+        let batch: Vec<ControlAction> = (0..preload)
+            .map(|i| {
+                let addr = (0b11u32 << 30) | ((i as u32) << 12);
+                let r = Rule::new(
+                    next_id,
+                    Ipv4Prefix::new(addr, 24).to_key(),
+                    Priority(10 + ((i as u32).wrapping_mul(37)) % 1980),
+                    Action::Forward((i % 48) as u32),
+                );
+                next_id += 1;
+                ControlAction::Insert(r)
+            })
+            .collect();
+        let p = fleet.plane_mut(sw);
+        p.apply_batch(&batch, SimTime::ZERO);
+        p.tick(SimTime::ZERO);
+        p.end_warmup();
+        p.tick(SimTime::ZERO);
+        p.end_warmup();
+    }
+    fleet.end_warmup_all();
+
+    // Churn: path transactions across random member slices arrive far
+    // faster than the devices drain, so the makespan is set by the lanes,
+    // not the arrival process. Periodic crash injections open rollback
+    // windows mid-stream.
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x464c_4545_5421_2121);
+    let mut now = SimTime::ZERO;
+    let mut rit_sum_ms = 0.0;
+    let mut rit_n = 0u64;
+    let mut crash_index = 0u64;
+    for t in 0..paths {
+        now += SimDuration::from_us(10.0);
+        if crash_every > 0 && t % crash_every == crash_every - 1 {
+            let victim = Rng::gen_range(&mut rng, 0..switches);
+            let kind = match crash_index % 3 {
+                0 => CrashKind::Wipe,
+                1 => CrashKind::Partial { survivor_prob: 0.5 },
+                _ => CrashKind::Disconnect,
+            };
+            fleet.plane_mut(victim).inject_crash(
+                kind,
+                seed ^ crash_index.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                1,
+                now,
+            );
+            crash_index += 1;
+        }
+        let first = Rng::gen_range(&mut rng, 0..switches);
+        let pieces: Vec<(SwitchId, Rule)> = (0..span)
+            .map(|k| {
+                let r = churn_rule(next_id, &mut rng);
+                next_id += 1;
+                ((first + k) % switches, r)
+            })
+            .collect();
+        let out = fleet.install_path(&pieces, now);
+        for op in &out.ops {
+            rit_sum_ms += op.done.since(now).as_ms();
+            rit_n += 1;
+        }
+        // Light background churn on one member alongside the transaction.
+        let sw = Rng::gen_range(&mut rng, 0..switches);
+        let r = churn_rule(next_id, &mut rng);
+        next_id += 1;
+        fleet.submit(sw, &[ControlAction::Insert(r)], now);
+        if t % 16 == 15 {
+            fleet.tick_all(now);
+        }
+    }
+
+    let horizon = fleet.horizon();
+    let stats_mid = fleet.stats();
+
+    // Quiescence: ticks past the makespan drive reconnect + resync +
+    // rollback re-drives until every member is clean.
+    now = horizon;
+    let mut sweeps = 0u32;
+    loop {
+        now += SimDuration::from_ms(5.0);
+        fleet.tick_all(now);
+        let mut all = fleet.pending_rollback_len() == 0;
+        for sw in fleet.switch_ids() {
+            let s = fleet.plane_mut(sw).switch_mut();
+            let clean = s.audit(now).clean();
+            all = all && clean && !s.is_down() && !s.is_degraded() && s.deferred_len() == 0;
+        }
+        if all {
+            break;
+        }
+        sweeps += 1;
+        assert!(
+            sweeps < 128,
+            "fleet failed to quiesce within 128 audit sweeps"
+        );
+    }
+    for (_, p) in fleet.planes() {
+        assert_eq!(
+            p.switch().intent_len(),
+            p.switch().logical_len(),
+            "intent store and logical table must agree after recovery"
+        );
+    }
+
+    let stats = fleet.stats();
+    let horizon_ms = horizon.as_nanos() as f64 / 1e6;
+    let throughput_kops = if horizon_ms > 0.0 {
+        stats_mid.ops as f64 / horizon_ms
+    } else {
+        0.0
+    };
+    Outcome {
+        horizon_ms,
+        throughput_kops,
+        ops: stats_mid.ops,
+        commits: stats.txn_commits,
+        rollbacks: stats.txn_rollbacks,
+        occupancy: fleet.occupancy(),
+        mean_rit_ms: if rit_n > 0 {
+            rit_sum_ms / rit_n as f64
+        } else {
+            0.0
+        },
+        sweeps,
+    }
+}
+
+fn main() -> std::process::ExitCode {
+    hermes_bench::run_experiment("exp_fleet", run_experiment_body)
+}
+
+fn run_experiment_body() {
+    let switches = hermes_bench::scenario().knob_u64("switches", 20) as usize;
+    let lanes = hermes_bench::scenario().knob_u64("lanes", 4) as usize;
+    let preload = hermes_bench::scenario().knob_u64("preload", 150) as usize;
+    let paths = hermes_bench::scenario().knob_u64("paths", 400) as usize * hermes_bench::scale();
+    let span = hermes_bench::scenario().knob_u64("span", 3) as usize;
+    let crash_every = hermes_bench::scenario().knob_u64("crash_every", 50) as usize;
+    let seed = hermes_bench::scenario().knob_u64("seed", 7);
+    hermes_bench::report_meta("switches", &(switches as u64));
+    hermes_bench::report_meta("lanes", &(lanes as u64));
+    hermes_bench::report_meta("paths", &(paths as u64));
+
+    println!("== Fleet pipeline: sharded lanes vs a serialized driver ==\n");
+    println!(
+        "{switches} Hermes switches, {preload} preloaded rules each, {paths} path \
+         transactions of {span} pieces, a crash every {crash_every} transactions, seed {seed}\n"
+    );
+
+    let mut t = Table::new(&[
+        "Lanes",
+        "Ops",
+        "Makespan (ms)",
+        "Thr (ops/ms)",
+        "Mean RIT (ms)",
+        "Commits",
+        "Rollbacks",
+        "Occupancy",
+        "Sweeps",
+    ]);
+    let serial = run_phase(1, switches, preload, paths, span, crash_every, seed);
+    let sharded = run_phase(lanes, switches, preload, paths, span, crash_every, seed);
+    for (label, o) in [("1", &serial), (&lanes.to_string(), &sharded)] {
+        t.row(&[
+            label.to_string(),
+            o.ops.to_string(),
+            format!("{:.3}", o.horizon_ms),
+            format!("{:.3}", o.throughput_kops),
+            format!("{:.3}", o.mean_rit_ms),
+            o.commits.to_string(),
+            o.rollbacks.to_string(),
+            o.occupancy.to_string(),
+            o.sweeps.to_string(),
+        ]);
+    }
+    t.print();
+
+    let speedup = if serial.throughput_kops > 0.0 {
+        sharded.throughput_kops / serial.throughput_kops
+    } else {
+        0.0
+    };
+    println!(
+        "\nthroughput speedup at lanes={lanes}: {speedup:.2}x over the serialized driver\n\
+         (an op occupies its switch's control channel and its lane; sharding\n\
+         overlaps shadow installs on one switch with migrations on others)"
+    );
+
+    assert!(
+        serial.rollbacks >= 1,
+        "the crash schedule must abort at least one transaction"
+    );
+    assert_eq!(
+        serial.commits + serial.rollbacks,
+        paths as u64,
+        "every transaction either commits or rolls back"
+    );
+    assert_eq!(
+        serial.ops, sharded.ops,
+        "both lane configurations drive the identical workload"
+    );
+    if lanes >= 4 {
+        assert!(
+            speedup >= 2.0,
+            "lanes={lanes} must deliver >=2x modeled throughput over lanes=1 (got {speedup:.2}x)"
+        );
+    }
+}

@@ -171,6 +171,20 @@ impl IntentStore {
         map
     }
 
+    /// Whether the intended set holds the given rule (checkpoint with
+    /// the journal replayed on top — the view a resync would rebuild).
+    pub fn contains(&self, id: RuleId) -> bool {
+        let mut present = self.checkpoint.contains_key(&id);
+        for op in &self.journal {
+            match op {
+                IntentOp::Install(rule) if rule.id == id => present = true,
+                IntentOp::Remove(rid) if *rid == id => present = false,
+                _ => {}
+            }
+        }
+        present
+    }
+
     /// Number of rules in the intended set.
     pub fn len(&self) -> usize {
         self.snapshot().len()

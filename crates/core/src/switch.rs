@@ -479,6 +479,33 @@ impl HermesSwitch {
             || self.recovery.deferred.iter().any(|r| r.id == id)
     }
 
+    /// Whether the durable intent store intends the given rule — the view
+    /// a post-crash resync would rebuild. The fleet's transaction layer
+    /// checks this after a rollback: a retracted rule must not be
+    /// resurrected by the next resync.
+    pub fn intent_contains(&self, id: RuleId) -> bool {
+        self.intent.contains(id)
+    }
+
+    /// Rolls back a set of staged rules (the fleet's two-phase abort
+    /// path): each present rule is deleted through the normal path — the
+    /// delete journal absorbs device faults, the intent retraction keeps
+    /// resync from resurrecting it — and absent ids are skipped silently
+    /// (a crash may already have taken the entry). Returns the number of
+    /// rules actually retracted.
+    pub fn rollback_batch(&mut self, ids: &[RuleId], now: SimTime) -> usize {
+        let mut retracted = 0;
+        for id in ids {
+            if !self.contains(*id) {
+                continue;
+            }
+            if self.delete(*id, now).is_ok() {
+                retracted += 1;
+            }
+        }
+        retracted
+    }
+
     /// Looks up a logical rule.
     pub fn get(&self, id: RuleId) -> Option<Rule> {
         self.shadow

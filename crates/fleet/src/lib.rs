@@ -1,0 +1,637 @@
+//! Sharded multi-switch fleet controller.
+//!
+//! The paper evaluates Hermes one switch at a time; netsim builds fat-tree
+//! and ISP topologies where *every* switch runs its own shadow/main pair.
+//! [`Fleet`] owns one [`ControlPlane`] per switch and shards their control
+//! channels across a fixed set of deterministic **worker lanes**:
+//!
+//! * a lane models one controller worker driving device handshakes
+//!   synchronously — an operation occupies both its switch's serial
+//!   control channel *and* its lane for the modeled execution time;
+//! * switches on different lanes overlap freely, so a shadow install on
+//!   one switch proceeds while a migration is in flight on another —
+//!   the event-driven pipelined device channel;
+//! * `lanes = 1` reproduces the historical single-threaded driver (every
+//!   device op in the fleet serializes), `lanes = 0` gives every member a
+//!   dedicated lane (fully parallel dispatch, the netsim default);
+//! * lane assignment is a seeded shuffle of the sorted member ids, so the
+//!   interleaving is a pure function of the seed (R1 determinism).
+//!
+//! Dependency tracking rides [`OpToken`]s: a submission handed the tokens
+//! of earlier submissions starts only after all of them complete, even
+//! across lanes — dependent cuts land after their pieces.
+//!
+//! On top of the channel, [`Fleet::install_path`] installs a rule set
+//! along a path as a **two-phase transaction**: stage on every member via
+//! the batched admission pipeline, commit once the last member's pieces
+//! land, and roll back *everywhere* if any member is inside a crash
+//! window or rejects a piece. Rollback deletes ride the normal per-switch
+//! machinery — the PR 2 delete journal absorbs device faults and the
+//! intent store retraction keeps a post-crash resync from resurrecting
+//! aborted rules.
+
+#![forbid(unsafe_code)]
+
+use hermes_baselines::{BatchOutcome, ControlPlane, CpQueue, OpOutcome};
+use hermes_rules::prelude::*;
+use hermes_tcam::SimTime;
+use hermes_util::rng::rngs::StdRng;
+use hermes_util::rng::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// Fleet member identifier (a netsim `NodeId` or any dense index).
+pub type SwitchId = usize;
+
+/// Fleet construction knobs.
+#[derive(Clone, Debug)]
+pub struct FleetConfig {
+    /// Worker lanes the member control channels shard across. `0` gives
+    /// every member a dedicated lane (fully parallel dispatch); `1` is
+    /// the single-threaded driver every device op serializes through.
+    pub lanes: usize,
+    /// Seed for the lane-assignment shuffle. The interleaving the lanes
+    /// produce is a pure function of this seed (R1 determinism).
+    pub seed: u64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig { lanes: 0, seed: 1 }
+    }
+}
+
+/// Completion handle for a submission: dependency tracking currency.
+/// Passing tokens to [`Fleet::submit_after`] delays the new submission
+/// until every referenced one has completed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OpToken {
+    /// Absolute completion instant of the submission.
+    pub done: SimTime,
+}
+
+/// Fleet health counters (mirrored into `fleet.*` telemetry).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FleetStats {
+    /// Batches dispatched through the lanes.
+    pub submits: u64,
+    /// Control actions inside those batches.
+    pub ops: u64,
+    /// Two-phase path transactions started.
+    pub txns: u64,
+    /// Transactions whose every member staged cleanly.
+    pub txn_commits: u64,
+    /// Transactions rolled back on a member fault or crash.
+    pub txn_rollbacks: u64,
+    /// Members that failed staging across all rolled-back transactions.
+    pub txn_member_failures: u64,
+    /// Rollback deletes re-driven by `tick_all` after a member's crash
+    /// window kept the first attempt from landing.
+    pub rollback_retries: u64,
+}
+
+/// Per-rule outcome of a path transaction, with absolute times.
+#[derive(Clone, Copy, Debug)]
+pub struct PathOp {
+    /// The member the piece was staged on.
+    pub switch: SwitchId,
+    /// The staged rule.
+    pub id: RuleId,
+    /// Absolute completion instant of the stage write.
+    pub done: SimTime,
+    /// Whether the member reported a guarantee violation for this piece.
+    pub violated: bool,
+}
+
+/// Outcome of a two-phase path install.
+#[derive(Clone, Debug)]
+pub struct PathOutcome {
+    /// Transaction sequence number (per fleet).
+    pub txn: u64,
+    /// `true` once every member staged cleanly; `false` after a rollback.
+    pub committed: bool,
+    /// Commit barrier (all pieces landed) or rollback completion.
+    pub ready: SimTime,
+    /// Members that failed staging (empty on commit).
+    pub failed: Vec<SwitchId>,
+    /// Per-piece stage outcomes, in member order.
+    pub ops: Vec<PathOp>,
+}
+
+struct Member<P> {
+    queue: CpQueue<P>,
+    lane: usize,
+}
+
+/// The fleet controller: N per-switch control planes sharded across
+/// deterministic worker lanes.
+pub struct Fleet<P: ControlPlane> {
+    members: BTreeMap<SwitchId, Member<P>>,
+    /// Per-lane busy horizon (the lane's serial clock).
+    lanes: Vec<SimTime>,
+    next_txn: u64,
+    /// Rollback deletes that have not yet been confirmed gone (a crash
+    /// window can delay the device-side removal); re-driven by
+    /// [`tick_all`](Self::tick_all).
+    pending_rollbacks: BTreeMap<SwitchId, Vec<RuleId>>,
+    stats: FleetStats,
+}
+
+impl<P: ControlPlane> Fleet<P> {
+    /// Builds a fleet over the given members. Lane assignment is a
+    /// seeded shuffle of the sorted member ids so reruns interleave
+    /// identically.
+    pub fn new(members: Vec<(SwitchId, P)>, config: FleetConfig) -> Self {
+        let n = members.len();
+        let lane_count = if config.lanes == 0 {
+            n.max(1)
+        } else {
+            config.lanes.min(n.max(1))
+        };
+        // Round-robin over the sorted ids, then a Fisher-Yates shuffle of
+        // the assignment vector: balanced *and* seed-dependent.
+        let mut assignment: Vec<usize> = (0..n).map(|i| i % lane_count).collect();
+        let mut rng = StdRng::seed_from_u64(config.seed ^ LANE_SHUFFLE_SALT);
+        for i in (1..assignment.len()).rev() {
+            let j = Rng::gen_range(&mut rng, 0..=i);
+            assignment.swap(i, j);
+        }
+        let mut sorted = members;
+        sorted.sort_by_key(|(id, _)| *id);
+        let members: BTreeMap<SwitchId, Member<P>> = sorted
+            .into_iter()
+            .zip(assignment)
+            .map(|((id, plane), lane)| {
+                (
+                    id,
+                    Member {
+                        queue: CpQueue::new(plane),
+                        lane,
+                    },
+                )
+            })
+            .collect();
+        if hermes_telemetry::enabled() {
+            hermes_telemetry::gauge("fleet.lanes", lane_count as f64);
+            hermes_telemetry::gauge("fleet.members", members.len() as f64);
+        }
+        Fleet {
+            members,
+            lanes: vec![SimTime::ZERO; lane_count],
+            next_txn: 0,
+            pending_rollbacks: BTreeMap::new(),
+            stats: FleetStats::default(),
+        }
+    }
+
+    /// Number of worker lanes.
+    pub fn lane_count(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// The lane a member is sharded onto.
+    pub fn lane_of(&self, sw: SwitchId) -> usize {
+        self.member(sw).lane
+    }
+
+    /// Sorted member ids.
+    pub fn switch_ids(&self) -> Vec<SwitchId> {
+        self.members.keys().copied().collect()
+    }
+
+    /// Iterates members as `(id, plane)`.
+    pub fn planes(&self) -> impl Iterator<Item = (SwitchId, &P)> {
+        self.members.iter().map(|(id, m)| (*id, m.queue.plane()))
+    }
+
+    /// Borrows one member's plane.
+    pub fn plane(&self, sw: SwitchId) -> &P {
+        self.member(sw).queue.plane()
+    }
+
+    /// Mutably borrows one member's plane (preload, crash injection).
+    pub fn plane_mut(&mut self, sw: SwitchId) -> &mut P {
+        self.member_mut(sw).queue.plane_mut()
+    }
+
+    /// Whether a member's control session is inside a crash window.
+    pub fn is_down(&self, sw: SwitchId) -> bool {
+        self.plane(sw).is_down()
+    }
+
+    /// Total installed entries across the fleet.
+    pub fn occupancy(&self) -> usize {
+        self.members.values().map(|m| m.queue.plane().occupancy()).sum()
+    }
+
+    /// The latest busy horizon over all lanes: the modeled makespan of
+    /// everything dispatched so far.
+    pub fn horizon(&self) -> SimTime {
+        self.lanes.iter().copied().fold(SimTime::ZERO, SimTime::max)
+    }
+
+    /// Health counters.
+    pub fn stats(&self) -> FleetStats {
+        self.stats
+    }
+
+    /// Rollback deletes still awaiting confirmation.
+    pub fn pending_rollback_len(&self) -> usize {
+        self.pending_rollbacks.values().map(Vec::len).sum()
+    }
+
+    fn member(&self, sw: SwitchId) -> &Member<P> {
+        self.members
+            .get(&sw)
+            .expect("INVARIANT: fleet calls target a registered member")
+    }
+
+    fn member_mut(&mut self, sw: SwitchId) -> &mut Member<P> {
+        self.members
+            .get_mut(&sw)
+            .expect("INVARIANT: fleet calls target a registered member")
+    }
+
+    /// Submits a batch to one member through its lane.
+    pub fn submit(
+        &mut self,
+        sw: SwitchId,
+        actions: &[ControlAction],
+        now: SimTime,
+    ) -> (SimTime, BatchOutcome) {
+        let (start, outcome, _) = self.submit_after(sw, actions, now, &[]);
+        (start, outcome)
+    }
+
+    /// Submits a batch that must start only after every dependency
+    /// completes (dependent cuts land after their pieces). Start of
+    /// service additionally waits for the member's control channel and
+    /// its lane; both advance to the batch's completion.
+    pub fn submit_after(
+        &mut self,
+        sw: SwitchId,
+        actions: &[ControlAction],
+        now: SimTime,
+        deps: &[OpToken],
+    ) -> (SimTime, BatchOutcome, OpToken) {
+        let mut at = now;
+        for t in deps {
+            if t.done > at {
+                at = t.done;
+            }
+        }
+        let lane = self.member(sw).lane;
+        if self.lanes[lane] > at {
+            at = self.lanes[lane];
+        }
+        let (start, outcome) = self.member_mut(sw).queue.submit(actions, at);
+        let done = start + outcome.total;
+        self.lanes[lane] = done;
+        self.stats.submits += 1;
+        self.stats.ops += actions.len() as u64;
+        if hermes_telemetry::enabled() {
+            hermes_telemetry::counter("fleet.submits", 1);
+            hermes_telemetry::counter("fleet.ops", actions.len() as u64);
+            hermes_telemetry::observe("fleet.dispatch_wait_ns", start.since(now).as_nanos());
+        }
+        (start, outcome, OpToken { done })
+    }
+
+    /// Installs a rule set along a path as a two-phase transaction.
+    ///
+    /// Phase 1 stages every member's pieces through the batched admission
+    /// pipeline (members shard across lanes, so stages overlap). A member
+    /// fails staging when its control session is inside a crash window or
+    /// any of its pieces did not become logically live. Phase 2 commits —
+    /// the barrier over every stage token, so the transaction is ready
+    /// only after its last piece — or rolls back: every member's pieces
+    /// are deleted, with the deletes depending on the full stage barrier
+    /// so they land after what they undo. Deletes on a still-down member
+    /// retract the durable intent immediately (resync will not resurrect
+    /// the rule) and the device-side removal rides the delete journal;
+    /// [`tick_all`](Self::tick_all) re-drives any stragglers.
+    pub fn install_path(&mut self, rules: &[(SwitchId, Rule)], now: SimTime) -> PathOutcome {
+        let txn = self.next_txn;
+        self.next_txn += 1;
+        self.stats.txns += 1;
+        let traced = hermes_telemetry::enabled();
+        let span = hermes_telemetry::span_enter("fleet", "install_path", now.as_nanos());
+        if traced {
+            hermes_telemetry::counter("fleet.txns", 1);
+        }
+        let mut by_member: BTreeMap<SwitchId, Vec<Rule>> = BTreeMap::new();
+        for (sw, r) in rules {
+            by_member.entry(*sw).or_default().push(*r);
+        }
+
+        // Phase 1: stage on every member.
+        let mut tokens = Vec::with_capacity(by_member.len());
+        let mut ops = Vec::with_capacity(rules.len());
+        let mut failed = Vec::new();
+        for (sw, batch) in &by_member {
+            let actions: Vec<ControlAction> =
+                batch.iter().map(|r| ControlAction::Insert(*r)).collect();
+            let (start, outcome, token) = self.submit_after(*sw, &actions, now, &[]);
+            record_stage_ops(*sw, batch, start, &outcome, &mut ops);
+            let plane = self.plane(*sw);
+            let staged_ok = !plane.is_down()
+                && batch
+                    .iter()
+                    .all(|r| plane.contains_rule(r.id).unwrap_or(true));
+            if !staged_ok {
+                failed.push(*sw);
+            }
+            tokens.push(token);
+        }
+        let stage_barrier = tokens
+            .iter()
+            .map(|t| t.done)
+            .fold(now, SimTime::max);
+
+        if failed.is_empty() {
+            // Phase 2a: commit — nothing to write, the stage barrier *is*
+            // the commit point.
+            self.stats.txn_commits += 1;
+            if traced {
+                hermes_telemetry::counter("fleet.txn_commits", 1);
+            }
+            span.end(stage_barrier.as_nanos());
+            return PathOutcome {
+                txn,
+                committed: true,
+                ready: stage_barrier,
+                failed,
+                ops,
+            };
+        }
+
+        // Phase 2b: roll back everywhere.
+        self.stats.txn_rollbacks += 1;
+        self.stats.txn_member_failures += failed.len() as u64;
+        if traced {
+            hermes_telemetry::counter("fleet.txn_rollbacks", 1);
+            hermes_telemetry::counter("fleet.txn_member_failures", failed.len() as u64);
+        }
+        let mut ready = stage_barrier;
+        let members: Vec<SwitchId> = by_member.keys().copied().collect();
+        for sw in members {
+            let ids: Vec<RuleId> = by_member[&sw].iter().map(|r| r.id).collect();
+            let deletes: Vec<ControlAction> =
+                ids.iter().map(|id| ControlAction::Delete(*id)).collect();
+            let (_, _, token) = self.submit_after(sw, &deletes, now, &tokens);
+            if token.done > ready {
+                ready = token.done;
+            }
+            // A member mid-crash may not confirm the removal yet; park the
+            // ids for the tick loop to re-drive after resync.
+            let plane = self.plane(sw);
+            let leftovers: Vec<RuleId> = ids
+                .into_iter()
+                .filter(|id| plane.contains_rule(*id) == Some(true))
+                .collect();
+            if !leftovers.is_empty() {
+                self.pending_rollbacks.entry(sw).or_default().extend(leftovers);
+            }
+        }
+        span.end(ready.as_nanos());
+        PathOutcome {
+            txn,
+            committed: false,
+            ready,
+            failed,
+            ops,
+        }
+    }
+
+    /// Periodic housekeeping across the fleet: ticks every member (Rule
+    /// Manager migrations, crash-window reconnects) and re-drives any
+    /// rollback deletes a crash window previously swallowed.
+    pub fn tick_all(&mut self, now: SimTime) {
+        for m in self.members.values_mut() {
+            m.queue.plane_mut().tick(now);
+        }
+        if self.pending_rollbacks.is_empty() {
+            return;
+        }
+        let pending = std::mem::take(&mut self.pending_rollbacks);
+        for (sw, ids) in pending {
+            let retry: Vec<RuleId> = ids
+                .into_iter()
+                .filter(|id| self.plane(sw).contains_rule(*id) == Some(true))
+                .collect();
+            if retry.is_empty() {
+                continue;
+            }
+            if self.plane(sw).is_down() {
+                // Still inside the crash window: keep them parked.
+                self.pending_rollbacks.entry(sw).or_default().extend(retry);
+                continue;
+            }
+            self.stats.rollback_retries += retry.len() as u64;
+            if hermes_telemetry::enabled() {
+                hermes_telemetry::counter("fleet.rollback_retries", retry.len() as u64);
+            }
+            let deletes: Vec<ControlAction> =
+                retry.iter().map(|id| ControlAction::Delete(*id)).collect();
+            self.submit(sw, &deletes, now);
+            let leftovers: Vec<RuleId> = retry
+                .into_iter()
+                .filter(|id| self.plane(sw).contains_rule(*id) == Some(true))
+                .collect();
+            if !leftovers.is_empty() {
+                self.pending_rollbacks.entry(sw).or_default().extend(leftovers);
+            }
+        }
+    }
+
+    /// Ends the preload/warm-up phase fleet-wide: member state stays,
+    /// time-dependent state (lane horizons, admission buckets) resets to
+    /// the epoch.
+    pub fn end_warmup_all(&mut self) {
+        for m in self.members.values_mut() {
+            m.queue.plane_mut().end_warmup();
+        }
+        for lane in &mut self.lanes {
+            *lane = SimTime::ZERO;
+        }
+    }
+}
+
+/// Stamps absolute completion times onto the staged pieces. The batched
+/// admission pipeline preserves submission order, so outcomes zip with
+/// the staged rules positionally.
+fn record_stage_ops(
+    sw: SwitchId,
+    batch: &[Rule],
+    start: SimTime,
+    outcome: &BatchOutcome,
+    ops: &mut Vec<PathOp>,
+) {
+    for (r, op) in batch.iter().zip(outcome.ops.iter()) {
+        let op: &OpOutcome = op;
+        ops.push(PathOp {
+            switch: sw,
+            id: r.id,
+            done: start + op.completed_at,
+            violated: op.violated,
+        });
+    }
+}
+
+/// Seed-mixing constant for the lane shuffle (keeps the assignment
+/// stream distinct from every other stream derived from the same seed).
+const LANE_SHUFFLE_SALT: u64 = 0x9e37_79b9_7f4a_7c15;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_baselines::{HermesPlane, RawSwitch};
+    use hermes_core::prelude::{HermesConfig, HermesSwitch};
+    use hermes_tcam::{CrashKind, SimDuration, SwitchModel};
+
+    fn rule(id: u64) -> Rule {
+        Rule::new(
+            id,
+            Ipv4Prefix::new(0x0a00_0000 | ((id as u32) << 8), 24).to_key(),
+            Priority(10 + (id as u32 % 100)),
+            Action::Forward(1),
+        )
+    }
+
+    fn raw_fleet(n: usize, lanes: usize) -> Fleet<RawSwitch> {
+        let members = (0..n)
+            .map(|i| (i, RawSwitch::new(SwitchModel::pica8_p3290())))
+            .collect();
+        Fleet::new(members, FleetConfig { lanes, seed: 7 })
+    }
+
+    fn hermes_fleet(n: usize, lanes: usize) -> Fleet<HermesPlane> {
+        let members = (0..n)
+            .map(|i| {
+                let sw = HermesSwitch::new(SwitchModel::pica8_p3290(), HermesConfig::default())
+                    .unwrap();
+                (i, HermesPlane::new(sw))
+            })
+            .collect();
+        Fleet::new(members, FleetConfig { lanes, seed: 7 })
+    }
+
+    #[test]
+    fn zero_lanes_means_one_per_member() {
+        let fleet = raw_fleet(5, 0);
+        assert_eq!(fleet.lane_count(), 5);
+        let mut lanes: Vec<usize> = (0..5).map(|sw| fleet.lane_of(sw)).collect();
+        lanes.sort_unstable();
+        assert_eq!(lanes, vec![0, 1, 2, 3, 4], "dedicated lane per member");
+    }
+
+    #[test]
+    fn lane_assignment_is_deterministic_and_balanced() {
+        let a = raw_fleet(8, 3);
+        let b = raw_fleet(8, 3);
+        let la: Vec<usize> = (0..8).map(|sw| a.lane_of(sw)).collect();
+        let lb: Vec<usize> = (0..8).map(|sw| b.lane_of(sw)).collect();
+        assert_eq!(la, lb, "same seed, same shuffle");
+        for lane in 0..3 {
+            let n = la.iter().filter(|&&l| l == lane).count();
+            assert!((2..=3).contains(&n), "lane {lane} holds {n} members");
+        }
+    }
+
+    #[test]
+    fn single_lane_serializes_across_switches() {
+        let mut fleet = raw_fleet(2, 1);
+        let now = SimTime::ZERO;
+        let (s0, o0, t0) = fleet.submit_after(0, &[ControlAction::Insert(rule(1))], now, &[]);
+        assert_eq!(s0, now);
+        assert!(o0.total > SimDuration::ZERO);
+        let (s1, _, _) = fleet.submit_after(1, &[ControlAction::Insert(rule(2))], now, &[]);
+        assert_eq!(s1, t0.done, "second switch waits for the shared lane");
+    }
+
+    #[test]
+    fn dedicated_lanes_overlap_across_switches() {
+        let mut fleet = raw_fleet(2, 0);
+        let now = SimTime::ZERO;
+        let (s0, _, _) = fleet.submit_after(0, &[ControlAction::Insert(rule(1))], now, &[]);
+        let (s1, _, _) = fleet.submit_after(1, &[ControlAction::Insert(rule(2))], now, &[]);
+        assert_eq!(s0, now);
+        assert_eq!(s1, now, "different members on different lanes overlap");
+    }
+
+    #[test]
+    fn dependencies_delay_dependent_cuts() {
+        let mut fleet = raw_fleet(2, 0);
+        let now = SimTime::ZERO;
+        let (_, _, t0) = fleet.submit_after(0, &[ControlAction::Insert(rule(1))], now, &[]);
+        let (s1, _, _) = fleet.submit_after(1, &[ControlAction::Insert(rule(2))], now, &[t0]);
+        assert_eq!(s1, t0.done, "dependent batch starts after its dependency");
+    }
+
+    #[test]
+    fn install_path_commits_on_healthy_members() {
+        let mut fleet = hermes_fleet(3, 2);
+        let pieces: Vec<(SwitchId, Rule)> = (0..3).map(|sw| (sw, rule(sw as u64 + 1))).collect();
+        let out = fleet.install_path(&pieces, SimTime::ZERO);
+        assert!(out.committed);
+        assert!(out.failed.is_empty());
+        assert_eq!(out.ops.len(), 3);
+        for (sw, r) in &pieces {
+            assert_eq!(fleet.plane(*sw).contains_rule(r.id), Some(true));
+        }
+        assert!(out.ops.iter().all(|op| op.done <= out.ready));
+        assert_eq!(fleet.stats().txn_commits, 1);
+    }
+
+    #[test]
+    fn install_path_rolls_back_everywhere_on_a_down_member() {
+        let mut fleet = hermes_fleet(3, 2);
+        fleet
+            .plane_mut(1)
+            .inject_crash(CrashKind::Disconnect, 5, 2, SimTime::ZERO);
+        assert!(fleet.is_down(1));
+        let pieces: Vec<(SwitchId, Rule)> = (0..3).map(|sw| (sw, rule(sw as u64 + 1))).collect();
+        let out = fleet.install_path(&pieces, SimTime::ZERO);
+        assert!(!out.committed);
+        assert_eq!(out.failed, vec![1]);
+        for (sw, r) in &pieces {
+            assert_eq!(
+                fleet.plane(*sw).contains_rule(r.id),
+                Some(false),
+                "rollback retracts the piece on member {sw}"
+            );
+        }
+        assert_eq!(fleet.stats().txn_rollbacks, 1);
+        // The crash window eventually closes under ticks and the fleet
+        // carries no rollback debt.
+        let mut now = SimTime::ZERO;
+        for _ in 0..64 {
+            now += SimDuration::from_ms(5.0);
+            fleet.tick_all(now);
+            if !fleet.is_down(1) {
+                break;
+            }
+        }
+        assert!(!fleet.is_down(1), "member rejoined after resync");
+        assert_eq!(fleet.pending_rollback_len(), 0);
+    }
+
+    #[test]
+    fn end_warmup_resets_lane_horizons() {
+        let mut fleet = raw_fleet(2, 1);
+        fleet.submit(0, &[ControlAction::Insert(rule(1))], SimTime::ZERO);
+        assert!(fleet.horizon() > SimTime::ZERO);
+        fleet.end_warmup_all();
+        assert_eq!(fleet.horizon(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn raw_planes_always_commit() {
+        // Raw switches expose no membership introspection and no fault
+        // domain: transactions over them always commit.
+        let mut fleet = raw_fleet(2, 1);
+        let pieces: Vec<(SwitchId, Rule)> = (0..2).map(|sw| (sw, rule(sw as u64 + 1))).collect();
+        let out = fleet.install_path(&pieces, SimTime::ZERO);
+        assert!(out.committed);
+        assert_eq!(fleet.occupancy(), 2);
+    }
+}

@@ -156,6 +156,10 @@ pub struct RunMetrics {
     /// completed resyncs; the window in which the insertion guarantee was
     /// suspended).
     pub guarantee_gap_ns: u64,
+    /// Two-phase path-install transactions driven through the fleet.
+    pub path_txns: u64,
+    /// Path transactions rolled back on a member fault or crash window.
+    pub path_rollbacks: u64,
 }
 
 impl ToJson for RunMetrics {
@@ -178,6 +182,8 @@ impl ToJson for RunMetrics {
             ("resyncs", self.resyncs.to_json()),
             ("resync_reinstalled", self.resync_reinstalled.to_json()),
             ("guarantee_gap_ns", self.guarantee_gap_ns.to_json()),
+            ("path_txns", self.path_txns.to_json()),
+            ("path_rollbacks", self.path_rollbacks.to_json()),
         ])
     }
 }

@@ -18,8 +18,9 @@
 use crate::flow::{ActiveFlow, FlowId, FlowTable, JobId};
 use crate::metrics::RunMetrics;
 use crate::topology::{LinkId, NodeId, Topology};
-use hermes_baselines::{ControlPlane, CpQueue, EspresSwitch, HermesPlane, RawSwitch, TangoSwitch};
+use hermes_baselines::{ControlPlane, EspresSwitch, HermesPlane, RawSwitch, TangoSwitch};
 use hermes_core::config::HermesConfig;
+use hermes_fleet::{Fleet, FleetConfig};
 use hermes_rules::prelude::*;
 use hermes_tcam::{CrashKind, SimDuration, SimTime, SwitchModel};
 use hermes_workloads::facebook::JobSpec;
@@ -125,6 +126,11 @@ pub struct VarysConfig {
     /// Optional switch-crash schedule (chaos scenarios). `None`: no
     /// crashes, behaviour identical to before the fault domain existed.
     pub crash: Option<CrashProfile>,
+    /// Controller worker lanes the switch control channels shard across.
+    /// `0` gives every switch a dedicated lane — the historical fully
+    /// parallel dispatch; `1` serializes every device op in the fleet
+    /// through one driver thread.
+    pub lanes: usize,
     /// RNG seed.
     pub seed: u64,
 }
@@ -140,6 +146,7 @@ impl Default for VarysConfig {
             manager_tick_s: 0.1,
             gate_flow_start: true,
             crash: None,
+            lanes: 0,
             seed: 1,
         }
     }
@@ -206,7 +213,7 @@ struct JobState {
 pub struct Varys {
     topo: Topology,
     config: VarysConfig,
-    planes: BTreeMap<NodeId, CpQueue<Box<dyn ControlPlane>>>,
+    fleet: Fleet<Box<dyn ControlPlane>>,
     flows: FlowTable,
     queue: BinaryHeap<Reverse<Event>>,
     seq: u64,
@@ -232,17 +239,27 @@ pub struct Varys {
 }
 
 impl Varys {
-    /// Builds a simulator over the topology.
+    /// Builds a simulator over the topology. Every switch's control plane
+    /// is owned by the fleet controller, sharded over `config.lanes`
+    /// worker lanes.
     pub fn new(topo: Topology, config: VarysConfig) -> Self {
-        let mut planes = BTreeMap::new();
-        for sw in topo.switches() {
-            planes.insert(sw, CpQueue::new(config.switch.build()));
-        }
+        let members: Vec<(NodeId, Box<dyn ControlPlane>)> = topo
+            .switches()
+            .into_iter()
+            .map(|sw| (sw, config.switch.build()))
+            .collect();
+        let fleet = Fleet::new(
+            members,
+            FleetConfig {
+                lanes: config.lanes,
+                seed: config.seed,
+            },
+        );
         let rng = StdRng::seed_from_u64(config.seed);
         let mut sim = Varys {
             topo,
             config,
-            planes,
+            fleet,
             flows: FlowTable::new(),
             queue: BinaryHeap::new(),
             seq: 0,
@@ -273,7 +290,7 @@ impl Varys {
         if n == 0 {
             return;
         }
-        let switches: Vec<NodeId> = self.planes.keys().copied().collect();
+        let switches: Vec<NodeId> = self.fleet.switch_ids();
         for sw in switches {
             let mut actions = Vec::with_capacity(n);
             for i in 0..n {
@@ -290,18 +307,20 @@ impl Varys {
                 self.next_rule += 1;
                 actions.push(ControlAction::Insert(rule));
             }
-            let q = self.planes.get_mut(&sw).expect("INVARIANT: planes has a queue for every topology node");
-            q.plane_mut().apply_batch(&actions, SimTime::ZERO);
+            let p = self.fleet.plane_mut(sw);
+            p.apply_batch(&actions, SimTime::ZERO);
             // Drain Hermes's shadow so the workload starts clean, then
             // reset time-dependent state (admission bucket, busy windows)
             // — preloading happens conceptually before the simulation.
-            q.plane_mut().tick(SimTime::ZERO);
-            q.plane_mut().end_warmup();
+            p.tick(SimTime::ZERO);
+            p.end_warmup();
             // A second drain pass for rules that arrived while the first
             // migration was notionally busy.
-            q.plane_mut().tick(SimTime::ZERO);
-            q.plane_mut().end_warmup();
+            p.tick(SimTime::ZERO);
+            p.end_warmup();
         }
+        // Preloading bypassed the lanes; reset their horizons to the epoch.
+        self.fleet.end_warmup_all();
     }
 
     fn push(&mut self, at: SimTime, kind: EventKind) {
@@ -426,8 +445,8 @@ impl Varys {
     /// (overwrites, so repeated `run` calls stay consistent).
     fn collect_health(&mut self) {
         let (mut retries, mut failures, mut diffs, mut degraded_ns) = (0u64, 0u64, 0u64, 0u64);
-        for q in self.planes.values() {
-            if let Some(rs) = q.plane().recovery_stats() {
+        for (_, p) in self.fleet.planes() {
+            if let Some(rs) = p.recovery_stats() {
                 retries += rs.retries;
                 failures += rs.permanent_failures;
                 diffs += rs.audit_diffs;
@@ -439,8 +458,8 @@ impl Varys {
         self.metrics.audit_diffs = diffs;
         self.metrics.degraded_ms = degraded_ns as f64 / 1e6;
         let (mut resyncs, mut reinstalled, mut gap_ns) = (0u64, 0u64, 0u64);
-        for q in self.planes.values() {
-            if let Some(rs) = q.plane().resync_stats() {
+        for (_, p) in self.fleet.planes() {
+            if let Some(rs) = p.resync_stats() {
                 resyncs += rs.resyncs_completed;
                 reinstalled += rs.rules_reinstalled;
                 gap_ns += rs.guarantee_gap_ns;
@@ -449,6 +468,9 @@ impl Varys {
         self.metrics.resyncs = resyncs;
         self.metrics.resync_reinstalled = reinstalled;
         self.metrics.guarantee_gap_ns = gap_ns;
+        let fs = self.fleet.stats();
+        self.metrics.path_txns = fs.txns;
+        self.metrics.path_rollbacks = fs.txn_rollbacks;
     }
 
     fn advance_to(&mut self, t: SimTime) {
@@ -527,7 +549,7 @@ impl Varys {
         let Some(profile) = self.config.crash.clone() else {
             return;
         };
-        let switches: Vec<NodeId> = self.planes.keys().copied().collect();
+        let switches: Vec<NodeId> = self.fleet.switch_ids();
         if switches.is_empty() {
             return;
         }
@@ -540,11 +562,7 @@ impl Varys {
             },
             _ => CrashKind::Disconnect,
         };
-        let q = self
-            .planes
-            .get_mut(&victim)
-            .expect("INVARIANT: planes has a queue for every topology node");
-        q.plane_mut().inject_crash(
+        self.fleet.plane_mut(victim).inject_crash(
             kind,
             self.config.seed ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15),
             profile.reconnect_denials,
@@ -554,7 +572,7 @@ impl Varys {
         if hermes_telemetry::enabled() {
             hermes_telemetry::counter("netsim.crashes", 1);
         }
-        if q.plane().is_down() {
+        if self.fleet.is_down(victim) {
             self.down.insert(victim);
             // Reroute live flows off the dead switch; data-plane state on
             // the victim is suspect (wipes drop its forwarding entries).
@@ -656,19 +674,12 @@ impl Varys {
         self.reallocate_and_reschedule();
     }
 
-    /// Installs one per-flow rule on every switch along `path`, recording
-    /// RIT samples, and returns the instant the last switch finishes.
-    fn install_path_rules(
-        &mut self,
-        fid: FlowId,
-        src: usize,
-        dst: usize,
-        path: &[LinkId],
-    ) -> SimTime {
+    /// Builds the per-flow rule set for `path`: one rule per on-path
+    /// switch, all sharing one priority draw from the TE band.
+    fn path_pieces(&mut self, src: usize, dst: usize, path: &[LinkId]) -> Vec<(NodeId, Rule)> {
         let switches = self.topo.switches_on_path(src, path);
-        let mut ready = self.now;
-        let mut rules = Vec::with_capacity(switches.len());
         let priority = Priority(200 + (hermes_util::rng::Rng::gen_range(&mut self.rng, 0..1600u32)));
+        let mut pieces = Vec::with_capacity(switches.len());
         for sw in switches {
             let rule = Rule::new(
                 self.next_rule,
@@ -680,28 +691,66 @@ impl Varys {
                 Action::Forward((sw % 48) as u32),
             );
             self.next_rule += 1;
-            let q = self.planes.get_mut(&sw).expect("INVARIANT: planes has a queue for every topology node");
-            let (start, outcome) = q.submit(&[ControlAction::Insert(rule)], self.now);
-            let op = outcome.ops.last().expect("INVARIANT: submit of one action reports at least one op");
-            let done = start + op.completed_at;
-            if done > ready {
-                ready = done;
-            }
-            self.metrics.rit_ms.push(done.since(self.now).as_ms());
+            pieces.push((sw, rule));
+        }
+        pieces
+    }
+
+    /// Pushes RIT/install/violation samples for every staged piece of a
+    /// path transaction (the stage writes consume control-channel time
+    /// even when the transaction later rolls back).
+    fn record_path_metrics(&mut self, outcome: &hermes_fleet::PathOutcome) {
+        for op in &outcome.ops {
+            self.metrics.rit_ms.push(op.done.since(self.now).as_ms());
             self.metrics.installs += 1;
             if op.violated {
                 self.metrics.violations += 1;
             }
             if hermes_telemetry::enabled() {
                 hermes_telemetry::counter("netsim.rule_installs", 1);
-                hermes_telemetry::observe("netsim.rit_ns", done.since(self.now).as_nanos());
+                hermes_telemetry::observe("netsim.rit_ns", op.done.since(self.now).as_nanos());
             }
-            rules.push((sw, rule.id));
+        }
+    }
+
+    /// Installs one per-flow rule on every switch along `path` as a
+    /// two-phase fleet transaction, recording RIT samples, and returns
+    /// the instant the flow may start. If a member inside a crash window
+    /// aborts the transaction, the fleet rolls the staged pieces back
+    /// everywhere and the install degrades to best-effort per-switch
+    /// submissions — the flow still starts once every surviving write
+    /// lands (a down member defers the write and lands it after resync),
+    /// mirroring how flows rode out crash windows before transactions.
+    fn install_path_rules(
+        &mut self,
+        fid: FlowId,
+        src: usize,
+        dst: usize,
+        path: &[LinkId],
+    ) -> SimTime {
+        let pieces = self.path_pieces(src, dst, path);
+        let rules: Vec<(NodeId, RuleId)> = pieces.iter().map(|(sw, r)| (*sw, r.id)).collect();
+        let outcome = self.fleet.install_path(&pieces, self.now);
+        self.record_path_metrics(&outcome);
+        let mut ready = outcome.ready;
+        if !outcome.committed {
+            for (sw, rule) in &pieces {
+                let (start, bo) = self
+                    .fleet
+                    .submit(*sw, &[ControlAction::Insert(*rule)], outcome.ready);
+                let op = bo
+                    .ops
+                    .last()
+                    .expect("INVARIANT: submit of one action reports at least one op");
+                let done = start + op.completed_at;
+                if done > ready {
+                    ready = done;
+                }
+            }
         }
         if let Some(old) = self.flow_rules.insert(fid, rules) {
             for (sw, rid) in old {
-                let q = self.planes.get_mut(&sw).expect("INVARIANT: planes has a queue for every topology node");
-                q.submit(&[ControlAction::Delete(rid)], ready);
+                self.fleet.submit(sw, &[ControlAction::Delete(rid)], ready);
             }
         }
         ready
@@ -735,8 +784,7 @@ impl Varys {
         // flow's critical path).
         if let Some(rules) = self.flow_rules.remove(&id) {
             for (sw, rid) in rules {
-                let q = self.planes.get_mut(&sw).expect("INVARIANT: planes has a queue for every topology node");
-                q.submit(&[ControlAction::Delete(rid)], self.now);
+                self.fleet.submit(sw, &[ControlAction::Delete(rid)], self.now);
             }
         }
         // Job accounting.
@@ -830,52 +878,28 @@ impl Varys {
         self.push(next, EventKind::TeTick);
     }
 
-    /// Issues the rule installations for a new path and schedules the
-    /// switch-over for when the *last* switch finishes installing.
+    /// Issues the rule installations for a new path as a two-phase fleet
+    /// transaction and schedules the switch-over for when the *last*
+    /// switch finishes installing. An aborted transaction (a member
+    /// mid-crash failed staging) leaves the flow on its current path and
+    /// rules — the fleet already rolled the staged pieces back everywhere
+    /// and a later TE tick may retry the move.
     fn reroute(&mut self, fid: FlowId, src: usize, dst: usize, new_path: Vec<LinkId>) {
-        let switches = self.topo.switches_on_path(src, &new_path);
-        let mut ready = self.now;
-        let mut new_rules = Vec::with_capacity(switches.len());
-        // Per-flow priority within the TE band: lands mid-table among the
-        // base rules (flow classes differ in practice).
-        let priority = Priority(200 + (hermes_util::rng::Rng::gen_range(&mut self.rng, 0..1600u32)));
-        for sw in switches {
-            let rule = Rule::new(
-                self.next_rule,
-                FlowMatch::any()
-                    .with_dst(Ipv4Prefix::host(dst as u32))
-                    .with_src(Ipv4Prefix::host(src as u32))
-                    .to_key(),
-                priority,
-                Action::Forward((sw % 48) as u32),
-            );
-            self.next_rule += 1;
-            let q = self.planes.get_mut(&sw).expect("INVARIANT: planes has a queue for every topology node");
-            let (start, outcome) = q.submit(&[ControlAction::Insert(rule)], self.now);
-            let op = outcome.ops.last().expect("INVARIANT: submit of one action reports at least one op");
-            let done = start + op.completed_at;
-            if done > ready {
-                ready = done;
-            }
-            self.metrics.rit_ms.push(done.since(self.now).as_ms());
-            self.metrics.installs += 1;
-            if op.violated {
-                self.metrics.violations += 1;
-            }
-            if hermes_telemetry::enabled() {
-                hermes_telemetry::counter("netsim.rule_installs", 1);
-                hermes_telemetry::observe("netsim.rit_ns", done.since(self.now).as_nanos());
-            }
-            new_rules.push((sw, rule.id));
+        let pieces = self.path_pieces(src, dst, &new_path);
+        let new_rules: Vec<(NodeId, RuleId)> = pieces.iter().map(|(sw, r)| (*sw, r.id)).collect();
+        let outcome = self.fleet.install_path(&pieces, self.now);
+        self.record_path_metrics(&outcome);
+        if !outcome.committed {
+            return;
         }
+        let ready = outcome.ready;
         // Replace any previously installed custom rules on switch-over;
         // remember the new ones now so completion can clean them up.
         self.rerouting.insert(fid);
         let old = self.flow_rules.insert(fid, new_rules);
         if let Some(old_rules) = old {
             for (sw, rid) in old_rules {
-                let q = self.planes.get_mut(&sw).expect("INVARIANT: planes has a queue for every topology node");
-                q.submit(&[ControlAction::Delete(rid)], ready);
+                self.fleet.submit(sw, &[ControlAction::Delete(rid)], ready);
             }
         }
         self.push(
@@ -902,19 +926,14 @@ impl Varys {
     }
 
     fn on_mgr_tick(&mut self) {
-        for q in self.planes.values_mut() {
-            q.plane_mut().tick(self.now);
-        }
+        // Ticks every plane (migrations, reconnects) and re-drives any
+        // rollback deletes a crash window previously swallowed.
+        self.fleet.tick_all(self.now);
         // Ticks drive crashed planes through reconnect + resync; switches
         // whose session came back rejoin the routable set.
         if !self.down.is_empty() {
-            let planes = &self.planes;
-            self.down.retain(|sw| {
-                planes
-                    .get(sw)
-                    .map(|q| q.plane().is_down())
-                    .unwrap_or(false)
-            });
+            let fleet = &self.fleet;
+            self.down.retain(|sw| fleet.is_down(*sw));
         }
         let next = self.now + SimDuration::from_secs(self.config.manager_tick_s);
         self.push(next, EventKind::MgrTick);
@@ -927,7 +946,12 @@ impl Varys {
 
     /// Total occupancy across all switch control planes.
     pub fn total_occupancy(&self) -> usize {
-        self.planes.values().map(|q| q.plane().occupancy()).sum()
+        self.fleet.occupancy()
+    }
+
+    /// The fleet controller owning the switch control planes.
+    pub fn fleet(&self) -> &Fleet<Box<dyn ControlPlane>> {
+        &self.fleet
     }
 }
 

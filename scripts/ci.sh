@@ -140,11 +140,12 @@ stage_perfgate() {
     # counter drift means behaviour changed and must be either fixed or
     # explicitly re-baselined via scripts/refresh_baselines.sh.
     cargo build --release --offline -q -p hermes-bench \
-        --bin exp_fig9 --bin exp_tcam_micro --bin exp_scale --bin exp_crash
+        --bin exp_fig9 --bin exp_tcam_micro --bin exp_scale --bin exp_crash \
+        --bin exp_fleet
     local fresh_dir
     fresh_dir="$(mktemp -d)"
     local exp
-    for exp in fig9 tcam_micro scale crash; do
+    for exp in fig9 tcam_micro scale crash fleet; do
         HERMES_TRACE=1 HERMES_FAULT_SEED=7 HERMES_GIT_REV=baseline \
             "./target/release/exp_${exp}" --out "$fresh_dir/BENCH_${exp}.json" >/dev/null
     done
@@ -163,21 +164,21 @@ stage_matrix_smoke() {
     # (DESIGN.md §11).
     cargo build --release --offline -q -p hermes-harness --bin hermes-harness
     cargo build --release --offline -q -p hermes-bench \
-        --bin exp_tcam_micro --bin exp_fig12 --bin exp_crash
+        --bin exp_tcam_micro --bin exp_fig12 --bin exp_crash --bin exp_fleet
     local smoke_dir
     smoke_dir="$(mktemp -d)"
     ./target/release/hermes-harness \
         --matrix scenarios/matrix.toml \
         --bin-dir target/release \
         --out "$smoke_dir" \
-        --scenarios smoke-tcam,smoke-chaos,smoke-crash
+        --scenarios smoke-tcam,smoke-chaos,smoke-crash,smoke-fleet
     python3 - "$smoke_dir/matrix_report.json" <<'PY'
 import json, sys
 doc = json.load(open(sys.argv[1]))
 assert doc["schema"] == "hermes-matrix-report/1", doc.get("schema")
 assert doc["kind"] == "full", doc.get("kind")
 names = {sc["name"] for sc in doc["scenarios"]}
-assert names == {"smoke-tcam", "smoke-chaos", "smoke-crash"}, names
+assert names == {"smoke-tcam", "smoke-chaos", "smoke-crash", "smoke-fleet"}, names
 for sc in doc["scenarios"]:
     assert sc["clean_reps"] == sc["runs"], (sc["name"], sc["errors"])
     assert sc["measured"]["wall_ms"]["p50"] > 0, sc["name"]

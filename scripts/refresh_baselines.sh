@@ -13,9 +13,10 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release --offline -q -p hermes-bench \
-    --bin exp_fig9 --bin exp_tcam_micro --bin exp_scale --bin exp_crash
+    --bin exp_fig9 --bin exp_tcam_micro --bin exp_scale --bin exp_crash \
+    --bin exp_fleet
 
-for exp in fig9 tcam_micro scale crash; do
+for exp in fig9 tcam_micro scale crash fleet; do
     echo "== exp_${exp} -> bench_baselines/BENCH_${exp}.json =="
     HERMES_TRACE=1 HERMES_FAULT_SEED=7 HERMES_GIT_REV=baseline \
         "./target/release/exp_${exp}" --out "bench_baselines/BENCH_${exp}.json" >/dev/null
@@ -40,13 +41,13 @@ done
 echo "== hermes-harness smoke scenarios -> bench_baselines/wallclock.json =="
 cargo build --release --offline -q -p hermes-harness --bin hermes-harness
 cargo build --release --offline -q -p hermes-bench \
-    --bin exp_tcam_micro --bin exp_fig12 --bin exp_crash
+    --bin exp_tcam_micro --bin exp_fig12 --bin exp_crash --bin exp_fleet
 wall_dir="$(mktemp -d)"
 ./target/release/hermes-harness \
     --matrix scenarios/matrix.toml \
     --bin-dir target/release \
     --out "$wall_dir" \
-    --scenarios smoke-tcam,smoke-chaos,smoke-crash >/dev/null
+    --scenarios smoke-tcam,smoke-chaos,smoke-crash,smoke-fleet >/dev/null
 python3 - "$wall_dir/matrix_report.json" bench_baselines/wallclock.json <<'PY'
 import json, sys
 report = json.load(open(sys.argv[1]))

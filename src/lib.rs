@@ -5,6 +5,7 @@
 pub use hermes_baselines as baselines;
 pub use hermes_bgp as bgp;
 pub use hermes_core as core;
+pub use hermes_fleet as fleet;
 pub use hermes_netsim as netsim;
 pub use hermes_rules as rules;
 pub use hermes_tcam as tcam;

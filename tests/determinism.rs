@@ -173,6 +173,134 @@ fn telemetry_report_is_deterministic_under_crash_plan() {
     }
 }
 
+/// Drives a seeded multi-switch workload — background churn, two-phase
+/// path transactions, injected crashes — through an 8-member fleet on 4
+/// worker lanes with telemetry recording, and returns the serialized
+/// report.
+fn fleet_capture() -> String {
+    use hermes::baselines::{ControlPlane, HermesPlane};
+    use hermes::core::prelude::*;
+    use hermes::fleet::{Fleet, FleetConfig, SwitchId};
+    use hermes::rules::prelude::*;
+    use hermes::tcam::{CrashKind, SimDuration, SimTime, SwitchModel};
+    use hermes::util::rng::rngs::StdRng;
+    use hermes::util::rng::{Rng, SeedableRng};
+
+    hermes::telemetry::reset();
+    hermes::telemetry::set_meta("workload", Json::Str("fleet".into()));
+    let members: Vec<(SwitchId, HermesPlane)> = (0..8)
+        .map(|i| {
+            let sw = HermesSwitch::new(SwitchModel::dell_8132f(), HermesConfig::default())
+                .expect("default guarantee feasible on dell_8132f");
+            (i, HermesPlane::new(sw))
+        })
+        .collect();
+    let mut fleet = Fleet::new(members, FleetConfig { lanes: 4, seed: 23 });
+    let mut rng = StdRng::seed_from_u64(23);
+    let mut now = SimTime::ZERO;
+    let mut next_id = 0u64;
+    for step in 0..120u64 {
+        now += SimDuration::from_ms(rng.gen_range(0.2..3.0));
+        let roll: f64 = rng.gen();
+        if roll < 0.5 {
+            let sw = rng.gen_range(0..8usize);
+            let addr = 0x0a00_0000u32 | rng.gen_range(0..1u32 << 24);
+            let prio = rng.gen_range(1..40u32);
+            let r = Rule::new(
+                next_id,
+                Ipv4Prefix::new(addr, 24).to_key(),
+                Priority(prio),
+                Action::Forward(prio % 5 + 1),
+            );
+            next_id += 1;
+            fleet.submit(sw, &[ControlAction::Insert(r)], now);
+        } else if roll < 0.85 {
+            let first = rng.gen_range(0..8usize);
+            let pieces: Vec<(SwitchId, Rule)> = (0..3)
+                .map(|k| {
+                    let addr = 0x0a00_0000u32 | rng.gen_range(0..1u32 << 24);
+                    let prio = rng.gen_range(1..40u32);
+                    let r = Rule::new(
+                        next_id,
+                        Ipv4Prefix::new(addr, 24).to_key(),
+                        Priority(prio),
+                        Action::Forward(prio % 5 + 1),
+                    );
+                    next_id += 1;
+                    ((first + k) % 8, r)
+                })
+                .collect();
+            fleet.install_path(&pieces, now);
+        } else if roll < 0.92 {
+            let sw = rng.gen_range(0..8usize);
+            fleet
+                .plane_mut(sw)
+                .inject_crash(CrashKind::Disconnect, 23 ^ step, 1, now);
+        } else {
+            fleet.tick_all(now);
+        }
+    }
+    for _ in 0..32 {
+        now += SimDuration::from_ms(5.0);
+        fleet.tick_all(now);
+    }
+    hermes::telemetry::report("determinism-fleet").to_string()
+}
+
+#[test]
+fn fleet_run_is_byte_identical_across_runs() {
+    let _guard = TELEMETRY_LOCK.lock().unwrap();
+    hermes::telemetry::set_enabled(true);
+    let a = fleet_capture();
+    let b = fleet_capture();
+    hermes::telemetry::set_enabled(false);
+    assert!(a.starts_with('{'));
+    assert_eq!(
+        a, b,
+        "fleet telemetry must be a pure function of the seeds even at lanes=4"
+    );
+
+    let parsed = Json::parse(&a).expect("self-produced report parses");
+    let Some(Json::Obj(counters)) = parsed.get("counters") else {
+        panic!("report has no counters object");
+    };
+    assert!(
+        counters.iter().any(|(k, _)| k.starts_with("fleet.")),
+        "no fleet.* counters in report"
+    );
+}
+
+#[test]
+fn fleet_backed_sim_is_deterministic_per_lane_count() {
+    // The netsim control plane now routes through the fleet; runs must
+    // stay byte-identical per lane count, and the lane count must reach
+    // the modeled timings (a serialized driver can't match full overlap).
+    let run = |lanes: usize| {
+        let topo = Topology::fat_tree(4, 10e9);
+        let config = VarysConfig {
+            switch: SwitchKind::Hermes(SwitchModel::dell_8132f(), HermesConfig::default()),
+            congestion_threshold: 0.6,
+            base_rules_per_switch: 100,
+            lanes,
+            seed: 5,
+            ..Default::default()
+        };
+        let mut sim = Varys::new(topo, config);
+        let tm = hermes::workloads::gravity::TrafficMatrix::gravity(16, 2e9, 4);
+        let flows = flows_from_matrix(&tm, 2.0, 80e6, 6);
+        sim.register_flows(&flows, 0);
+        sim.run(300.0);
+        sim.metrics.to_json().to_string()
+    };
+    let a1 = run(1);
+    let a2 = run(1);
+    assert_eq!(a1, a2, "lanes=1 runs must be byte-identical");
+    let b1 = run(4);
+    let b2 = run(4);
+    assert_eq!(b1, b2, "lanes=4 runs must be byte-identical");
+    assert_ne!(a1, b1, "the lane count must reach the modeled timings");
+}
+
 #[test]
 fn lint_report_is_byte_identical_across_runs() {
     // The static-analysis pass is part of the reproducibility story too:
