@@ -66,6 +66,9 @@ fn run() {
                 }
                 next_tick += SimDuration::from_ms(100.0);
             }
+            // INVARIANT: this ablation measures migration pauses only;
+            // admission verdicts vary by design across the ablated modes
+            // and are already covered by exp_table2's acceptance columns.
             let _ = sw.submit(&ta.action, ta.at);
         }
         t.row(&[

@@ -86,6 +86,9 @@ fn run_phase(
             })
             .collect();
         now += SimDuration::from_ms(1.0);
+        // INVARIANT: storm-phase failures are the experiment's point —
+        // the fault plan injects them and the audit sweeps below repair
+        // every divergence; per-op outcomes carry no signal here.
         let _ = sw.admit_batch(&batch, now);
         if next_id.is_multiple_of(64) {
             sw.tick(now);
@@ -95,6 +98,8 @@ fn run_phase(
             for _ in 0..4 {
                 let victim = Rng::gen_range(&mut rng, 0..next_id);
                 now += SimDuration::from_us(200.0);
+                // INVARIANT: deleting an already-lost victim during the
+                // storm is expected; the audit sweeps reconcile state.
                 let _ = sw.delete(RuleId(victim), now);
             }
         }

@@ -26,6 +26,9 @@ use hermes_tcam::{PlacementStrategy, TcamOp, TcamTable};
 use hermes_util::rng::rngs::StdRng;
 use hermes_util::rng::{Rng, SeedableRng};
 
+/// Workload RNG stream for this experiment (R7: streams are named per
+/// subsystem so two experiments never silently draw the same sequence).
+const SCALE_STREAM_SALT: u64 = 7;
 /// Batch size for the coalesced path (one "transaction" per chunk).
 const CHUNK: usize = 1024;
 /// Reserved free slots per block in the gap-aware layout.
@@ -34,7 +37,7 @@ const SLACK: usize = 8;
 const REBUILD_EVERY: usize = 4096;
 
 fn workload(n: usize) -> Vec<Rule> {
-    let mut rng = StdRng::seed_from_u64(7);
+    let mut rng = StdRng::seed_from_u64(SCALE_STREAM_SALT);
     (0..n)
         .map(|i| {
             Rule::new(

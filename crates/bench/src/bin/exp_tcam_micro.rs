@@ -15,6 +15,10 @@ use hermes_tcam::{SimDuration, SwitchModel, TcamDevice};
 use hermes_util::rng::rngs::StdRng;
 use hermes_util::rng::{Rng, SeedableRng};
 
+/// Workload RNG stream for this experiment (R7: streams are named per
+/// subsystem so two experiments never silently draw the same sequence).
+const TCAM_MICRO_STREAM_SALT: u64 = 9;
+
 fn rule(id: u64, i: u32, prio: u32) -> Rule {
     Rule::new(
         id,
@@ -32,7 +36,7 @@ fn probe_insert(
     n: usize,
 ) -> SimDuration {
     let mut dev = TcamDevice::monolithic(model.clone());
-    let mut rng = StdRng::seed_from_u64(9);
+    let mut rng = StdRng::seed_from_u64(TCAM_MICRO_STREAM_SALT);
     for i in 0..occupancy {
         dev.apply(
             0,

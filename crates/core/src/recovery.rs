@@ -33,7 +33,7 @@ use hermes_util::rng::{Rng, SeedableRng, StdRng};
 
 /// Fixed seed for retry jitter: recovery must be deterministic so chaos
 /// runs reproduce byte-for-byte from the fault seed alone.
-const JITTER_SEED: u64 = 0x4845_524d_4553_0001;
+const JITTER_STREAM_SALT: u64 = 0x4845_524d_4553_0001;
 
 /// Per-op retry policy: capped exponential backoff with jitter.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -175,7 +175,7 @@ impl RecoveryState {
             stats: RecoveryStats::default(),
             pending_gc: Vec::new(),
             deferred: Vec::new(),
-            rng: StdRng::seed_from_u64(JITTER_SEED),
+            rng: StdRng::seed_from_u64(JITTER_STREAM_SALT),
             consecutive_failures: 0,
             degraded_since: None,
         }

@@ -560,6 +560,8 @@ impl HermesSwitch {
     /// time is charged into the returned report's latency — a retried
     /// insert can still honestly violate its guarantee. Success resets the
     /// degraded-mode failure streak; exhaustion extends it.
+    // INVARIANT: intent-neutral chokepoint — every public caller records
+    // the matching IntentOp itself before or after the physical write.
     fn dev_apply(&mut self, slice: usize, action: &ControlAction) -> Result<OpReport, TcamError> {
         let mut penalty = SimDuration::ZERO;
         let mut attempt = 1u32;
@@ -600,6 +602,8 @@ impl HermesSwitch {
     /// charged into the returned report's latency. The device batch is
     /// atomic — a rejected transaction applied nothing — so retrying the
     /// identical op sequence is always safe.
+    // INVARIANT: intent-neutral chokepoint — every public caller records
+    // the matching IntentOp itself before or after the physical write.
     fn dev_apply_batch(&mut self, slice: usize, ops: &[TcamOp]) -> Result<BatchOpReport, TcamError> {
         let mut penalty = SimDuration::ZERO;
         let mut attempt = 1u32;
@@ -1173,6 +1177,9 @@ impl HermesSwitch {
 
     /// Bookkeeping for one shadow rule whose pieces are physically
     /// installed (shared by the batched and per-op fallback paths).
+    // INVARIANT: the physical write already happened in the caller
+    // (batched flush or per-op fallback) — intent is recorded here so the
+    // checkpoint sees exactly the rules whose pieces reached the device.
     fn commit_shadow_rule(
         &mut self,
         p: PlannedShadow,

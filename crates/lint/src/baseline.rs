@@ -1,0 +1,161 @@
+//! The debt ratchet: committed per-rule finding counts that may only go
+//! down.
+//!
+//! `bench_baselines/lint_baseline.json` records how many findings each
+//! rule is *allowed* to have. `hermes-lint --workspace --baseline <path>`
+//! exits 0 as long as no rule exceeds its budget — so a new rule can land
+//! with honest debt instead of demanding a same-PR workspace-wide sweep —
+//! and CI fails the moment a PR adds a finding. When counts drop below
+//! the baseline the tool says so: refresh with
+//! `scripts/refresh_baselines.sh` (or `--write-baseline`) to lock in the
+//! progress, the same workflow the perf-gate baselines use.
+
+use crate::{LintOutcome, ALL_RULES};
+use hermes_util::json::Json;
+use std::collections::BTreeMap;
+
+/// Schema identifier stamped into the baseline document.
+pub const SCHEMA: &str = "hermes-lint-baseline/1";
+
+/// Per-rule finding counts of an outcome, keyed by rule id, every rule
+/// present (zero included) so diffs of the committed file stay total.
+pub fn counts(outcome: &LintOutcome) -> Vec<(&'static str, usize)> {
+    ALL_RULES
+        .iter()
+        .map(|r| {
+            (
+                r.id(),
+                outcome.findings.iter().filter(|f| f.rule == *r).count(),
+            )
+        })
+        .collect()
+}
+
+/// Renders the outcome's counts as the committed baseline document.
+pub fn render(outcome: &LintOutcome) -> String {
+    let rules = counts(outcome)
+        .into_iter()
+        .map(|(id, n)| (id, Json::Int(n as i128)));
+    let doc = Json::obj([
+        ("schema", Json::Str(SCHEMA.to_string())),
+        ("rules", Json::obj(rules)),
+    ]);
+    format!("{}\n", doc.to_string())
+}
+
+/// Parses a baseline document into rule-id → budget.
+pub fn parse(text: &str) -> Result<BTreeMap<String, usize>, String> {
+    let doc = Json::parse(text).map_err(|e| format!("invalid baseline JSON: {e:?}"))?;
+    match doc.get("schema").and_then(Json::as_str) {
+        Some(SCHEMA) => {}
+        other => return Err(format!("unexpected baseline schema {other:?}")),
+    }
+    let Some(Json::Obj(rules)) = doc.get("rules") else {
+        return Err("baseline has no `rules` object".to_string());
+    };
+    let mut out = BTreeMap::new();
+    for (id, v) in rules {
+        let n = v
+            .as_f64()
+            .filter(|n| *n >= 0.0)
+            .ok_or_else(|| format!("baseline budget for {id} is not a count"))?;
+        out.insert(id.clone(), n as usize);
+    }
+    Ok(out)
+}
+
+/// The result of comparing an outcome against a baseline.
+#[derive(Clone, Debug, Default)]
+pub struct Compare {
+    /// Rules over budget: `(rule id, found, budget)`. Non-empty ⇒ fail.
+    pub regressions: Vec<(String, usize, usize)>,
+    /// Rules under budget: `(rule id, found, budget)` — the baseline is
+    /// stale and should be ratcheted down.
+    pub improvements: Vec<(String, usize, usize)>,
+}
+
+impl Compare {
+    /// `true` when no rule exceeds its budget.
+    pub fn ok(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Compares per-rule counts against budgets. A rule missing from the
+/// baseline has budget zero.
+pub fn compare(outcome: &LintOutcome, budgets: &BTreeMap<String, usize>) -> Compare {
+    let mut cmp = Compare::default();
+    for (id, found) in counts(outcome) {
+        let budget = budgets.get(id).copied().unwrap_or(0);
+        if found > budget {
+            cmp.regressions.push((id.to_string(), found, budget));
+        } else if found < budget {
+            cmp.improvements.push((id.to_string(), found, budget));
+        }
+    }
+    cmp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Diagnostic, Rule};
+
+    fn outcome_with(rules: &[Rule]) -> LintOutcome {
+        LintOutcome {
+            findings: rules
+                .iter()
+                .map(|r| Diagnostic {
+                    file: "crates/x/src/lib.rs".into(),
+                    line: 1,
+                    col: 1,
+                    rule: *r,
+                    message: "m".into(),
+                })
+                .collect(),
+            suppressions: Vec::new(),
+            files_scanned: 1,
+        }
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let out = outcome_with(&[Rule::SwallowedDeviceError, Rule::SwallowedDeviceError]);
+        let text = render(&out);
+        assert!(text.starts_with("{\"schema\":\"hermes-lint-baseline/1\""));
+        let budgets = parse(&text).unwrap();
+        assert_eq!(budgets.get("R9"), Some(&2));
+        assert_eq!(budgets.get("R1"), Some(&0));
+        assert_eq!(budgets.len(), ALL_RULES.len());
+    }
+
+    #[test]
+    fn ratchet_allows_equal_and_fewer_flags_more() {
+        let baseline = parse(&render(&outcome_with(&[Rule::SwallowedDeviceError]))).unwrap();
+
+        let same = compare(&outcome_with(&[Rule::SwallowedDeviceError]), &baseline);
+        assert!(same.ok() && same.improvements.is_empty());
+
+        let fewer = compare(&outcome_with(&[]), &baseline);
+        assert!(fewer.ok());
+        assert_eq!(fewer.improvements, vec![("R9".to_string(), 0, 1)]);
+
+        let more = compare(
+            &outcome_with(&[Rule::SwallowedDeviceError, Rule::SwallowedDeviceError]),
+            &baseline,
+        );
+        assert!(!more.ok());
+        assert_eq!(more.regressions, vec![("R9".to_string(), 2, 1)]);
+    }
+
+    #[test]
+    fn unknown_rule_has_zero_budget_and_bad_docs_error() {
+        let budgets = BTreeMap::new();
+        let cmp = compare(&outcome_with(&[Rule::Determinism]), &budgets);
+        assert!(!cmp.ok());
+
+        assert!(parse("{}").is_err());
+        assert!(parse("{\"schema\":\"hermes-lint-baseline/1\"}").is_err());
+        assert!(parse("not json").is_err());
+    }
+}

@@ -5,10 +5,13 @@
 //! pairs so fixtures can lint synthetic workspaces; [`load_workspace`]
 //! reads the real one from disk.
 
+use crate::flow::{self, FlowFile};
 use crate::lexer::{lex, TokKind, Token};
 use crate::manifest;
+use crate::parser::{self, ParsedFile};
 use crate::suppress::{self, Directive};
 use crate::{AppliedSuppression, Diagnostic, LintOutcome, Rule};
+use std::collections::BTreeSet;
 use std::path::Path;
 
 /// Workspace-relative path of the telemetry name registry (R5's source of
@@ -48,6 +51,10 @@ pub fn lint_tree(files: &[(String, String)]) -> LintOutcome {
     let mut uses: Vec<TelemetryUse> = Vec::new();
     let mut literals: Vec<String> = Vec::new();
     let mut registry_text: Option<&str> = None;
+    // Per-file directive inventory and parsed items, for the cross-file
+    // passes (R5 registry, R7–R10 flow) that run after the loop.
+    let mut directives: Vec<(String, Vec<Directive>)> = Vec::new();
+    let mut parsed: Vec<ParsedEntry> = Vec::new();
 
     for (path, text) in files {
         if path == REGISTRY_PATH {
@@ -69,10 +76,12 @@ pub fn lint_tree(files: &[(String, String)]) -> LintOutcome {
         findings.extend(file.findings);
         uses.extend(file.uses);
         literals.extend(file.literals);
+        parsed.push((path.clone(), file.parsed, file.test_regions));
         // Apply this file's suppressions to this file's findings only.
         let (kept, applied) = apply_suppressions(findings, path, &file.directives);
         findings = kept;
         suppressions.extend(applied);
+        directives.push((path.clone(), file.directives));
     }
 
     // R5 is cross-file: compare collected uses against the registry. The
@@ -84,6 +93,24 @@ pub fn lint_tree(files: &[(String, String)]) -> LintOutcome {
         suppressions.extend(applied);
         findings.append(&mut r5);
     }
+
+    // R7–R10: the flow-sensitive pass over parsed items (DESIGN.md §9).
+    let flow_files: Vec<FlowFile<'_>> = parsed
+        .iter()
+        .map(|(path, parsed, test_regions)| FlowFile {
+            path,
+            parsed,
+            is_test: is_test_like(path),
+            test_regions,
+        })
+        .collect();
+    let mut flow_findings = flow::check(&flow_files, &registry_subsystems(registry_text));
+    for (path, ds) in &directives {
+        let (kept, applied) = apply_suppressions(flow_findings, path, ds);
+        flow_findings = kept;
+        suppressions.extend(applied);
+    }
+    findings.append(&mut flow_findings);
 
     findings.sort_by(|a, b| {
         (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule))
@@ -118,7 +145,10 @@ fn walk(root: &Path, dir: &Path, out: &mut Vec<(String, String)>) -> std::io::Re
         let name = entry.file_name();
         let name = name.to_string_lossy();
         if path.is_dir() {
-            if name == "target" || name.starts_with('.') {
+            // `fixtures` holds the lint's own golden corpus — synthetic
+            // trees full of intentional violations, linted by the golden
+            // tests in isolation, never as part of the workspace.
+            if name == "target" || name == "fixtures" || name.starts_with('.') {
                 continue;
             }
             walk(root, &path, out)?;
@@ -138,6 +168,9 @@ fn walk(root: &Path, dir: &Path, out: &mut Vec<(String, String)>) -> std::io::Re
     Ok(())
 }
 
+/// Path, parsed items, and test regions of one scanned `.rs` file.
+type ParsedEntry = (String, ParsedFile, Vec<(usize, usize)>);
+
 /// One telemetry name used in code, with the site for diagnostics.
 #[derive(Clone, Debug)]
 struct TelemetryUse {
@@ -153,6 +186,8 @@ struct FileScan {
     directives: Vec<Directive>,
     uses: Vec<TelemetryUse>,
     literals: Vec<String>,
+    parsed: ParsedFile,
+    test_regions: Vec<(usize, usize)>,
 }
 
 /// `true` for files whose whole content is test/bench/example code —
@@ -296,7 +331,31 @@ fn lint_rust_file(path: &str, text: &str) -> FileScan {
         directives,
         uses,
         literals,
+        parsed: parser::parse_tokens(&tokens),
+        test_regions: test_lines,
     }
+}
+
+/// Leading name segments of every registry entry (`tcam.ops` → `tcam`),
+/// for R10's metric-shaped-string heuristic.
+fn registry_subsystems(registry_text: Option<&str>) -> BTreeSet<String> {
+    let mut subs = BTreeSet::new();
+    let Some(text) = registry_text else {
+        return subs;
+    };
+    for raw in text.lines() {
+        let stripped = raw.split('#').next().unwrap_or("").trim();
+        let mut parts = stripped.split_whitespace();
+        let _kind = parts.next();
+        if let Some(name) = parts.next() {
+            if let Some(sub) = name.split('.').next() {
+                if !sub.is_empty() {
+                    subs.insert(sub.to_string());
+                }
+            }
+        }
+    }
+    subs
 }
 
 /// R2 justification: a comment containing `INVARIANT:` on the same line
@@ -598,7 +657,7 @@ fn check_registry(
                 file: u.file.clone(),
                 line: u.line,
                 col: u.col,
-                rule: Rule::TelemetryRegistry,
+                rule: Rule::LiteralMetricNames,
                 message: format!(
                     "telemetry {} with a non-literal name: the registry cannot check it; \
                      suppress with a reason naming the registry entries it resolves to",
@@ -820,7 +879,8 @@ mod tests {
             ("crates/x/src/helper.rs", src),
             (REGISTRY_PATH, registry),
         ]));
-        assert_eq!(rules_fired(&out), vec![Rule::TelemetryRegistry]);
+        // Dynamic names are R10's finding; the span itself is registered.
+        assert_eq!(rules_fired(&out), vec![Rule::LiteralMetricNames]);
         assert!(out.findings[0].message.contains("non-literal"));
     }
 

@@ -99,6 +99,16 @@ fn is_ident_continue(b: u8) -> bool {
     b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
 }
 
+/// Byte length of the UTF-8 sequence starting with lead byte `b`.
+fn utf8_len(b: u8) -> usize {
+    match b {
+        0xF0..=0xF7 => 4,
+        0xE0..=0xEF => 3,
+        0xC0..=0xDF => 2,
+        _ => 1,
+    }
+}
+
 /// Lexes `src` into tokens. Never fails: malformed input degenerates into
 /// punctuation tokens rather than an error, so the lint still walks as
 /// much of the file as possible.
@@ -170,7 +180,7 @@ pub fn lex(src: &str) -> Vec<Token> {
                         c.bump();
                     }
                     c.bump(); // opening quote
-                    let text = lex_raw_body(&mut c, hashes);
+                    let text = lex_raw_body(&mut c, src, hashes);
                     out.push(Token {
                         kind: TokKind::Str,
                         text,
@@ -211,7 +221,7 @@ pub fn lex(src: &str) -> Vec<Token> {
                             c.bump();
                         }
                         c.bump(); // quote
-                        let text = lex_raw_body(&mut c, hashes);
+                        let text = lex_raw_body(&mut c, src, hashes);
                         out.push(Token {
                             kind: TokKind::Str,
                             text,
@@ -256,10 +266,12 @@ pub fn lex(src: &str) -> Vec<Token> {
             }
             b'\'' => {
                 // Lifetime ('a not followed by ') vs char literal ('a').
+                // The closing-quote probe steps over the full UTF-8 char so
+                // multi-byte literals like '→' are not mistaken for lifetimes.
                 let one = c.peek_at(1);
                 let is_lifetime = one.is_some_and(is_ident_start)
-                    && c.peek_at(2) != Some(b'\'')
-                    && one != Some(b'\\');
+                    && one != Some(b'\\')
+                    && c.peek_at(1 + one.map_or(1, utf8_len)) != Some(b'\'');
                 if is_lifetime {
                     c.bump(); // '
                     let start = c.pos;
@@ -340,11 +352,13 @@ fn lex_ident(c: &mut Cursor, src: &str, out: &mut Vec<Token>, line: usize, col: 
 
 /// Consumes a raw-string body after the opening quote; returns the
 /// verbatim contents (the closing `"###` is consumed, not included).
-fn lex_raw_body(c: &mut Cursor, hashes: usize) -> String {
-    let mut text = String::new();
+/// The body is sliced out of `src` so multi-byte UTF-8 stays intact; an
+/// unterminated raw string runs to EOF and keeps everything read so far.
+fn lex_raw_body(c: &mut Cursor, src: &str, hashes: usize) -> String {
+    let start = c.pos;
     loop {
         match c.peek() {
-            None => break,
+            None => return src[start..c.pos].to_string(),
             Some(b'"') => {
                 let mut ok = true;
                 for i in 0..hashes {
@@ -354,29 +368,29 @@ fn lex_raw_body(c: &mut Cursor, hashes: usize) -> String {
                     }
                 }
                 if ok {
+                    let end = c.pos;
                     c.bump();
                     for _ in 0..hashes {
                         c.bump();
                     }
-                    break;
+                    return src[start..end].to_string();
                 }
-                text.push('"');
                 c.bump();
             }
-            Some(b) => {
-                text.push(b as char);
+            Some(_) => {
                 c.bump();
             }
         }
     }
-    text
 }
 
 /// Consumes a plain string body after the opening quote, resolving the
 /// escapes the workspace uses (`\"`, `\\`, `\n`, `\t`, `\r`, `\0`,
-/// `\u{..}` kept verbatim).
+/// `\x..`/`\u{..}` kept verbatim). Bytes are accumulated and decoded at
+/// the end so multi-byte UTF-8 contents survive; an unterminated string
+/// runs to EOF.
 fn lex_str_body(c: &mut Cursor) -> String {
-    let mut text = String::new();
+    let mut buf: Vec<u8> = Vec::new();
     loop {
         match c.peek() {
             None => break,
@@ -387,12 +401,12 @@ fn lex_str_body(c: &mut Cursor) -> String {
             Some(b'\\') => {
                 c.bump();
                 match c.bump() {
-                    Some(b'n') => text.push('\n'),
-                    Some(b't') => text.push('\t'),
-                    Some(b'r') => text.push('\r'),
-                    Some(b'0') => text.push('\0'),
-                    Some(b'"') => text.push('"'),
-                    Some(b'\\') => text.push('\\'),
+                    Some(b'n') => buf.push(b'\n'),
+                    Some(b't') => buf.push(b'\t'),
+                    Some(b'r') => buf.push(b'\r'),
+                    Some(b'0') => buf.push(b'\0'),
+                    Some(b'"') => buf.push(b'"'),
+                    Some(b'\\') => buf.push(b'\\'),
                     Some(b'\n') => {
                         // Line-continuation escape: skip leading whitespace.
                         while matches!(c.peek(), Some(b' ' | b'\t')) {
@@ -400,24 +414,25 @@ fn lex_str_body(c: &mut Cursor) -> String {
                         }
                     }
                     Some(other) => {
-                        text.push('\\');
-                        text.push(other as char);
+                        buf.push(b'\\');
+                        buf.push(other);
                     }
                     None => break,
                 }
             }
             Some(b) => {
-                text.push(b as char);
+                buf.push(b);
                 c.bump();
             }
         }
     }
-    text
+    String::from_utf8_lossy(&buf).into_owned()
 }
 
-/// Consumes a char/byte-literal body after the opening quote.
+/// Consumes a char/byte-literal body after the opening quote. Multi-byte
+/// chars (`'→'`) are decoded whole; an unterminated literal runs to EOF.
 fn lex_char_body(c: &mut Cursor) -> String {
-    let mut text = String::new();
+    let mut buf: Vec<u8> = Vec::new();
     loop {
         match c.peek() {
             None => break,
@@ -426,19 +441,19 @@ fn lex_char_body(c: &mut Cursor) -> String {
                 break;
             }
             Some(b'\\') => {
-                text.push('\\');
+                buf.push(b'\\');
                 c.bump();
                 if let Some(e) = c.bump() {
-                    text.push(e as char);
+                    buf.push(e);
                 }
             }
             Some(b) => {
-                text.push(b as char);
+                buf.push(b);
                 c.bump();
             }
         }
     }
-    text
+    String::from_utf8_lossy(&buf).into_owned()
 }
 
 #[cfg(test)]
@@ -556,5 +571,74 @@ mod tests {
     fn line_continuation_escape() {
         let toks = lex("\"a\\\n   b\"");
         assert_eq!(toks[0].text, "ab");
+    }
+
+    #[test]
+    fn unicode_string_contents_survive() {
+        let toks = lex("let s = \"héllo → wörld\";");
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Str && t.text == "héllo → wörld"));
+    }
+
+    #[test]
+    fn unicode_raw_string_contents_survive() {
+        let toks = lex("let s = r#\"naïve → done\"#;");
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Str && t.text == "naïve → done"));
+    }
+
+    #[test]
+    fn unicode_char_literal_survives() {
+        let toks = lex("let c = '→';");
+        assert!(toks.iter().any(|t| t.kind == TokKind::Char && t.text == "→"));
+    }
+
+    #[test]
+    fn hex_and_unicode_escapes_kept_verbatim() {
+        let toks = lex(r#""a\x41b\u{1F600}c""#);
+        assert_eq!(toks[0].text, "a\\x41b\\u{1F600}c");
+    }
+
+    #[test]
+    fn unterminated_string_runs_to_eof_without_panic() {
+        let toks = lex("let s = \"never closed");
+        let s = toks.iter().find(|t| t.kind == TokKind::Str).unwrap();
+        assert_eq!(s.text, "never closed");
+    }
+
+    #[test]
+    fn unterminated_raw_string_runs_to_eof_without_panic() {
+        let toks = lex("let s = r##\"open \"# but not closed");
+        let s = toks.iter().find(|t| t.kind == TokKind::Str).unwrap();
+        assert_eq!(s.text, "open \"# but not closed");
+    }
+
+    #[test]
+    fn unterminated_block_comment_runs_to_eof_without_panic() {
+        let toks = lex("code /* open /* nested */ still open");
+        assert_eq!(toks.last().unwrap().kind, TokKind::BlockComment);
+        assert!(toks.last().unwrap().text.contains("still open"));
+    }
+
+    #[test]
+    fn unterminated_char_literal_runs_to_eof_without_panic() {
+        // A stray apostrophe before EOF must not lose position tracking.
+        let toks = lex("let c = '\\");
+        assert!(toks.iter().any(|t| t.kind == TokKind::Char));
+    }
+
+    #[test]
+    fn crlf_line_endings_track_lines() {
+        let toks = lex("a\r\nb\r\n");
+        assert_eq!((toks[0].line, toks[1].line), (1, 2));
+    }
+
+    #[test]
+    fn tokens_after_multiline_string_have_correct_positions() {
+        let toks = lex("let s = \"one\ntwo\";\nnext");
+        let next = toks.iter().find(|t| t.is_ident("next")).unwrap();
+        assert_eq!((next.line, next.col), (3, 1));
     }
 }

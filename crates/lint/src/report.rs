@@ -1,15 +1,18 @@
-//! The machine-readable `hermes-lint-report/1` document.
+//! The machine-readable `hermes-lint-report/2` document.
 //!
 //! Built with the in-tree `hermes_util` JSON writer. Key order is fixed
 //! and findings/suppressions are pre-sorted by the engine, so the report
 //! is byte-deterministic for a given tree — the same contract the
 //! telemetry `hermes-bench-report/1` documents keep.
+//!
+//! `/2` added the flow-sensitive rules R7–R10 to the `rules` array; the
+//! document shape is otherwise unchanged from `/1`.
 
 use crate::{LintOutcome, ALL_RULES};
 use hermes_util::json::Json;
 
 /// Schema identifier stamped into every report.
-pub const SCHEMA: &str = "hermes-lint-report/1";
+pub const SCHEMA: &str = "hermes-lint-report/2";
 
 /// Renders the outcome as the versioned report document.
 pub fn build(outcome: &LintOutcome) -> Json {

@@ -219,7 +219,7 @@ mod tests {
 
     #[test]
     fn unknown_rule_rejected() {
-        let (ds, es) = parse("// hermes-lint: allow(R9, reason = \"x\")");
+        let (ds, es) = parse("// hermes-lint: allow(R99, reason = \"x\")");
         assert!(ds.is_empty());
         assert!(es[0].message.contains("unknown rule"));
     }

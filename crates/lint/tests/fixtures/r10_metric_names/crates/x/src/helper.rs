@@ -1,0 +1,11 @@
+pub fn ops() {
+    hermes_telemetry::counter("tcam.ops", 1);
+}
+
+pub fn lane_metric(i: usize) -> String {
+    format!("tcam.lane_{}", i)
+}
+
+pub fn bump(name: &str) {
+    hermes_telemetry::counter(name, 1);
+}

@@ -1,0 +1,5 @@
+use std::collections::HashMap;
+
+pub fn lookup(m: &HashMap<u32, u32>, k: u32) -> Option<u32> {
+    m.get(&k).copied()
+}

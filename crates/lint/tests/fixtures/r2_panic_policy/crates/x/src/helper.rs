@@ -1,0 +1,8 @@
+pub fn head(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}
+
+pub fn safe_head(v: &[u32]) -> u32 {
+    // INVARIANT: callers check emptiness first
+    *v.first().unwrap()
+}

@@ -1,0 +1,7 @@
+pub fn record_hit() {
+    hermes_telemetry::counter("x.hits", 1);
+}
+
+pub fn record_miss() {
+    hermes_telemetry::counter("x.misses", 1);
+}

@@ -1,0 +1,5 @@
+#![forbid(unsafe_code)]
+
+fn main() {
+    println!("raw experiment without the harness");
+}

@@ -1,0 +1,13 @@
+const ALPHA_SALT: u64 = 0x10;
+
+pub fn alpha() -> StdRng {
+    StdRng::seed_from_u64(ALPHA_SALT)
+}
+
+pub fn raw() -> StdRng {
+    StdRng::seed_from_u64(42)
+}
+
+pub fn mixed(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed ^ ALPHA_SALT)
+}

@@ -1,0 +1,5 @@
+const BETA_SALT: u64 = 16;
+
+pub fn beta() -> StdRng {
+    StdRng::seed_from_u64(BETA_SALT)
+}

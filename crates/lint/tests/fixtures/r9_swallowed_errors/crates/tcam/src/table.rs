@@ -1,0 +1,12 @@
+impl Table {
+    pub fn delete(&mut self, id: u64) -> Result<u64, TcamError> {
+        Err(TcamError::Missing(id))
+    }
+
+    pub fn replay(&mut self) {
+        let _ = self.delete(1);
+        self.delete(2).ok();
+        // INVARIANT: scratch replay mirrors the sequential path
+        let _ = self.delete(3);
+    }
+}

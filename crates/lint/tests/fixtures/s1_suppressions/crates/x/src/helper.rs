@@ -1,0 +1,5 @@
+// hermes-lint: allow(R1)
+use std::collections::HashMap;
+
+// hermes-lint: allow(R1, reason = "lookup-only; iteration order never observed")
+pub type Cache = HashMap<u32, u32>;

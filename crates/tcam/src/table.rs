@@ -939,12 +939,17 @@ impl TcamTable {
                     }
                 }
                 TcamOp::Delete(id) => {
+                    // INVARIANT: scratch-copy replay measures shift cost
+                    // only; a failed op costs zero shifts, same as the
+                    // real sequential path it mirrors.
                     let _ = scratch.delete(*id);
                 }
                 TcamOp::ModifyAction { id, action } => {
+                    // INVARIANT: scratch-copy replay; see Delete above.
                     let _ = scratch.modify_action(*id, *action);
                 }
                 TcamOp::ModifyKey { id, key } => {
+                    // INVARIANT: scratch-copy replay; see Delete above.
                     let _ = scratch.modify_key(*id, *key);
                 }
             }

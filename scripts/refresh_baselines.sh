@@ -77,4 +77,12 @@ print("tracked:", ", ".join(sorted(doc["scenarios"])))
 PY
 rm -rf "$wall_dir"
 
+# The lint debt ratchet: record the current per-rule finding counts as
+# the new budgets. Counts may only ever be ratcheted DOWN this way —
+# review the diff; a count that went UP means new debt that should be
+# fixed or suppressed with a reason, not baselined.
+echo "== hermes-lint -> bench_baselines/lint_baseline.json =="
+cargo run --release --offline -q -p hermes-lint -- --workspace \
+    --write-baseline bench_baselines/lint_baseline.json >/dev/null
+
 echo "== refreshed; review with: git diff bench_baselines/ =="

@@ -304,7 +304,7 @@ fn fleet_backed_sim_is_deterministic_per_lane_count() {
 #[test]
 fn lint_report_is_byte_identical_across_runs() {
     // The static-analysis pass is part of the reproducibility story too:
-    // the hermes-lint-report/1 document over the same tree must be a pure
+    // the hermes-lint-report/2 document over the same tree must be a pure
     // function of the sources — no wall clock, no hash-order, no paths
     // that depend on the invocation directory.
     let root = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
@@ -316,7 +316,7 @@ fn lint_report_is_byte_identical_across_runs() {
     let parsed = Json::parse(&a).expect("self-produced report parses");
     assert_eq!(
         parsed.get("schema").and_then(Json::as_str),
-        Some("hermes-lint-report/1")
+        Some("hermes-lint-report/2")
     );
     assert_eq!(parsed.get("clean"), Some(&Json::Bool(true)));
 }
