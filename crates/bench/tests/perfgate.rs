@@ -1,4 +1,4 @@
-//! Fixture tests for `scripts/perfgate.py` — the two-tier CI
+//! Fixture tests for `scripts/perfgate.py` — the three-tier CI
 //! perf-regression gate.
 //!
 //! Tier 1 (counters) compares only the `counters` object of each BENCH
@@ -8,7 +8,10 @@
 //! fail. Tier 2 (wallclock) compares the measured medians in a
 //! `hermes-matrix-report/1` document against a committed tolerance-band
 //! envelope: in-band medians pass, out-of-band medians fail (SLOW),
-//! scenarios missing from either side fail (MISSING/UNTRACKED).
+//! scenarios missing from either side fail (MISSING/UNTRACKED). Tier 3
+//! (rss) applies the same envelope discipline to the per-scenario peak
+//! resident set: out-of-band medians fail (HEAVY), sub-band medians are
+//! noted (LEAN), and the key-set verdicts mirror the wall-clock tier.
 //!
 //! The script is python3 + stdlib; when the interpreter is absent the
 //! tests skip (printed to stderr) rather than fail, so `cargo test`
@@ -271,6 +274,152 @@ fn wallclock_rejects_canonical_reports() {
                   \"scenarios\": []}";
     let (code, _) = f.run_wallclock(py, &wall_baseline(0.25, 5.0, &[]), report);
     assert_eq!(code, 2, "canonical summaries carry no measured section");
+}
+
+/// A peak-RSS baseline document for the tolerance-band tier.
+fn rss_baseline(band: f64, floor_bytes: u64, scenarios: &[(&str, u64)]) -> String {
+    let body: Vec<String> = scenarios
+        .iter()
+        .map(|(name, bytes)| format!("\"{name}\": {{\"median_bytes\": {bytes}}}"))
+        .collect();
+    format!(
+        "{{\"schema\": \"hermes-rss-baseline/1\", \"band\": {band}, \
+         \"floor_bytes\": {floor_bytes}, \"scenarios\": {{{}}}}}",
+        body.join(", ")
+    )
+}
+
+/// A full hermes-matrix-report/1 document whose scenarios each carry a
+/// measured peak-RSS median and clean reps.
+fn matrix_report_rss(scenarios: &[(&str, u64)]) -> String {
+    let body: Vec<String> = scenarios
+        .iter()
+        .map(|(name, bytes)| {
+            format!(
+                "{{\"name\": \"{name}\", \"bin\": \"stub\", \"runs\": 3, \
+                 \"clean_reps\": 3, \"errors\": [], \
+                 \"measured\": {{\"max_rss_bytes\": {{\"reps\": 3, \"p50\": {bytes}}}}}}}"
+            )
+        })
+        .collect();
+    format!(
+        "{{\"schema\": \"hermes-matrix-report/1\", \"kind\": \"full\", \
+         \"scenarios\": [{}]}}",
+        body.join(", ")
+    )
+}
+
+impl Fixture {
+    /// Runs the rss tier; returns (exit_code, stdout).
+    fn run_rss(&self, py: &str, baseline: &str, report: &str) -> (i32, String) {
+        std::fs::write(self.dir.join("rss_baseline.json"), baseline)
+            .expect("INVARIANT: temp dir is writable");
+        std::fs::write(self.dir.join("matrix_report.json"), report)
+            .expect("INVARIANT: temp dir is writable");
+        let out = Command::new(py)
+            .arg(repo_root().join("scripts/perfgate.py"))
+            .arg("rss")
+            .arg(self.dir.join("rss_baseline.json"))
+            .arg(self.dir.join("matrix_report.json"))
+            .output()
+            .expect("INVARIANT: python3 probed on PATH before running fixtures");
+        (
+            out.status.code().unwrap_or(-1),
+            String::from_utf8_lossy(&out.stdout).into_owned(),
+        )
+    }
+}
+
+const MIB: u64 = 1 << 20;
+
+#[test]
+fn rss_in_band_median_passes() {
+    let Some(py) = python3() else { return };
+    let f = Fixture::new("rss_pass");
+    // 110 MiB vs a 100 MiB baseline: inside the 35% band.
+    let (code, out) = f.run_rss(
+        py,
+        &rss_baseline(0.35, 4 * MIB, &[("smoke-a", 100 * MIB)]),
+        &matrix_report_rss(&[("smoke-a", 110 * MIB)]),
+    );
+    assert_eq!(code, 0, "in-band RSS median must pass:\n{out}");
+    assert!(out.contains("within the peak-RSS envelope"), "{out}");
+}
+
+#[test]
+fn rss_out_of_band_median_fails_heavy() {
+    let Some(py) = python3() else { return };
+    let f = Fixture::new("rss_heavy");
+    // 200 MiB vs a 100 MiB baseline: above 100*(1.35) + 4 = 139 MiB.
+    let (code, out) = f.run_rss(
+        py,
+        &rss_baseline(0.35, 4 * MIB, &[("smoke-a", 100 * MIB)]),
+        &matrix_report_rss(&[("smoke-a", 200 * MIB)]),
+    );
+    assert_eq!(code, 1, "out-of-band RSS median must fail:\n{out}");
+    assert!(out.contains("HEAVY"), "verdict names the regression:\n{out}");
+}
+
+#[test]
+fn rss_floor_absorbs_allocator_noise() {
+    let Some(py) = python3() else { return };
+    let f = Fixture::new("rss_floor");
+    // A 8 MiB smoke binary doubling to 16 MiB is allocator/page-cache
+    // jitter when the absolute floor is 16 MiB — the band alone would
+    // flag it.
+    let (code, out) = f.run_rss(
+        py,
+        &rss_baseline(0.35, 16 * MIB, &[("smoke-tiny", 8 * MIB)]),
+        &matrix_report_rss(&[("smoke-tiny", 16 * MIB)]),
+    );
+    assert_eq!(code, 0, "floor must absorb MiB-scale jitter:\n{out}");
+}
+
+#[test]
+fn rss_missing_and_untracked_scenarios_fail() {
+    let Some(py) = python3() else { return };
+    let f = Fixture::new("rss_keys");
+    let (code, out) = f.run_rss(
+        py,
+        &rss_baseline(0.35, 4 * MIB, &[("tracked-gone", 100 * MIB)]),
+        &matrix_report_rss(&[("brand-new", 50 * MIB)]),
+    );
+    assert_eq!(code, 1, "both scenario-set drifts must fail:\n{out}");
+    assert!(out.contains("MISSING"), "baseline-only scenario flagged:\n{out}");
+    assert!(out.contains("UNTRACKED"), "report-only scenario flagged:\n{out}");
+}
+
+#[test]
+fn rss_broken_reps_fail() {
+    let Some(py) = python3() else { return };
+    let f = Fixture::new("rss_broken");
+    let report = "{\"schema\": \"hermes-matrix-report/1\", \"kind\": \"full\", \
+                  \"scenarios\": [{\"name\": \"smoke-a\", \"runs\": 3, \"clean_reps\": 2, \
+                  \"measured\": {\"max_rss_bytes\": {\"p50\": 1000000}}}]}";
+    let (code, out) = f.run_rss(
+        py,
+        &rss_baseline(0.35, 4 * MIB, &[("smoke-a", MIB)]),
+        report,
+    );
+    assert_eq!(code, 1, "failed repetitions must fail the gate:\n{out}");
+    assert!(out.contains("BROKEN"), "{out}");
+}
+
+#[test]
+fn committed_rss_baseline_is_wellformed() {
+    let Some(py) = python3() else { return };
+    // The committed envelope must parse and track the gated scenarios;
+    // an empty fresh report against it must flag every tracked scenario
+    // as MISSING (proving they are all tracked).
+    let f = Fixture::new("rss_committed");
+    let baseline = std::fs::read_to_string(repo_root().join("bench_baselines/rss.json"))
+        .expect("committed peak-RSS baseline exists");
+    let empty = "{\"schema\": \"hermes-matrix-report/1\", \"kind\": \"full\", \
+                 \"scenarios\": []}";
+    let (code, out) = f.run_rss(py, &baseline, empty);
+    assert_eq!(code, 1, "the tracked gated scenarios must be MISSING:\n{out}");
+    assert!(out.contains("smoke-fleet"), "{out}");
+    assert!(out.contains("chaos-suite"), "{out}");
 }
 
 #[test]

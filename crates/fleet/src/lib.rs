@@ -14,8 +14,15 @@
 //! * `lanes = 1` reproduces the historical single-threaded driver (every
 //!   device op in the fleet serializes), `lanes = 0` gives every member a
 //!   dedicated lane (fully parallel dispatch, the netsim default);
-//! * lane assignment is a seeded shuffle of the sorted member ids, so the
-//!   interleaving is a pure function of the seed (R1 determinism).
+//! * every member has a **home lane** — round-robin over the sorted ids
+//!   plus a seeded shuffle — and [`LaneSched`] picks where an op actually
+//!   runs: `Pinned` always uses the home lane (the phase-1 behaviour),
+//!   `Weighted` sends each op to the least-loaded lane, and `WorkSteal`
+//!   keeps the home lane unless it is busy and a strictly less busy lane
+//!   can steal the op. All three are pure functions of the seed and the
+//!   submission history (R1 determinism); with dedicated lanes
+//!   (`lanes = 0`) scheduling is a no-op and the phase-1 timing is
+//!   bit-preserved.
 //!
 //! Dependency tracking rides [`OpToken`]s: a submission handed the tokens
 //! of earlier submissions starts only after all of them complete, even
@@ -25,12 +32,25 @@
 //! along a path as a **two-phase transaction**: stage on every member via
 //! the batched admission pipeline, commit once the last member's pieces
 //! land, and roll back *everywhere* if any member is inside a crash
-//! window or rejects a piece. Rollback deletes ride the normal per-switch
-//! machinery — the PR 2 delete journal absorbs device faults and the
-//! intent store retraction keeps a post-crash resync from resurrecting
-//! aborted rules.
+//! window or rejects a piece. Pieces sharing a member ride **one**
+//! `apply_batch` cut per member per transaction (`FleetConfig::coalesce`;
+//! the per-piece mode survives as the measurement strawman). Rollback
+//! deletes ride the normal per-switch machinery — the PR 2 delete journal
+//! absorbs device faults and the intent store retraction keeps a
+//! post-crash resync from resurrecting aborted rules.
+//!
+//! The [`rebalance`] module layers TE-driven placement on top:
+//! [`rebalance::Rebalancer`] scores members from [`MemberHealth`]
+//! (occupancy, channel backlog, mean RIT, crash/resync history), steers
+//! new path transactions away from slow or crash-looping members, and
+//! plans rule migrations off hot members which
+//! [`Fleet::migrate_rules`] executes through the batched pipeline.
 
 #![forbid(unsafe_code)]
+
+pub mod rebalance;
+
+pub use rebalance::{MemberHealth, RebalancePolicy, Rebalancer, RebalanceStats};
 
 use hermes_baselines::{BatchOutcome, ControlPlane, CpQueue, OpOutcome};
 use hermes_rules::prelude::*;
@@ -42,6 +62,23 @@ use std::collections::BTreeMap;
 /// Fleet member identifier (a netsim `NodeId` or any dense index).
 pub type SwitchId = usize;
 
+/// How ops are assigned to worker lanes (phase 2; DESIGN.md §13).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum LaneSched {
+    /// Every op runs on its member's home lane — the phase-1 static
+    /// round-robin sharding.
+    #[default]
+    Pinned,
+    /// Occupancy-weighted assignment: every op runs on the least-loaded
+    /// lane (earliest busy horizon), ties broken by a seeded lane
+    /// permutation. Keeps all lanes busy when one member dominates.
+    Weighted,
+    /// Work stealing: an op runs on its home lane unless the home lane is
+    /// busy at submission and a strictly less busy lane exists — then the
+    /// least-loaded lane steals it.
+    WorkSteal,
+}
+
 /// Fleet construction knobs.
 #[derive(Clone, Debug)]
 pub struct FleetConfig {
@@ -49,14 +86,29 @@ pub struct FleetConfig {
     /// every member a dedicated lane (fully parallel dispatch); `1` is
     /// the single-threaded driver every device op serializes through.
     pub lanes: usize,
-    /// Seed for the lane-assignment shuffle. The interleaving the lanes
-    /// produce is a pure function of this seed (R1 determinism).
+    /// Seed for the lane-assignment shuffle and the scheduler tie-break
+    /// permutation. The interleaving the lanes produce is a pure function
+    /// of this seed (R1 determinism).
     pub seed: u64,
+    /// Lane-scheduling mode. With dedicated lanes (`lanes = 0`) every
+    /// mode degenerates to `Pinned` and the phase-1 timing is
+    /// bit-preserved.
+    pub sched: LaneSched,
+    /// Coalesce path-transaction pieces sharing a member into one
+    /// `apply_batch` cut per member per transaction (the default).
+    /// `false` submits every piece on its own — the per-piece strawman
+    /// the `exp_fleet` rebalancing phase measures against.
+    pub coalesce: bool,
 }
 
 impl Default for FleetConfig {
     fn default() -> Self {
-        FleetConfig { lanes: 0, seed: 1 }
+        FleetConfig {
+            lanes: 0,
+            seed: 1,
+            sched: LaneSched::Pinned,
+            coalesce: true,
+        }
     }
 }
 
@@ -87,6 +139,19 @@ pub struct FleetStats {
     /// Rollback deletes re-driven by `tick_all` after a member's crash
     /// window kept the first attempt from landing.
     pub rollback_retries: u64,
+    /// Ops dispatched to a lane other than their member's home lane
+    /// (`Weighted` / `WorkSteal` scheduling).
+    pub steals: u64,
+    /// Path-transaction pieces beyond the first on their member that rode
+    /// a shared per-member cut instead of their own submit.
+    pub coalesced_pieces: u64,
+    /// Rule-load migrations committed by [`Fleet::migrate_rules`].
+    pub migrations: u64,
+    /// Migrations aborted because the target member failed to stage the
+    /// moved rules (source left untouched).
+    pub migrations_aborted: u64,
+    /// Rules moved off their member by committed migrations.
+    pub rules_moved: u64,
 }
 
 /// Per-rule outcome of a path transaction, with absolute times.
@@ -117,9 +182,43 @@ pub struct PathOutcome {
     pub ops: Vec<PathOp>,
 }
 
+/// Outcome of a [`Fleet::migrate_rules`] rule-load move.
+#[derive(Clone, Copy, Debug)]
+pub struct MigrateOutcome {
+    /// `true` once the target staged every rule and the source deletes
+    /// were issued; `false` when the target failed staging (the source
+    /// keeps the load, the partial landing is retracted).
+    pub committed: bool,
+    /// Completion instant of the final cut (deletes on the source, or the
+    /// retraction on the target).
+    pub ready: SimTime,
+}
+
 struct Member<P> {
     queue: CpQueue<P>,
     lane: usize,
+    /// Batches dispatched to this member.
+    ops: u64,
+    /// Cumulative dispatch wait (start − submit), ns.
+    wait_ns: u64,
+    /// Cumulative modeled execution time, ns.
+    service_ns: u64,
+}
+
+/// Computes the home-lane assignment for `n` sorted members over
+/// `lane_count` lanes under `seed`: round-robin over the sorted ids, then
+/// a seeded Fisher–Yates shuffle of the assignment vector — balanced
+/// *and* seed-dependent. Exposed so experiments can reconstruct which
+/// members share a lane without building a fleet.
+pub fn lane_assignment(n: usize, lanes: usize, seed: u64) -> Vec<usize> {
+    let lane_count = if lanes == 0 { n.max(1) } else { lanes.min(n.max(1)) };
+    let mut assignment: Vec<usize> = (0..n).map(|i| i % lane_count).collect();
+    let mut rng = StdRng::seed_from_u64(seed ^ LANE_SHUFFLE_SALT);
+    for i in (1..assignment.len()).rev() {
+        let j = Rng::gen_range(&mut rng, 0..=i);
+        assignment.swap(i, j);
+    }
+    assignment
 }
 
 /// The fleet controller: N per-switch control planes sharded across
@@ -128,6 +227,12 @@ pub struct Fleet<P: ControlPlane> {
     members: BTreeMap<SwitchId, Member<P>>,
     /// Per-lane busy horizon (the lane's serial clock).
     lanes: Vec<SimTime>,
+    /// Seeded lane permutation breaking ties in least-loaded scans.
+    lane_order: Vec<usize>,
+    sched: LaneSched,
+    coalesce: bool,
+    /// `lanes = 0`: every member owns its lane, scheduling is a no-op.
+    dedicated: bool,
     next_txn: u64,
     /// Rollback deletes that have not yet been confirmed gone (a crash
     /// window can delay the device-side removal); re-driven by
@@ -147,14 +252,7 @@ impl<P: ControlPlane> Fleet<P> {
         } else {
             config.lanes.min(n.max(1))
         };
-        // Round-robin over the sorted ids, then a Fisher-Yates shuffle of
-        // the assignment vector: balanced *and* seed-dependent.
-        let mut assignment: Vec<usize> = (0..n).map(|i| i % lane_count).collect();
-        let mut rng = StdRng::seed_from_u64(config.seed ^ LANE_SHUFFLE_SALT);
-        for i in (1..assignment.len()).rev() {
-            let j = Rng::gen_range(&mut rng, 0..=i);
-            assignment.swap(i, j);
-        }
+        let assignment = lane_assignment(n, config.lanes, config.seed);
         let mut sorted = members;
         sorted.sort_by_key(|(id, _)| *id);
         let members: BTreeMap<SwitchId, Member<P>> = sorted
@@ -166,10 +264,21 @@ impl<P: ControlPlane> Fleet<P> {
                     Member {
                         queue: CpQueue::new(plane),
                         lane,
+                        ops: 0,
+                        wait_ns: 0,
+                        service_ns: 0,
                     },
                 )
             })
             .collect();
+        // Tie-break permutation for least-loaded scans: a second seeded
+        // shuffle over the lane indices, on its own salted stream.
+        let mut lane_order: Vec<usize> = (0..lane_count).collect();
+        let mut rng = StdRng::seed_from_u64(config.seed ^ LANE_ORDER_SALT);
+        for i in (1..lane_order.len()).rev() {
+            let j = Rng::gen_range(&mut rng, 0..=i);
+            lane_order.swap(i, j);
+        }
         if hermes_telemetry::enabled() {
             hermes_telemetry::gauge("fleet.lanes", lane_count as f64);
             hermes_telemetry::gauge("fleet.members", members.len() as f64);
@@ -177,6 +286,10 @@ impl<P: ControlPlane> Fleet<P> {
         Fleet {
             members,
             lanes: vec![SimTime::ZERO; lane_count],
+            lane_order,
+            sched: config.sched,
+            coalesce: config.coalesce,
+            dedicated: config.lanes == 0,
             next_txn: 0,
             pending_rollbacks: BTreeMap::new(),
             stats: FleetStats::default(),
@@ -188,7 +301,8 @@ impl<P: ControlPlane> Fleet<P> {
         self.lanes.len()
     }
 
-    /// The lane a member is sharded onto.
+    /// The home lane a member is sharded onto (where its ops run under
+    /// `Pinned` scheduling).
     pub fn lane_of(&self, sw: SwitchId) -> usize {
         self.member(sw).lane
     }
@@ -239,6 +353,33 @@ impl<P: ControlPlane> Fleet<P> {
         self.pending_rollbacks.values().map(Vec::len).sum()
     }
 
+    /// Per-member health snapshot at `now` — the [`Rebalancer`] scoring
+    /// input: occupancy, control-channel backlog, mean modeled RIT and
+    /// the crash/resync history (zero for planes without a fault domain).
+    pub fn member_health(&self, now: SimTime) -> Vec<MemberHealth> {
+        self.members
+            .iter()
+            .map(|(id, m)| {
+                let p = m.queue.plane();
+                let (crashes, resyncs) = p
+                    .resync_stats()
+                    .map(|rs| (rs.crashes_detected, rs.resyncs_completed))
+                    .unwrap_or((0, 0));
+                let busy = m.queue.busy_until();
+                MemberHealth {
+                    id: *id,
+                    lane: m.lane,
+                    occupancy: p.occupancy(),
+                    backlog_ns: if busy > now { busy.since(now).as_nanos() } else { 0 },
+                    mean_rit_ns: (m.wait_ns + m.service_ns).checked_div(m.ops).unwrap_or(0),
+                    is_down: p.is_down(),
+                    crashes,
+                    resyncs,
+                }
+            })
+            .collect()
+    }
+
     fn member(&self, sw: SwitchId) -> &Member<P> {
         self.members
             .get(&sw)
@@ -249,6 +390,53 @@ impl<P: ControlPlane> Fleet<P> {
         self.members
             .get_mut(&sw)
             .expect("INVARIANT: fleet calls target a registered member")
+    }
+
+    /// The lane with the earliest busy horizon, scanned in the seeded
+    /// tie-break order (strict less-than keeps the scan a pure function
+    /// of the horizons and the seed).
+    fn least_loaded_lane(&self) -> usize {
+        let mut best = self.lane_order[0];
+        for &l in &self.lane_order[1..] {
+            if self.lanes[l] < self.lanes[best] {
+                best = l;
+            }
+        }
+        best
+    }
+
+    /// Picks the lane an op dispatched to `sw` at `at` runs on, per the
+    /// configured [`LaneSched`]. Dedicated lanes (`lanes = 0`) always use
+    /// the home lane — scheduling cannot improve on one lane per member
+    /// and staying home bit-preserves the phase-1 timing.
+    fn pick_lane(&mut self, sw: SwitchId, at: SimTime) -> usize {
+        let home = self.member(sw).lane;
+        if self.dedicated || self.lanes.len() == 1 {
+            return home;
+        }
+        let chosen = match self.sched {
+            LaneSched::Pinned => home,
+            LaneSched::Weighted => self.least_loaded_lane(),
+            LaneSched::WorkSteal => {
+                if self.lanes[home] <= at {
+                    home
+                } else {
+                    let best = self.least_loaded_lane();
+                    if self.lanes[best] < self.lanes[home] {
+                        best
+                    } else {
+                        home
+                    }
+                }
+            }
+        };
+        if chosen != home {
+            self.stats.steals += 1;
+            if hermes_telemetry::enabled() {
+                hermes_telemetry::counter("fleet.sched.steals", 1);
+            }
+        }
+        chosen
     }
 
     /// Submits a batch to one member through its lane.
@@ -265,7 +453,7 @@ impl<P: ControlPlane> Fleet<P> {
     /// Submits a batch that must start only after every dependency
     /// completes (dependent cuts land after their pieces). Start of
     /// service additionally waits for the member's control channel and
-    /// its lane; both advance to the batch's completion.
+    /// the scheduled lane; both advance to the batch's completion.
     pub fn submit_after(
         &mut self,
         sw: SwitchId,
@@ -279,13 +467,17 @@ impl<P: ControlPlane> Fleet<P> {
                 at = t.done;
             }
         }
-        let lane = self.member(sw).lane;
+        let lane = self.pick_lane(sw, at);
         if self.lanes[lane] > at {
             at = self.lanes[lane];
         }
         let (start, outcome) = self.member_mut(sw).queue.submit(actions, at);
         let done = start + outcome.total;
         self.lanes[lane] = done;
+        let m = self.member_mut(sw);
+        m.ops += 1;
+        m.wait_ns += start.since(now).as_nanos();
+        m.service_ns += outcome.total.as_nanos();
         self.stats.submits += 1;
         self.stats.ops += actions.len() as u64;
         if hermes_telemetry::enabled() {
@@ -296,12 +488,47 @@ impl<P: ControlPlane> Fleet<P> {
         (start, outcome, OpToken { done })
     }
 
+    /// Stages one member's pieces: one coalesced `apply_batch` cut per
+    /// member (default), or one submit per piece in the per-piece
+    /// strawman mode. Returns the stage tokens.
+    fn stage_member(
+        &mut self,
+        sw: SwitchId,
+        batch: &[Rule],
+        now: SimTime,
+        ops: &mut Vec<PathOp>,
+        tokens: &mut Vec<OpToken>,
+    ) {
+        if self.coalesce || batch.len() == 1 {
+            let actions: Vec<ControlAction> =
+                batch.iter().map(|r| ControlAction::Insert(*r)).collect();
+            let (start, outcome, token) = self.submit_after(sw, &actions, now, &[]);
+            record_stage_ops(sw, batch, start, &outcome, ops);
+            tokens.push(token);
+            if batch.len() > 1 {
+                let shared = batch.len() as u64 - 1;
+                self.stats.coalesced_pieces += shared;
+                if hermes_telemetry::enabled() {
+                    hermes_telemetry::counter("fleet.txn_coalesced_pieces", shared);
+                }
+            }
+        } else {
+            for r in batch {
+                let action = [ControlAction::Insert(*r)];
+                let (start, outcome, token) = self.submit_after(sw, &action, now, &[]);
+                record_stage_ops(sw, std::slice::from_ref(r), start, &outcome, ops);
+                tokens.push(token);
+            }
+        }
+    }
+
     /// Installs a rule set along a path as a two-phase transaction.
     ///
     /// Phase 1 stages every member's pieces through the batched admission
-    /// pipeline (members shard across lanes, so stages overlap). A member
-    /// fails staging when its control session is inside a crash window or
-    /// any of its pieces did not become logically live. Phase 2 commits —
+    /// pipeline (members shard across lanes, so stages overlap; pieces
+    /// sharing a member ride one cut under `coalesce`). A member fails
+    /// staging when its control session is inside a crash window or any
+    /// of its pieces did not become logically live. Phase 2 commits —
     /// the barrier over every stage token, so the transaction is ready
     /// only after its last piece — or rolls back: every member's pieces
     /// are deleted, with the deletes depending on the full stage barrier
@@ -327,11 +554,8 @@ impl<P: ControlPlane> Fleet<P> {
         let mut tokens = Vec::with_capacity(by_member.len());
         let mut ops = Vec::with_capacity(rules.len());
         let mut failed = Vec::new();
-        for (sw, batch) in &by_member {
-            let actions: Vec<ControlAction> =
-                batch.iter().map(|r| ControlAction::Insert(*r)).collect();
-            let (start, outcome, token) = self.submit_after(*sw, &actions, now, &[]);
-            record_stage_ops(*sw, batch, start, &outcome, &mut ops);
+        for (sw, batch) in &by_member.clone() {
+            self.stage_member(*sw, batch, now, &mut ops, &mut tokens);
             let plane = self.plane(*sw);
             let staged_ok = !plane.is_down()
                 && batch
@@ -340,7 +564,6 @@ impl<P: ControlPlane> Fleet<P> {
             if !staged_ok {
                 failed.push(*sw);
             }
-            tokens.push(token);
         }
         let stage_barrier = tokens
             .iter()
@@ -375,11 +598,21 @@ impl<P: ControlPlane> Fleet<P> {
         let members: Vec<SwitchId> = by_member.keys().copied().collect();
         for sw in members {
             let ids: Vec<RuleId> = by_member[&sw].iter().map(|r| r.id).collect();
-            let deletes: Vec<ControlAction> =
-                ids.iter().map(|id| ControlAction::Delete(*id)).collect();
-            let (_, _, token) = self.submit_after(sw, &deletes, now, &tokens);
-            if token.done > ready {
-                ready = token.done;
+            if self.coalesce || ids.len() == 1 {
+                let deletes: Vec<ControlAction> =
+                    ids.iter().map(|id| ControlAction::Delete(*id)).collect();
+                let (_, _, token) = self.submit_after(sw, &deletes, now, &tokens);
+                if token.done > ready {
+                    ready = token.done;
+                }
+            } else {
+                for id in &ids {
+                    let delete = [ControlAction::Delete(*id)];
+                    let (_, _, token) = self.submit_after(sw, &delete, now, &tokens);
+                    if token.done > ready {
+                        ready = token.done;
+                    }
+                }
             }
             // A member mid-crash may not confirm the removal yet; park the
             // ids for the tick loop to re-drive after resync.
@@ -399,6 +632,68 @@ impl<P: ControlPlane> Fleet<P> {
             ready,
             failed,
             ops,
+        }
+    }
+
+    /// Moves a batch of rules from one member to another through the
+    /// batched pipeline — the [`Rebalancer`]'s executor for draining rule
+    /// load off a hot member.
+    ///
+    /// The insert cut on `to` goes first; the delete cut on `from`
+    /// depends on it, so the rules are never absent from both members.
+    /// If `to` fails staging (down, or a rule verifiably missing) the
+    /// move aborts: the partial landing on `to` is retracted (dependent
+    /// deletes, stragglers parked for [`tick_all`](Self::tick_all)) and
+    /// `from` keeps the load untouched.
+    pub fn migrate_rules(
+        &mut self,
+        from: SwitchId,
+        to: SwitchId,
+        rules: &[Rule],
+        now: SimTime,
+    ) -> MigrateOutcome {
+        assert!(from != to, "INVARIANT: migrations move load between distinct members");
+        let traced = hermes_telemetry::enabled();
+        let inserts: Vec<ControlAction> =
+            rules.iter().map(|r| ControlAction::Insert(*r)).collect();
+        let (_, _, tok_in) = self.submit_after(to, &inserts, now, &[]);
+        let target = self.plane(to);
+        let landed = !target.is_down()
+            && rules
+                .iter()
+                .all(|r| target.contains_rule(r.id).unwrap_or(true));
+        let ids: Vec<RuleId> = rules.iter().map(|r| r.id).collect();
+        let deletes: Vec<ControlAction> =
+            ids.iter().map(|id| ControlAction::Delete(*id)).collect();
+        // Committed: clear the source; aborted: retract the partial
+        // landing on the target. Either way the deletes depend on the
+        // insert cut and stragglers ride the rollback re-drive loop.
+        let victim = if landed { from } else { to };
+        let (_, _, tok_del) = self.submit_after(victim, &deletes, now, &[tok_in]);
+        let plane = self.plane(victim);
+        let leftovers: Vec<RuleId> = ids
+            .into_iter()
+            .filter(|id| plane.contains_rule(*id) == Some(true))
+            .collect();
+        if !leftovers.is_empty() {
+            self.pending_rollbacks.entry(victim).or_default().extend(leftovers);
+        }
+        if landed {
+            self.stats.migrations += 1;
+            self.stats.rules_moved += rules.len() as u64;
+            if traced {
+                hermes_telemetry::counter("fleet.rebalance.migrations", 1);
+                hermes_telemetry::counter("fleet.rebalance.rules_moved", rules.len() as u64);
+            }
+        } else {
+            self.stats.migrations_aborted += 1;
+            if traced {
+                hermes_telemetry::counter("fleet.rebalance.migrations_aborted", 1);
+            }
+        }
+        MigrateOutcome {
+            committed: landed,
+            ready: tok_del.done,
         }
     }
 
@@ -444,11 +739,14 @@ impl<P: ControlPlane> Fleet<P> {
     }
 
     /// Ends the preload/warm-up phase fleet-wide: member state stays,
-    /// time-dependent state (lane horizons, admission buckets) resets to
-    /// the epoch.
+    /// time-dependent state (lane horizons, admission buckets, the
+    /// per-member RIT aggregates) resets to the epoch.
     pub fn end_warmup_all(&mut self) {
         for m in self.members.values_mut() {
             m.queue.plane_mut().end_warmup();
+            m.ops = 0;
+            m.wait_ns = 0;
+            m.service_ns = 0;
         }
         for lane in &mut self.lanes {
             *lane = SimTime::ZERO;
@@ -481,6 +779,10 @@ fn record_stage_ops(
 /// stream distinct from every other stream derived from the same seed).
 const LANE_SHUFFLE_SALT: u64 = 0x9e37_79b9_7f4a_7c15;
 
+/// Seed-mixing constant for the scheduler tie-break permutation (its own
+/// stream, so adding it never perturbs the home-lane assignment).
+const LANE_ORDER_SALT: u64 = 0x5ca1_ab1e_0f1e_e75c;
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -498,10 +800,22 @@ mod tests {
     }
 
     fn raw_fleet(n: usize, lanes: usize) -> Fleet<RawSwitch> {
+        raw_fleet_sched(n, lanes, LaneSched::Pinned)
+    }
+
+    fn raw_fleet_sched(n: usize, lanes: usize, sched: LaneSched) -> Fleet<RawSwitch> {
         let members = (0..n)
             .map(|i| (i, RawSwitch::new(SwitchModel::pica8_p3290())))
             .collect();
-        Fleet::new(members, FleetConfig { lanes, seed: 7 })
+        Fleet::new(
+            members,
+            FleetConfig {
+                lanes,
+                seed: 7,
+                sched,
+                ..FleetConfig::default()
+            },
+        )
     }
 
     fn hermes_fleet(n: usize, lanes: usize) -> Fleet<HermesPlane> {
@@ -512,7 +826,14 @@ mod tests {
                 (i, HermesPlane::new(sw))
             })
             .collect();
-        Fleet::new(members, FleetConfig { lanes, seed: 7 })
+        Fleet::new(
+            members,
+            FleetConfig {
+                lanes,
+                seed: 7,
+                ..FleetConfig::default()
+            },
+        )
     }
 
     #[test]
@@ -535,6 +856,14 @@ mod tests {
             let n = la.iter().filter(|&&l| l == lane).count();
             assert!((2..=3).contains(&n), "lane {lane} holds {n} members");
         }
+    }
+
+    #[test]
+    fn lane_assignment_helper_matches_fleet() {
+        let fleet = raw_fleet(8, 3);
+        let helper = lane_assignment(8, 3, 7);
+        let actual: Vec<usize> = (0..8).map(|sw| fleet.lane_of(sw)).collect();
+        assert_eq!(helper, actual, "exported helper mirrors Fleet::new");
     }
 
     #[test]
@@ -565,6 +894,93 @@ mod tests {
         let (_, _, t0) = fleet.submit_after(0, &[ControlAction::Insert(rule(1))], now, &[]);
         let (s1, _, _) = fleet.submit_after(1, &[ControlAction::Insert(rule(2))], now, &[t0]);
         assert_eq!(s1, t0.done, "dependent batch starts after its dependency");
+    }
+
+    #[test]
+    fn weighted_sched_fills_idle_lanes() {
+        // Two members sharing a home lane under the pinned assignment:
+        // back-to-back ops serialize when pinned, overlap when the
+        // weighted scheduler sends the second op to the idle lane.
+        let shared = |f: &Fleet<RawSwitch>| {
+            let ids = f.switch_ids();
+            for i in 0..ids.len() {
+                for j in i + 1..ids.len() {
+                    if f.lane_of(ids[i]) == f.lane_of(ids[j]) {
+                        return (ids[i], ids[j]);
+                    }
+                }
+            }
+            panic!("4 members over 2 lanes must share one");
+        };
+        let mut pinned = raw_fleet_sched(4, 2, LaneSched::Pinned);
+        let (a, b) = shared(&pinned);
+        let now = SimTime::ZERO;
+        pinned.submit(a, &[ControlAction::Insert(rule(1))], now);
+        let (sp, _, _) = pinned.submit_after(b, &[ControlAction::Insert(rule(2))], now, &[]);
+        assert!(sp > now, "pinned: shared home lane serializes");
+
+        let mut weighted = raw_fleet_sched(4, 2, LaneSched::Weighted);
+        weighted.submit(a, &[ControlAction::Insert(rule(1))], now);
+        let (sw, _, _) = weighted.submit_after(b, &[ControlAction::Insert(rule(2))], now, &[]);
+        assert_eq!(sw, now, "weighted: second op runs on the idle lane");
+        assert!(weighted.stats().steals >= 1, "the off-home dispatch is a steal");
+    }
+
+    #[test]
+    fn worksteal_keeps_home_lane_when_free() {
+        let mut fleet = raw_fleet_sched(4, 2, LaneSched::WorkSteal);
+        let now = SimTime::ZERO;
+        let ids = fleet.switch_ids();
+        // With every lane idle, ops stay home: no steals.
+        for (i, sw) in ids.iter().enumerate() {
+            let done = fleet.horizon() + SimDuration::from_ms(50.0);
+            fleet.submit(*sw, &[ControlAction::Insert(rule(i as u64 + 1))], done.max(now));
+        }
+        assert_eq!(fleet.stats().steals, 0, "idle home lanes are never stolen from");
+    }
+
+    #[test]
+    fn worksteal_moves_work_off_a_busy_home_lane() {
+        let mut fleet = raw_fleet_sched(4, 2, LaneSched::WorkSteal);
+        let ids = fleet.switch_ids();
+        let (a, b) = {
+            let mut pair = None;
+            for i in 0..ids.len() {
+                for j in i + 1..ids.len() {
+                    if fleet.lane_of(ids[i]) == fleet.lane_of(ids[j]) {
+                        pair = Some((ids[i], ids[j]));
+                    }
+                }
+            }
+            pair.expect("4 members over 2 lanes must share one")
+        };
+        let now = SimTime::ZERO;
+        fleet.submit(a, &[ControlAction::Insert(rule(1))], now);
+        let (s, _, _) = fleet.submit_after(b, &[ControlAction::Insert(rule(2))], now, &[]);
+        assert_eq!(s, now, "steal: the idle lane runs the op immediately");
+        assert_eq!(fleet.stats().steals, 1);
+    }
+
+    #[test]
+    fn sched_modes_are_identical_on_dedicated_lanes() {
+        // lanes = 0 gives every member its own lane; scheduling must be a
+        // no-op so the phase-1 (PR 8) timing is bit-preserved.
+        let drive = |sched: LaneSched| {
+            let mut fleet = raw_fleet_sched(5, 0, sched);
+            let mut now = SimTime::ZERO;
+            for i in 0..40u64 {
+                let sw = (i as usize * 7) % 5;
+                now += SimDuration::from_us(3.0);
+                fleet.submit(sw, &[ControlAction::Insert(rule(i + 1))], now);
+            }
+            (fleet.horizon(), fleet.stats())
+        };
+        let pinned = drive(LaneSched::Pinned);
+        let weighted = drive(LaneSched::Weighted);
+        let steal = drive(LaneSched::WorkSteal);
+        assert_eq!(pinned, weighted);
+        assert_eq!(pinned, steal);
+        assert_eq!(pinned.1.steals, 0);
     }
 
     #[test]
@@ -616,12 +1032,132 @@ mod tests {
     }
 
     #[test]
+    fn shared_member_pieces_coalesce_into_one_cut() {
+        let mut fleet = hermes_fleet(2, 1);
+        let before = fleet.stats().submits;
+        // Three pieces, two sharing member 0.
+        let pieces = vec![(0, rule(1)), (0, rule(2)), (1, rule(3))];
+        let out = fleet.install_path(&pieces, SimTime::ZERO);
+        assert!(out.committed);
+        assert_eq!(out.ops.len(), 3);
+        let stats = fleet.stats();
+        assert_eq!(stats.submits - before, 2, "one cut per member, not per piece");
+        assert_eq!(stats.coalesced_pieces, 1, "the shared piece rode member 0's cut");
+    }
+
+    #[test]
+    fn per_piece_mode_submits_every_piece_alone() {
+        let members = (0..2)
+            .map(|i| {
+                let sw = HermesSwitch::new(SwitchModel::pica8_p3290(), HermesConfig::default())
+                    .unwrap();
+                (i, HermesPlane::new(sw))
+            })
+            .collect();
+        let mut fleet = Fleet::new(
+            members,
+            FleetConfig {
+                lanes: 1,
+                seed: 7,
+                coalesce: false,
+                ..FleetConfig::default()
+            },
+        );
+        let pieces = vec![(0usize, rule(1)), (0, rule(2)), (1, rule(3))];
+        let out = fleet.install_path(&pieces, SimTime::ZERO);
+        assert!(out.committed);
+        let stats = fleet.stats();
+        assert_eq!(stats.submits, 3, "strawman mode pays one submit per piece");
+        assert_eq!(stats.coalesced_pieces, 0);
+        for (sw, r) in &pieces {
+            assert_eq!(fleet.plane(*sw).contains_rule(r.id), Some(true));
+        }
+    }
+
+    #[test]
+    fn migrate_rules_moves_load_between_members() {
+        let mut fleet = hermes_fleet(2, 2);
+        let rules: Vec<Rule> = (1..=5).map(rule).collect();
+        let inserts: Vec<ControlAction> =
+            rules.iter().map(|r| ControlAction::Insert(*r)).collect();
+        fleet.submit(0, &inserts, SimTime::ZERO);
+        let out = fleet.migrate_rules(0, 1, &rules, SimTime::from_secs(1.0));
+        assert!(out.committed);
+        let mut now = SimTime::from_secs(1.0);
+        for _ in 0..8 {
+            now += SimDuration::from_ms(5.0);
+            fleet.tick_all(now);
+        }
+        for r in &rules {
+            assert_eq!(fleet.plane(1).contains_rule(r.id), Some(true), "landed on target");
+            assert_eq!(fleet.plane(0).contains_rule(r.id), Some(false), "cleared from source");
+        }
+        let stats = fleet.stats();
+        assert_eq!(stats.migrations, 1);
+        assert_eq!(stats.rules_moved, 5);
+    }
+
+    #[test]
+    fn migrate_rules_aborts_onto_a_down_target() {
+        let mut fleet = hermes_fleet(2, 2);
+        let rules: Vec<Rule> = (1..=3).map(rule).collect();
+        let inserts: Vec<ControlAction> =
+            rules.iter().map(|r| ControlAction::Insert(*r)).collect();
+        fleet.submit(0, &inserts, SimTime::ZERO);
+        fleet
+            .plane_mut(1)
+            .inject_crash(CrashKind::Disconnect, 5, 2, SimTime::ZERO);
+        let out = fleet.migrate_rules(0, 1, &rules, SimTime::from_ms(1.0));
+        assert!(!out.committed, "a down target aborts the move");
+        assert_eq!(fleet.stats().migrations_aborted, 1);
+        // The source keeps the load; the partial landing on the target is
+        // retracted once the crash window closes.
+        let mut now = SimTime::from_ms(1.0);
+        for _ in 0..64 {
+            now += SimDuration::from_ms(5.0);
+            fleet.tick_all(now);
+            if !fleet.is_down(1) {
+                break;
+            }
+        }
+        for _ in 0..8 {
+            now += SimDuration::from_ms(5.0);
+            fleet.tick_all(now);
+        }
+        for r in &rules {
+            assert_eq!(fleet.plane(0).contains_rule(r.id), Some(true), "source untouched");
+            assert_eq!(fleet.plane(1).contains_rule(r.id), Some(false), "target retracted");
+        }
+        assert_eq!(fleet.pending_rollback_len(), 0);
+    }
+
+    #[test]
+    fn member_health_reports_backlog_and_rit() {
+        let mut fleet = hermes_fleet(2, 2);
+        let rules: Vec<ControlAction> = (1..=20)
+            .map(|i| ControlAction::Insert(rule(i)))
+            .collect();
+        fleet.submit(0, &rules, SimTime::ZERO);
+        let health = fleet.member_health(SimTime::ZERO);
+        assert_eq!(health.len(), 2);
+        let h0 = health.iter().find(|h| h.id == 0).unwrap();
+        let h1 = health.iter().find(|h| h.id == 1).unwrap();
+        assert!(h0.backlog_ns > 0, "member 0 has queued work");
+        assert!(h0.mean_rit_ns > 0);
+        assert!(h0.occupancy >= 20);
+        assert_eq!(h1.backlog_ns, 0, "member 1 is idle");
+        assert!(!h0.is_down && !h1.is_down);
+    }
+
+    #[test]
     fn end_warmup_resets_lane_horizons() {
         let mut fleet = raw_fleet(2, 1);
         fleet.submit(0, &[ControlAction::Insert(rule(1))], SimTime::ZERO);
         assert!(fleet.horizon() > SimTime::ZERO);
         fleet.end_warmup_all();
         assert_eq!(fleet.horizon(), SimTime::ZERO);
+        let health = fleet.member_health(SimTime::ZERO);
+        assert!(health.iter().all(|h| h.mean_rit_ns == 0), "RIT aggregates reset");
     }
 
     #[test]

@@ -1,19 +1,25 @@
 //! Cross-switch consistency oracle for the fleet controller.
 //!
 //! Random multi-switch workloads — background inserts/deletes, two-phase
-//! path transactions, per-op fault plans and injected switch crashes —
-//! driven through a [`Fleet`] of Hermes planes must satisfy, once the
-//! faults clear and every member quiesces:
+//! path transactions (with duplicate-member pieces so per-member
+//! coalescing engages), rebalance migrations, per-op fault plans and
+//! injected switch crashes — driven through a [`Fleet`] of Hermes planes
+//! must satisfy, once the faults clear and every member quiesces:
 //!
 //! 1. **Path atomicity**: every committed transaction's pieces are live on
 //!    every member; every rolled-back transaction left no piece anywhere.
 //! 2. **Flat equivalence**: each member's table classifies identically to
 //!    a flat priority-ordered table driven in lockstep with the acked
 //!    operations (the PR 5 sequential oracle, per member).
+//!
+//! The property is quantified over every lane scheduler (pinned, weighted,
+//! work-stealing) and both commit shapes (coalesced per-member cuts and
+//! the per-piece strawman): scheduling and batching decide *when* ops run,
+//! never *what* state they leave behind.
 
 use hermes_baselines::{ControlPlane, HermesPlane};
 use hermes_core::prelude::{HermesConfig, HermesSwitch};
-use hermes_fleet::{Fleet, FleetConfig, SwitchId};
+use hermes_fleet::{Fleet, FleetConfig, LaneSched, SwitchId};
 use hermes_rules::fields::DST_SHIFT;
 use hermes_rules::prelude::*;
 use hermes_tcam::{
@@ -59,8 +65,15 @@ hermes_util::check! {
         workload_seed in hermes_util::check::arb::<u64>(),
         fault_seed in hermes_util::check::arb::<u64>(),
         lanes in hermes_util::check::range(1usize..5),
+        sched_mode in hermes_util::check::range(0usize..3),
+        coalesce_mode in hermes_util::check::range(0usize..2),
     ) {
         let mut rng = StdRng::seed_from_u64(workload_seed);
+        let sched = match sched_mode {
+            0 => LaneSched::Pinned,
+            1 => LaneSched::Weighted,
+            _ => LaneSched::WorkSteal,
+        };
         let config = HermesConfig {
             rate_limit: Some(f64::INFINITY),
             ..Default::default()
@@ -77,7 +90,15 @@ hermes_util::check! {
                 (i, HermesPlane::new(sw))
             })
             .collect();
-        let mut fleet = Fleet::new(members, FleetConfig { lanes, seed: workload_seed });
+        let mut fleet = Fleet::new(
+            members,
+            FleetConfig {
+                lanes,
+                seed: workload_seed,
+                sched,
+                coalesce: coalesce_mode == 0,
+            },
+        );
 
         // Per-member flat lockstep oracle of the acked operations.
         let mut oracles: Vec<TcamTable> = (0..MEMBERS)
@@ -126,9 +147,12 @@ hermes_util::check! {
                         rules.push(r);
                     }
                 }
-            } else if roll < 0.8 {
+            } else if roll < 0.78 {
                 // Two-phase path transaction across a random member slice.
-                let span = rng.gen_range(2..=MEMBERS);
+                // Spans beyond MEMBERS wrap around, so a single member can
+                // carry several pieces of one transaction — the shape the
+                // per-member coalescer folds into one cut.
+                let span = rng.gen_range(2..=MEMBERS + 2);
                 let first = rng.gen_range(0..MEMBERS);
                 let pieces: Vec<(SwitchId, Rule)> = (0..span)
                     .map(|k| {
@@ -145,6 +169,34 @@ hermes_util::check! {
                     }
                 }
                 txns.push((pieces, out.committed));
+            } else if roll < 0.86 {
+                // Rebalance migration: drain a batch of live background
+                // rules onto another member through the batched pipeline.
+                // Committed moves update both oracles; aborted moves leave
+                // the source's load (and its oracle) untouched — the fleet
+                // retracts the partial landing itself.
+                let sources: Vec<SwitchId> = live
+                    .iter()
+                    .filter(|(_, v)| !v.is_empty())
+                    .map(|(sw, _)| *sw)
+                    .collect();
+                if let Some(&from) = sources.first() {
+                    let to = (from + 1 + rng.gen_range(0..MEMBERS - 1)) % MEMBERS;
+                    let batch: Vec<Rule> = {
+                        let rules = live.get_mut(&from).unwrap();
+                        let take = rng.gen_range(1..=rules.len().min(3));
+                        rules[..take].to_vec()
+                    };
+                    let out = fleet.migrate_rules(from, to, &batch, now);
+                    if out.committed {
+                        live.get_mut(&from).unwrap().drain(..batch.len());
+                        for r in &batch {
+                            oracles[from].delete(r.id).unwrap();
+                            oracles[to].insert(*r).unwrap();
+                        }
+                        live.entry(to).or_default().extend(batch);
+                    }
+                }
             } else if roll < 0.9 {
                 // Crash a random member: wipe → partial → disconnect.
                 let sw = rng.gen_range(0..MEMBERS);

@@ -41,5 +41,6 @@ pub mod prelude {
     pub use crate::flow::{ActiveFlow, FlowId, FlowTable, JobId};
     pub use crate::metrics::{median_improvement, RunMetrics, Samples};
     pub use crate::sim::{SwitchKind, Varys, VarysConfig};
+    pub use hermes_fleet::{LaneSched, RebalancePolicy};
     pub use crate::topology::{Link, LinkId, NodeId, NodeKind, Topology};
 }

@@ -160,6 +160,21 @@ pub struct RunMetrics {
     pub path_txns: u64,
     /// Path transactions rolled back on a member fault or crash window.
     pub path_rollbacks: u64,
+    /// Aborted arrival installs that degraded to best-effort per-switch
+    /// submissions (the flow's rules went out without atomicity cover —
+    /// a distinct health signal from the rollback itself).
+    pub path_degraded: u64,
+    /// New-flow placements the rebalancer steered off the TE layer's
+    /// default path draw (member health overruled the first candidate).
+    pub rebalance_steers: u64,
+    /// Flows moved off pressure-hot switches by TE-tick rebalance passes.
+    pub rebalance_moves: u64,
+    /// Fleet ops dispatched to a lane other than their member's home lane
+    /// (weighted / work-stealing scheduling; 0 under pinned sharding).
+    pub lane_steals: u64,
+    /// Path-transaction pieces that rode a shared per-member cut instead
+    /// of their own submit.
+    pub coalesced_pieces: u64,
 }
 
 impl ToJson for RunMetrics {
@@ -184,6 +199,11 @@ impl ToJson for RunMetrics {
             ("guarantee_gap_ns", self.guarantee_gap_ns.to_json()),
             ("path_txns", self.path_txns.to_json()),
             ("path_rollbacks", self.path_rollbacks.to_json()),
+            ("path_degraded", self.path_degraded.to_json()),
+            ("rebalance_steers", self.rebalance_steers.to_json()),
+            ("rebalance_moves", self.rebalance_moves.to_json()),
+            ("lane_steals", self.lane_steals.to_json()),
+            ("coalesced_pieces", self.coalesced_pieces.to_json()),
         ])
     }
 }

@@ -20,7 +20,7 @@ use crate::metrics::RunMetrics;
 use crate::topology::{LinkId, NodeId, Topology};
 use hermes_baselines::{ControlPlane, EspresSwitch, HermesPlane, RawSwitch, TangoSwitch};
 use hermes_core::config::HermesConfig;
-use hermes_fleet::{Fleet, FleetConfig};
+use hermes_fleet::{Fleet, FleetConfig, LaneSched, RebalancePolicy, Rebalancer};
 use hermes_rules::prelude::*;
 use hermes_tcam::{CrashKind, SimDuration, SimTime, SwitchModel};
 use hermes_workloads::facebook::JobSpec;
@@ -131,6 +131,15 @@ pub struct VarysConfig {
     /// parallel dispatch; `1` serializes every device op in the fleet
     /// through one driver thread.
     pub lanes: usize,
+    /// Lane-scheduling mode for the fleet's worker lanes (phase 2).
+    /// `Pinned` is the phase-1 static sharding; with `lanes = 0` every
+    /// mode is identical (dedicated lanes have nothing to schedule).
+    pub sched: LaneSched,
+    /// TE-driven rebalancing policy. `Some`: new-flow placement picks
+    /// among candidate paths by member health, and every TE tick may
+    /// reroute flows off pressure-hot switches. `None`: placement draws
+    /// exactly as before phase 2 existed (same RNG stream).
+    pub rebalance: Option<RebalancePolicy>,
     /// RNG seed.
     pub seed: u64,
 }
@@ -147,6 +156,8 @@ impl Default for VarysConfig {
             gate_flow_start: true,
             crash: None,
             lanes: 0,
+            sched: LaneSched::Pinned,
+            rebalance: None,
             seed: 1,
         }
     }
@@ -228,6 +239,9 @@ pub struct Varys {
     /// Switches whose control session is currently dead (crash window
     /// open); pruned on manager ticks once resync completes.
     down: BTreeSet<NodeId>,
+    /// TE-driven placement policy (`config.rebalance`); `None` keeps the
+    /// phase-1 placement and RNG stream untouched.
+    rebalancer: Option<Rebalancer>,
     next_flow: FlowId,
     next_rule: u64,
     rng: StdRng,
@@ -253,8 +267,11 @@ impl Varys {
             FleetConfig {
                 lanes: config.lanes,
                 seed: config.seed,
+                sched: config.sched,
+                ..FleetConfig::default()
             },
         );
+        let rebalancer = config.rebalance.map(Rebalancer::new);
         let rng = StdRng::seed_from_u64(config.seed);
         let mut sim = Varys {
             topo,
@@ -270,6 +287,7 @@ impl Varys {
             flow_arrivals: BTreeMap::new(),
             rerouting: BTreeSet::new(),
             down: BTreeSet::new(),
+            rebalancer,
             next_flow: 0,
             next_rule: 0,
             rng,
@@ -471,6 +489,11 @@ impl Varys {
         let fs = self.fleet.stats();
         self.metrics.path_txns = fs.txns;
         self.metrics.path_rollbacks = fs.txn_rollbacks;
+        self.metrics.lane_steals = fs.steals;
+        self.metrics.coalesced_pieces = fs.coalesced_pieces;
+        if let Some(rb) = &self.rebalancer {
+            self.metrics.rebalance_steers = rb.stats().steered;
+        }
     }
 
     fn advance_to(&mut self, t: SimTime) {
@@ -518,12 +541,35 @@ impl Varys {
                 .any(|sw| self.down.contains(sw))
     }
 
-    /// Samples a path for a new flow, resampling a few times to route
-    /// around switches currently in a crash window (rules submitted to a
-    /// dead control session would stall until resync). Draws exactly one
-    /// path when no switch is down, so crash-free runs keep the historical
-    /// RNG stream.
+    /// Samples a path for a new flow. Without a rebalancer, resamples a
+    /// few times to route around switches currently in a crash window
+    /// (rules submitted to a dead control session would stall until
+    /// resync) and draws exactly one path when no switch is down, so
+    /// crash-free phase-1 runs keep the historical RNG stream. With a
+    /// rebalancer, placement is health-steered: three candidate draws,
+    /// scored by their worst member's pressure ([`Rebalancer::pick_slice`]
+    /// — a down or crash-looping switch repels the whole path).
     fn pick_arrival_path(&mut self, src: usize, dst: usize) -> Vec<LinkId> {
+        if let Some(rb) = self.rebalancer.as_mut() {
+            let mut cands: Vec<Vec<LinkId>> = Vec::with_capacity(3);
+            for _ in 0..3 {
+                if let Some(cand) = self.topo.random_shortest_path(src, dst, None, &mut self.rng)
+                {
+                    cands.push(cand);
+                }
+            }
+            if cands.is_empty() {
+                return Vec::new();
+            }
+            let health = self.fleet.member_health(self.now);
+            let scores = rb.scores(&health);
+            let slices: Vec<Vec<NodeId>> = cands
+                .iter()
+                .map(|p| self.topo.switches_on_path(src, p))
+                .collect();
+            let pick = rb.pick_slice(&slices, &scores);
+            return cands.swap_remove(pick);
+        }
         let mut path = self
             .topo
             .random_shortest_path(src, dst, None, &mut self.rng)
@@ -734,6 +780,13 @@ impl Varys {
         self.record_path_metrics(&outcome);
         let mut ready = outcome.ready;
         if !outcome.committed {
+            // The degraded fallback is a distinct health signal from the
+            // rollback itself: the transaction aborted *and* the flow's
+            // rules went out without atomicity cover.
+            self.metrics.path_degraded += 1;
+            if hermes_telemetry::enabled() {
+                hermes_telemetry::counter("fleet.path_degraded", 1);
+            }
             for (sw, rule) in &pieces {
                 let (start, bo) = self
                     .fleet
@@ -863,6 +916,9 @@ impl Varys {
             self.reroute(fid, src, dst, new_path);
             rerouted += 1;
         }
+        if self.rebalancer.is_some() {
+            self.rebalance_pass();
+        }
         if hermes_telemetry::enabled() {
             hermes_telemetry::counter("netsim.reroutes", rerouted as u64);
             hermes_telemetry::series(
@@ -876,6 +932,55 @@ impl Varys {
         span.end(self.now.as_nanos());
         let next = self.now + SimDuration::from_secs(self.config.te_interval_s);
         self.push(next, EventKind::TeTick);
+    }
+
+    /// TE-driven rebalancing pass (runs on every TE tick when a
+    /// [`RebalancePolicy`] is configured): scores the fleet's members,
+    /// and for each member the [`Rebalancer`] flags as pressure-hot,
+    /// moves the biggest flow crossing it onto a sampled alternate path
+    /// that avoids it — the netsim realization of draining rule load off
+    /// hot members (the flow's next path transaction lands elsewhere and
+    /// its old rules are torn down on switch-over).
+    fn rebalance_pass(&mut self) {
+        let health = self.fleet.member_health(self.now);
+        let Some(rb) = self.rebalancer.as_mut() else {
+            return;
+        };
+        let plan = rb.plan_moves(&health);
+        for (hot, _cold) in plan {
+            let candidate = self
+                .flows
+                .iter()
+                .filter(|f| !self.rerouting.contains(&f.id))
+                .filter(|f| self.topo.switches_on_path(f.src, &f.path).contains(&hot))
+                .max_by(|a, b| a.rate_bps.total_cmp(&b.rate_bps))
+                .map(|f| (f.id, f.src, f.dst, f.path.clone()));
+            let Some((fid, src, dst, old_path)) = candidate else {
+                continue;
+            };
+            let mut alt = None;
+            for _ in 0..4 {
+                let Some(cand) = self.topo.random_shortest_path(src, dst, None, &mut self.rng)
+                else {
+                    break;
+                };
+                if cand != old_path
+                    && !self.topo.switches_on_path(src, &cand).contains(&hot)
+                    && !self.crosses_down(src, &cand)
+                {
+                    alt = Some(cand);
+                    break;
+                }
+            }
+            let Some(path) = alt else {
+                continue;
+            };
+            self.reroute(fid, src, dst, path);
+            self.metrics.rebalance_moves += 1;
+            if hermes_telemetry::enabled() {
+                hermes_telemetry::counter("netsim.rebalance_moves", 1);
+            }
+        }
     }
 
     /// Issues the rule installations for a new path as a two-phase fleet
@@ -958,6 +1063,7 @@ impl Varys {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hermes_util::json::ToJson;
     use hermes_workloads::facebook::{FacebookWorkload, FlowSpec};
 
     fn tiny_jobs(n: usize) -> Vec<JobSpec> {
@@ -1217,6 +1323,138 @@ mod tests {
         let b = run();
         assert_eq!(a, b);
         assert!(a.2 > 0, "storm actually fired");
+    }
+
+    #[test]
+    fn degraded_installs_are_counted_apart_from_rollbacks() {
+        // An arrival install that aborts on a crashed member degrades to
+        // best-effort per-switch submissions; that fallback must land in
+        // `path_degraded`, not be folded into `path_rollbacks` (reroute
+        // aborts roll back WITHOUT degrading, so the two counters answer
+        // different questions).
+        let topo = Topology::fat_tree(4, 10e9);
+        let cfg = VarysConfig {
+            switch: SwitchKind::Hermes(SwitchModel::pica8_p3290(), HermesConfig::default()),
+            base_rules_per_switch: 50,
+            crash: Some(CrashProfile {
+                first_s: 0.02,
+                period_s: 0.08,
+                survivor_prob: 0.5,
+                reconnect_denials: 3,
+            }),
+            seed: 3,
+            ..Default::default()
+        };
+        let mut sim = Varys::new(topo, cfg);
+        // A steady arrival stream across the storm: some arrivals must
+        // land on a switch inside a crash window.
+        let jobs: Vec<JobSpec> = (0..40)
+            .map(|i| JobSpec {
+                id: i,
+                arrival_s: i as f64 * 0.02,
+                flows: vec![FlowSpec {
+                    src: i % 8,
+                    dst: 8 + (i % 8),
+                    bytes: 20_000_000,
+                }],
+            })
+            .collect();
+        sim.register_jobs(&jobs);
+        sim.run(240.0);
+        assert!(sim.metrics.path_degraded > 0, "storm produced degraded installs");
+        assert!(
+            sim.metrics.path_rollbacks >= sim.metrics.path_degraded,
+            "every degraded install implies a rollback ({} rollbacks, {} degraded)",
+            sim.metrics.path_rollbacks,
+            sim.metrics.path_degraded,
+        );
+        assert_eq!(
+            sim.metrics.path_rollbacks,
+            sim.fleet().stats().txn_rollbacks,
+            "path_rollbacks mirrors the fleet's counter exactly — degraded \
+             installs are not folded in"
+        );
+    }
+
+    #[test]
+    fn rebalancer_steers_and_moves_under_skew() {
+        // Same skewed workload twice; the rebalanced run must actually
+        // exercise steering (health-ranked candidate picks) and TE-tick
+        // moves, and still complete every flow.
+        let run = |rebalance: Option<RebalancePolicy>| {
+            let topo = Topology::fat_tree(4, 10e9);
+            let cfg = VarysConfig {
+                switch: SwitchKind::Hermes(SwitchModel::pica8_p3290(), HermesConfig::default()),
+                congestion_threshold: 0.5,
+                base_rules_per_switch: 100,
+                te_interval_s: 0.05,
+                rebalance,
+                seed: 5,
+                ..Default::default()
+            };
+            let mut sim = Varys::new(topo, cfg);
+            // Everything converges on host 15: its edge switch runs hot.
+            let jobs: Vec<JobSpec> = (0..16)
+                .map(|i| JobSpec {
+                    id: i,
+                    arrival_s: (i % 4) as f64 * 0.01,
+                    flows: vec![FlowSpec {
+                        src: i % 12,
+                        dst: 15,
+                        bytes: 800_000_000,
+                    }],
+                })
+                .collect();
+            sim.register_jobs(&jobs);
+            sim.run(240.0);
+            sim.metrics
+        };
+        let baseline = run(None);
+        let rebalanced = run(Some(RebalancePolicy {
+            hot_factor: 1.2,
+            ..RebalancePolicy::default()
+        }));
+        assert_eq!(baseline.fct_s.len(), 16);
+        assert_eq!(rebalanced.fct_s.len(), 16, "rebalancing never strands a flow");
+        assert_eq!(baseline.rebalance_steers, 0);
+        assert_eq!(baseline.rebalance_moves, 0);
+        assert!(
+            rebalanced.rebalance_steers > 0,
+            "skewed load must overrule some default path draws"
+        );
+        assert!(
+            rebalanced.rebalance_moves > 0,
+            "the hot edge switch must shed at least one flow"
+        );
+    }
+
+    #[test]
+    fn rebalanced_runs_are_deterministic_given_seed() {
+        let run = || {
+            let topo = Topology::fat_tree(4, 10e9);
+            let cfg = VarysConfig {
+                switch: SwitchKind::Hermes(SwitchModel::pica8_p3290(), HermesConfig::default()),
+                sched: LaneSched::Weighted,
+                lanes: 4,
+                rebalance: Some(RebalancePolicy::default()),
+                seed: 13,
+                ..Default::default()
+            };
+            let mut sim = Varys::new(topo, cfg);
+            let jobs = FacebookWorkload {
+                jobs: 20,
+                hosts: 16,
+                duration_s: 1.5,
+                seed: 5,
+            }
+            .generate();
+            sim.register_jobs(&jobs);
+            sim.run(120.0);
+            sim.metrics.to_json().to_string()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
     }
 
     #[test]

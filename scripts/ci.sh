@@ -158,14 +158,16 @@ stage_perfgate() {
 }
 
 stage_matrix_smoke() {
-    # Tier-2 perf gate: hermes-harness runs the three fast scenarios from
-    # the committed matrix (N=3 seeded reps each), the merged
-    # hermes-matrix-report/1 summary is schema-validated, and the
-    # wall-clock tolerance-band comparison against
-    # bench_baselines/wallclock.json is BLOCKING — the envelope soaked on
-    # the non-blocking landing; a band breach now fails CI and must be
-    # either fixed or re-baselined via scripts/refresh_baselines.sh
-    # (DESIGN.md §11).
+    # Tier-2/3 perf gate: hermes-harness runs the gated scenarios from
+    # the committed matrix — the four fast smokes (N=3 seeded reps each)
+    # plus the full chaos-suite (N=5, fault plans armed), promoted from
+    # ad-hoc coverage into the gated tier. The merged
+    # hermes-matrix-report/1 summary is schema-validated, then BOTH
+    # tolerance-band comparisons are BLOCKING: wall-clock medians against
+    # bench_baselines/wallclock.json and peak-RSS medians against
+    # bench_baselines/rss.json. A band breach fails CI and must be either
+    # fixed or re-baselined via scripts/refresh_baselines.sh (DESIGN.md
+    # §11).
     cargo build --release --offline -q -p hermes-harness --bin hermes-harness
     cargo build --release --offline -q -p hermes-bench \
         --bin exp_tcam_micro --bin exp_fig12 --bin exp_crash --bin exp_fleet
@@ -175,14 +177,15 @@ stage_matrix_smoke() {
         --matrix scenarios/matrix.toml \
         --bin-dir target/release \
         --out "$smoke_dir" \
-        --scenarios smoke-tcam,smoke-chaos,smoke-crash,smoke-fleet
+        --scenarios smoke-tcam,smoke-chaos,smoke-crash,smoke-fleet,chaos-suite
     python3 - "$smoke_dir/matrix_report.json" <<'PY'
 import json, sys
 doc = json.load(open(sys.argv[1]))
 assert doc["schema"] == "hermes-matrix-report/1", doc.get("schema")
 assert doc["kind"] == "full", doc.get("kind")
 names = {sc["name"] for sc in doc["scenarios"]}
-assert names == {"smoke-tcam", "smoke-chaos", "smoke-crash", "smoke-fleet"}, names
+assert names == {"smoke-tcam", "smoke-chaos", "smoke-crash", "smoke-fleet",
+                 "chaos-suite"}, names
 for sc in doc["scenarios"]:
     assert sc["clean_reps"] == sc["runs"], (sc["name"], sc["errors"])
     assert sc["measured"]["wall_ms"]["p50"] > 0, sc["name"]
@@ -192,6 +195,8 @@ print("ok: matrix report schema-valid, %d scenario(s) clean" % len(names))
 PY
     python3 scripts/perfgate.py wallclock \
         bench_baselines/wallclock.json "$smoke_dir/matrix_report.json"
+    python3 scripts/perfgate.py rss \
+        bench_baselines/rss.json "$smoke_dir/matrix_report.json"
     rm -rf "$smoke_dir"
 }
 
@@ -216,13 +221,55 @@ if [[ -n "${CI_STAGES:-}" ]]; then
     done
 fi
 
+# Per-stage summary, printed on EVERY exit path (including a failing
+# stage, thanks to `set -e` + the EXIT trap): one row per stage that ran
+# with its verdict and wall-clock seconds, then the first failing stage
+# by name so a red run can be triaged without scrolling.
+SUM_NAME=()
+SUM_STATUS=()
+SUM_SECS=()
+CURRENT_STAGE=""
+CURRENT_T0=0
+
+print_summary() {
+    local code=$?
+    trap - EXIT
+    if [[ -n "$CURRENT_STAGE" ]]; then
+        # The trap fired mid-stage: that stage is the failure.
+        SUM_NAME+=("$CURRENT_STAGE")
+        SUM_STATUS+=("FAIL")
+        SUM_SECS+=($((SECONDS - CURRENT_T0)))
+    fi
+    if [[ ${#SUM_NAME[@]} -gt 0 ]]; then
+        echo
+        echo "== stage summary =="
+        printf '%-14s %-6s %6s\n' stage result secs
+        printf '%-14s %-6s %6s\n' ------------ ------ -----
+        local i first_fail=""
+        for i in "${!SUM_NAME[@]}"; do
+            printf '%-14s %-6s %6s\n' "${SUM_NAME[$i]}" "${SUM_STATUS[$i]}" "${SUM_SECS[$i]}"
+            [[ "${SUM_STATUS[$i]}" == FAIL && -z "$first_fail" ]] && first_fail="${SUM_NAME[$i]}"
+        done
+        if [[ -n "$first_fail" ]]; then
+            echo "first failing stage: $first_fail"
+        fi
+    fi
+    exit "$code"
+}
+trap print_summary EXIT
+
 ran=0
 for stage in "${ALL_STAGES[@]}"; do
     wanted "$stage" || continue
     echo "== $stage =="
-    t0=$SECONDS
+    CURRENT_STAGE="$stage"
+    CURRENT_T0=$SECONDS
     "stage_$stage"
-    echo "-- $stage done in $((SECONDS - t0))s --"
+    SUM_NAME+=("$stage")
+    SUM_STATUS+=("ok")
+    SUM_SECS+=($((SECONDS - CURRENT_T0)))
+    CURRENT_STAGE=""
+    echo "-- $stage done in $((SECONDS - CURRENT_T0))s --"
     ran=$((ran + 1))
 done
 

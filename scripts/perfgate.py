@@ -1,9 +1,10 @@
 #!/usr/bin/env python3
-"""Two-tier perf regression gate.
+"""Three-tier perf regression gate.
 
 Usage:
   perfgate.py counters  <baseline_dir> <fresh_dir>
   perfgate.py wallclock <baseline.json> <matrix_report.json> [--band FRAC]
+  perfgate.py rss       <baseline.json> <matrix_report.json> [--band FRAC]
   perfgate.py <baseline_dir> <fresh_dir>          (legacy = counters)
 
 Tier 1 — counters (exact). For every BENCH_*.json in <baseline_dir>,
@@ -35,6 +36,22 @@ The band (default from the baseline file, overridable with --band) plus
 an absolute floor_ms absorb scheduler noise; millisecond-scale smoke
 scenarios are floor-dominated by design. Medians-of-N keep single
 outlier reps from tripping the gate.
+
+Tier 3 — rss (tolerance band). Same envelope discipline applied to the
+per-scenario peak resident set (`measured.max_rss_bytes.p50` in the
+matrix report) against a hermes-rss-baseline/1 document:
+
+  * scenario in baseline, not in report ...... FAIL (MISSING)
+  * scenario in report, not in baseline ...... FAIL (UNTRACKED)
+  * failed reps / no RSS median .............. FAIL (BROKEN)
+  * median above baseline*(1+band)+floor ..... FAIL (HEAVY)
+  * median below baseline*(1-band)-floor ..... note only (LEAN — refresh
+                                                to bank the improvement)
+
+The floor here is floor_bytes (absolute, default 16 MiB): tiny smoke
+binaries live within allocator/page-cache jitter of each other, so small
+absolute swings are noise while a genuine leak or an unbounded cache
+blows straight through the band.
 
 Exit status: 0 = gate passes, 1 = regressions found, 2 = usage or
 malformed-input error. Baselines are refreshed with scripts/refresh_baselines.sh after
@@ -224,9 +241,135 @@ def run_wallclock(baseline_path, report_path, band_override=None):
     return 1 if failures else 0
 
 
+def rss_medians(report):
+    """scenario name -> (median peak RSS bytes, failed rep count) from a
+    hermes-matrix-report/1 document."""
+    if report.get("schema") != "hermes-matrix-report/1":
+        raise ValueError(f"not a hermes-matrix-report/1 document: {report.get('schema')!r}")
+    if report.get("kind") == "canonical":
+        raise ValueError("rss tier needs the full report (canonical omits 'measured')")
+    out = {}
+    for sc in report.get("scenarios", []):
+        measured = sc.get("measured") or {}
+        rss = measured.get("max_rss_bytes") or {}
+        runs = sc.get("runs", 0)
+        clean = sc.get("clean_reps", 0)
+        out[sc["name"]] = (rss.get("p50"), runs - clean)
+    return out
+
+
+def fmt_mib(v):
+    return f"{v / (1 << 20):.1f}MiB"
+
+
+def run_rss(baseline_path, report_path, band_override=None):
+    base = load_json(baseline_path)
+    if base.get("schema") != "hermes-rss-baseline/1":
+        print(
+            f"perfgate: {baseline_path}: not a hermes-rss-baseline/1 document",
+            file=sys.stderr,
+        )
+        return 2
+    default_band = band_override if band_override is not None else base.get("band", 0.35)
+    default_floor = base.get("floor_bytes", 16 << 20)
+    scenarios = base.get("scenarios", {})
+    try:
+        fresh = rss_medians(load_json(report_path))
+    except ValueError as e:
+        print(f"perfgate: {report_path}: {e}", file=sys.stderr)
+        return 2
+
+    failures = 0
+    for name in sorted(set(scenarios) | set(fresh)):
+        if name not in fresh:
+            print(f"FAIL {name}: scenario in baseline but absent from the report (MISSING)")
+            failures += 1
+            continue
+        median, broken_reps = fresh[name]
+        if name not in scenarios:
+            print(
+                f"FAIL {name}: scenario not in the peak-RSS baseline (UNTRACKED —"
+                " refresh to admit it)"
+            )
+            failures += 1
+            continue
+        if broken_reps:
+            print(f"FAIL {name}: {broken_reps} repetition(s) failed (BROKEN)")
+            failures += 1
+            continue
+        entry = scenarios[name]
+        base_bytes = entry["median_bytes"]
+        band = band_override if band_override is not None else entry.get("band", default_band)
+        floor = entry.get("floor_bytes", default_floor)
+        limit = base_bytes * (1.0 + band) + floor
+        lean_mark = base_bytes * (1.0 - band) - floor
+        if median is None:
+            print(f"FAIL {name}: report carries no peak-RSS median (BROKEN)")
+            failures += 1
+        elif median > limit:
+            print(
+                f"FAIL {name}: peak RSS {fmt_mib(median)} above envelope {fmt_mib(limit)}"
+                f" (baseline {fmt_mib(base_bytes)}, band {band:.0%},"
+                f" floor {fmt_mib(floor)}) (HEAVY)"
+            )
+            failures += 1
+        elif median < lean_mark:
+            print(
+                f"ok   {name}: peak RSS {fmt_mib(median)} well below baseline"
+                f" {fmt_mib(base_bytes)} (LEAN — consider refreshing to bank the"
+                " improvement)"
+            )
+        else:
+            print(
+                f"ok   {name}: peak RSS {fmt_mib(median)} within envelope"
+                f" [{fmt_mib(max(lean_mark, 0.0))}, {fmt_mib(limit)}]"
+            )
+
+    total = len(set(scenarios) | set(fresh))
+    if failures:
+        print(
+            f"\nperfgate: {failures}/{total} scenario(s) out of the RSS envelope. If the"
+            " change is intentional, refresh with scripts/refresh_baselines.sh and commit"
+            " the diff."
+        )
+    else:
+        print(f"\nperfgate: all {total} scenario(s) within the peak-RSS envelope.")
+    return 1 if failures else 0
+
+
+def parse_band_args(rest):
+    """Splits a (--band FRAC | --band=FRAC) flag off the positional args.
+    Returns (positional, band) or None after printing the error."""
+    band = None
+    positional = []
+    i = 0
+    while i < len(rest):
+        if rest[i] == "--band":
+            if i + 1 >= len(rest):
+                print("perfgate: --band needs a value", file=sys.stderr)
+                return None
+            try:
+                band = float(rest[i + 1])
+            except ValueError:
+                print(f"perfgate: bad --band {rest[i + 1]!r}", file=sys.stderr)
+                return None
+            i += 2
+        elif rest[i].startswith("--band="):
+            try:
+                band = float(rest[i].split("=", 1)[1])
+            except ValueError:
+                print(f"perfgate: bad {rest[i]!r}", file=sys.stderr)
+                return None
+            i += 1
+        else:
+            positional.append(rest[i])
+            i += 1
+    return positional, band
+
+
 def main(argv):
     args = argv[1:]
-    if len(args) == 2 and args[0] not in ("counters", "wallclock"):
+    if len(args) == 2 and args[0] not in ("counters", "wallclock", "rss"):
         # Legacy two-positional form.
         return run_counters(args[0], args[1])
     if not args:
@@ -235,35 +378,16 @@ def main(argv):
     mode, rest = args[0], args[1:]
     if mode == "counters" and len(rest) == 2:
         return run_counters(rest[0], rest[1])
-    if mode == "wallclock":
-        band = None
-        positional = []
-        i = 0
-        while i < len(rest):
-            if rest[i] == "--band":
-                if i + 1 >= len(rest):
-                    print("perfgate: --band needs a value", file=sys.stderr)
-                    return 2
-                try:
-                    band = float(rest[i + 1])
-                except ValueError:
-                    print(f"perfgate: bad --band {rest[i + 1]!r}", file=sys.stderr)
-                    return 2
-                i += 2
-            elif rest[i].startswith("--band="):
-                try:
-                    band = float(rest[i].split("=", 1)[1])
-                except ValueError:
-                    print(f"perfgate: bad {rest[i]!r}", file=sys.stderr)
-                    return 2
-                i += 1
-            else:
-                positional.append(rest[i])
-                i += 1
+    if mode in ("wallclock", "rss"):
+        parsed = parse_band_args(rest)
+        if parsed is None:
+            return 2
+        positional, band = parsed
         if len(positional) != 2:
             print(__doc__.strip(), file=sys.stderr)
             return 2
-        return run_wallclock(positional[0], positional[1], band)
+        run = run_wallclock if mode == "wallclock" else run_rss
+        return run(positional[0], positional[1], band)
     print(__doc__.strip(), file=sys.stderr)
     return 2
 

@@ -34,11 +34,12 @@ with open(path, "w") as fh:
 PY
 done
 
-# Tier 2: the wall-clock envelope. Re-measure the smoke scenarios with
-# the harness (N from scenarios/matrix.toml) on the machine class CI
-# runs on, and rewrite bench_baselines/wallclock.json keeping the
-# committed band/floor knobs.
-echo "== hermes-harness smoke scenarios -> bench_baselines/wallclock.json =="
+# Tiers 2 + 3: the wall-clock and peak-RSS envelopes. Re-measure the
+# gated scenarios (the four CI smokes plus the promoted chaos-suite;
+# N from scenarios/matrix.toml) on the machine class CI runs on, and
+# rewrite bench_baselines/wallclock.json and bench_baselines/rss.json
+# keeping the committed band/floor knobs.
+echo "== hermes-harness gated scenarios -> bench_baselines/{wallclock,rss}.json =="
 cargo build --release --offline -q -p hermes-harness --bin hermes-harness
 cargo build --release --offline -q -p hermes-bench \
     --bin exp_tcam_micro --bin exp_fig12 --bin exp_crash --bin exp_fleet
@@ -47,7 +48,7 @@ wall_dir="$(mktemp -d)"
     --matrix scenarios/matrix.toml \
     --bin-dir target/release \
     --out "$wall_dir" \
-    --scenarios smoke-tcam,smoke-chaos,smoke-crash,smoke-fleet >/dev/null
+    --scenarios smoke-tcam,smoke-chaos,smoke-crash,smoke-fleet,chaos-suite >/dev/null
 python3 - "$wall_dir/matrix_report.json" bench_baselines/wallclock.json <<'PY'
 import json, sys
 report = json.load(open(sys.argv[1]))
@@ -73,7 +74,34 @@ for name, entry in old.get("scenarios", {}).items():
 with open(path, "w") as fh:
     json.dump(doc, fh, indent=1)
     fh.write("\n")
-print("tracked:", ", ".join(sorted(doc["scenarios"])))
+print("wallclock tracked:", ", ".join(sorted(doc["scenarios"])))
+PY
+python3 - "$wall_dir/matrix_report.json" bench_baselines/rss.json <<'PY'
+import json, sys
+report = json.load(open(sys.argv[1]))
+path = sys.argv[2]
+try:
+    old = json.load(open(path))
+except FileNotFoundError:
+    old = {}
+doc = {
+    "schema": "hermes-rss-baseline/1",
+    "band": old.get("band", 0.35),
+    "floor_bytes": old.get("floor_bytes", 16 << 20),
+    "scenarios": {
+        sc["name"]: {"median_bytes": int(sc["measured"]["max_rss_bytes"]["p50"])}
+        for sc in report["scenarios"]
+    },
+}
+# Per-scenario band/floor overrides survive the refresh.
+for name, entry in old.get("scenarios", {}).items():
+    for knob in ("band", "floor_bytes"):
+        if name in doc["scenarios"] and knob in entry:
+            doc["scenarios"][name][knob] = entry[knob]
+with open(path, "w") as fh:
+    json.dump(doc, fh, indent=1)
+    fh.write("\n")
+print("rss tracked:", ", ".join(sorted(doc["scenarios"])))
 PY
 rm -rf "$wall_dir"
 

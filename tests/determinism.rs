@@ -195,7 +195,7 @@ fn fleet_capture() -> String {
             (i, HermesPlane::new(sw))
         })
         .collect();
-    let mut fleet = Fleet::new(members, FleetConfig { lanes: 4, seed: 23 });
+    let mut fleet = Fleet::new(members, FleetConfig { lanes: 4, seed: 23, ..FleetConfig::default() });
     let mut rng = StdRng::seed_from_u64(23);
     let mut now = SimTime::ZERO;
     let mut next_id = 0u64;
